@@ -1,0 +1,107 @@
+"""Ablation A3 — PDA buffer-cache size (§4: "buffer caching techniques
+would be helpful when there is some locality of reference, as in the PDA
+organization").
+
+The locality curve: a working-set access pattern (90% of accesses to 10%
+of each process's blocks) against a per-process block cache swept from 0
+(uncached) to the full partition. Expected: hit rate and elapsed time
+follow the classic knee — dramatic gains until the hot set fits, little
+after.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Environment, build_parallel_fs
+from repro.devices import DiskGeometry
+
+from conftest import write_table
+
+RECORD = 4096
+RPB = 4
+BLOCKS_PER_PROCESS = 32
+N_PROCESSES = 4
+N_RECORDS = BLOCKS_PER_PROCESS * N_PROCESSES * RPB
+N_ACCESSES = 300
+GEO = DiskGeometry(block_size=4096, blocks_per_cylinder=16, cylinders=512)
+HOT_BLOCKS = 4   # ~ 12% of each partition
+
+
+def run_cached_sweep(cache_blocks: int):
+    env = Environment()
+    pfs = build_parallel_fs(env, 4, geometry=GEO)
+    f = pfs.create(
+        "ooc", "PDA", n_records=N_RECORDS, record_size=RECORD,
+        records_per_block=RPB, n_processes=N_PROCESSES,
+    )
+
+    def setup():
+        yield from f.global_view().write(
+            np.zeros((N_RECORDS, RECORD), dtype=np.uint8)
+        )
+
+    env.run(env.process(setup()))
+    start = env.now
+    rng = np.random.default_rng(9)
+    handles = []
+
+    def pager(q):
+        h = (
+            f.internal_view(q, cache_blocks=cache_blocks)
+            if cache_blocks > 0
+            else f.internal_view(q)
+        )
+        handles.append(h)
+        owned = [int(b) for b in f.map.blocks_of(q)]
+        hot = owned[:HOT_BLOCKS]
+        for _ in range(N_ACCESSES):
+            pool = hot if rng.random() < 0.9 else owned
+            b = pool[int(rng.integers(0, len(pool)))]
+            first = f.attrs.block_spec.first_record(b)
+            yield from h.read_record(first, count=RPB)
+
+    def driver():
+        yield env.all_of([env.process(pager(q)) for q in range(N_PROCESSES)])
+
+    env.run(env.process(driver()))
+    elapsed = env.now - start
+    if cache_blocks > 0:
+        hits = sum(h.cache.hits for h in handles)
+        misses = sum(h.cache.misses for h in handles)
+        hit_rate = hits / (hits + misses)
+    else:
+        hit_rate = 0.0
+    return elapsed, hit_rate
+
+
+def run_experiment():
+    return {c: run_cached_sweep(c) for c in (0, 1, 2, 4, 8, 32)}
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_a3_pda_cache_locality_curve(benchmark, results_dir):
+    out = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = [
+        f"cache={c:<3d} blocks/process  elapsed={t * 1e3:9.1f} ms  "
+        f"hit-rate={hr:6.1%}"
+        for c, (t, hr) in out.items()
+    ]
+
+    times = {c: t for c, (t, _) in out.items()}
+    hit = {c: hr for c, (_, hr) in out.items()}
+    # the knee: once the hot set (4 blocks) fits, most accesses hit
+    assert hit[4] > 0.75
+    assert times[4] < times[0] * 0.4
+    # beyond the knee, diminishing returns: each doubling buys less
+    assert (times[4] - times[8]) < (times[2] - times[4])
+    assert (times[8] - times[32]) < (times[4] - times[8])
+    # monotone improvement with cache size
+    cs = [0, 1, 2, 4, 8, 32]
+    assert all(times[a] >= times[b] * 0.98 for a, b in zip(cs, cs[1:]))
+
+    write_table(
+        results_dir, "a3_pda_cache",
+        f"A3 (ablation): PDA block cache, 90/{HOT_BLOCKS}-block working set, "
+        f"{N_ACCESSES} block reads/process",
+        rows,
+    )

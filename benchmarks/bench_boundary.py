@@ -1,0 +1,126 @@
+"""E11 — §5, problem area 2: partition-boundary overlap.
+
+    "One way of dealing with the problem is to replicate boundary data in
+    both of the adjacent partitions in the file. This will cause
+    difficulties for the global view of the file, since there will be
+    redundant data records. An alternative is to cache boundary data in
+    memory (if it will fit). This would be helpful if more than one pass
+    is made through the file."
+
+A 3-point stencil over a PS-partitioned vector, multi-pass, comparing:
+
+* explicit — boundary records re-read from the file every pass;
+* cached   — boundary records cached in memory after the first pass;
+* replicate — the file stores halo copies; measured here as the file
+  inflation + global-view redundancy the paper warns about, plus the cost
+  of the dedup the global view then requires.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Environment, build_parallel_fs
+from repro.core import HaloCache, ReplicatedPartitioning
+from repro.core.mapping import PartitionedMap
+from repro.core.blocks import BlockSpec
+from repro.core.records import RecordSpec
+from repro.devices import DiskGeometry
+from repro.workloads import stencil_pass_cached, stencil_pass_explicit
+
+from conftest import write_table
+
+N = 4096
+P = 8
+RPB = 8
+GEO = DiskGeometry(block_size=4096, blocks_per_cylinder=16, cylinders=256)
+PASSES = 4
+
+
+def run_stencil(mode: str):
+    env = Environment()
+    pfs = build_parallel_fs(env, P, geometry=GEO)
+    f = pfs.create(
+        "vec", "PS", n_records=N, record_size=8, dtype="float64",
+        records_per_block=RPB, n_processes=P,
+    )
+
+    def setup():
+        yield from f.global_view().write(
+            np.random.default_rng(0).random((N, 1))
+        )
+
+    env.run(env.process(setup()))
+    caches = [HaloCache(16) for _ in range(P)]
+    start = env.now
+
+    def one_pass():
+        if mode == "cached":
+            children = [
+                env.process(stencil_pass_cached(f, q, caches[q]))
+                for q in range(P)
+            ]
+        else:
+            children = [
+                env.process(stencil_pass_explicit(f, q)) for q in range(P)
+            ]
+        yield env.all_of(children)
+
+    def driver():
+        for _ in range(PASSES):
+            yield from one_pass()
+
+    env.run(env.process(driver()))
+    boundary_reads = sum(c.misses for c in caches) if mode == "cached" else None
+    return env.now - start, boundary_reads
+
+
+def replication_metrics(halo: int):
+    ps = PartitionedMap(BlockSpec(RecordSpec(8, "float64"), RPB), N, P)
+    rp = ReplicatedPartitioning(ps, halo)
+    return rp.inflation, rp.redundant_records
+
+
+def run_experiment():
+    out = {
+        "explicit": run_stencil("explicit"),
+        "cached": run_stencil("cached"),
+    }
+    repl = {h: replication_metrics(h) for h in (1, 4, 16, 64)}
+    return out, repl
+
+
+@pytest.mark.benchmark(group="e11")
+def test_e11_boundary_overlap(benchmark, results_dir):
+    out, repl = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    t_explicit, _ = out["explicit"]
+    t_cached, misses = out["cached"]
+    rows = [
+        f"explicit boundary re-reads: {PASSES} passes in {t_explicit * 1e3:9.1f} ms",
+        f"halo cache:                 {PASSES} passes in {t_cached * 1e3:9.1f} ms "
+        f"(device boundary reads: {misses}, then cache hits)",
+        "-- replication: file inflation and global-view redundancy --",
+    ]
+    for h, (infl, redundant) in repl.items():
+        rows.append(
+            f"halo={h:<3d} inflation={infl:6.3f}x  redundant records "
+            f"in global view={redundant}"
+        )
+
+    # caching wins on multi-pass runs (boundaries fetched once, not PASSES x)
+    assert t_cached < t_explicit
+    # first pass misses exactly the interior boundaries: 2 per interior
+    # process-pair side
+    assert misses == 2 * (P - 1)
+    # replication inflates the file monotonically with halo width, and the
+    # redundancy the global view must dedup grows linearly
+    inflations = [repl[h][0] for h in (1, 4, 16, 64)]
+    assert inflations == sorted(inflations)
+    assert repl[1][1] == 2 * (P - 1)
+    assert repl[64][1] == 64 * 2 * (P - 1)
+
+    write_table(
+        results_dir, "e11_boundary",
+        f"E11: 3-point stencil, {N} records over {P} PS partitions, "
+        f"{PASSES} passes",
+        rows,
+    )

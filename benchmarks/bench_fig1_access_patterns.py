@@ -1,0 +1,139 @@
+"""FIG1 — regenerate Figure 1: internal organizations of sequential
+parallel files.
+
+The paper's only figure shows, for a file of blocks and three processes,
+which process accesses which block under each sequential organization
+(S, PS, IS, SS). Here the panels are produced from *measured traces* of
+the implementation, not drawn by hand.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Environment, SSSession, TraceRecorder, build_parallel_fs
+from repro.trace import render_figure1_panel, render_timeline
+
+from conftest import write_table
+
+N_BLOCKS = 12
+RPB = 2
+N_RECORDS = N_BLOCKS * RPB
+N_PROCESSES = 3
+
+
+def _make(env, rec, org):
+    pfs = build_parallel_fs(env, 3, recorder=rec)
+    f = pfs.create(
+        f"fig1_{org}", org, n_records=N_RECORDS, record_size=8,
+        records_per_block=RPB, n_processes=N_PROCESSES,
+    )
+
+    def setup():
+        yield from f.global_view().write(np.zeros((N_RECORDS, 8), dtype=np.uint8))
+
+    env.run(env.process(setup()))
+    rec.clear()
+    return f
+
+
+def run_figure1():
+    panels = {}
+
+    # (a) Sequential: one process reads the whole file
+    env, rec = Environment(), TraceRecorder()
+    f = _make(env, rec, "S")
+
+    def s_reader():
+        h = f.internal_view(0)
+        while not h.eof:
+            yield from h.read_next(RPB)
+
+    env.run(env.process(s_reader()))
+    panels["a"] = ("Sequential.", rec.blocks_by_process(f.name))
+
+    # (b) Partitioned: contiguous blocks per process
+    env, rec = Environment(), TraceRecorder()
+    f = _make(env, rec, "PS")
+
+    def part_reader(q):
+        h = f.internal_view(q)
+        while h.blocks_remaining:
+            yield from h.read_next_block()
+
+    def driver():
+        yield env.all_of([env.process(part_reader(q)) for q in range(3)])
+
+    env.run(env.process(driver()))
+    panels["b"] = ("Partitioned.", rec.blocks_by_process(f.name))
+
+    # (c) Interleaved: stride-P blocks per process
+    env, rec = Environment(), TraceRecorder()
+    f = _make(env, rec, "IS")
+
+    def part_reader_c(q):
+        h = f.internal_view(q)
+        while h.blocks_remaining:
+            yield from h.read_next_block()
+
+    def driver_c():
+        yield env.all_of([env.process(part_reader_c(q)) for q in range(3)])
+
+    env.run(env.process(driver_c()))
+    panels["c"] = ("Interleaved.", rec.blocks_by_process(f.name))
+
+    # (d) Self-scheduled: access order decided by request order
+    env, rec = Environment(), TraceRecorder()
+    f = _make(env, rec, "SS")
+    session = SSSession(f)
+    order = []
+
+    def ss_reader(q):
+        h = session.handle(q)
+        while True:
+            item = yield from h.read_next()
+            if item is None:
+                return
+            order.append((item[0], q))
+            yield env.timeout(0.001 * (q + 1))  # uneven rates, as in real runs
+
+    def driver_d():
+        yield env.all_of([env.process(ss_reader(q)) for q in range(3)])
+
+    env.run(env.process(driver_d()))
+    session.validate()
+    panels["d"] = ("Self-scheduled.", rec.blocks_by_process(f.name))
+    return panels, order
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_access_patterns(benchmark, results_dir):
+    panels, ss_order = benchmark.pedantic(run_figure1, rounds=1, iterations=1)
+
+    # -- assertions: the Figure 1 semantics ---------------------------------
+    a_desc, a = panels["a"]
+    assert a == {0: list(range(N_BLOCKS))}
+
+    b_desc, b = panels["b"]
+    assert b == {0: [0, 1, 2, 3], 1: [4, 5, 6, 7], 2: [8, 9, 10, 11]}
+
+    c_desc, c = panels["c"]
+    assert c == {0: [0, 3, 6, 9], 1: [1, 4, 7, 10], 2: [2, 5, 8, 11]}
+
+    d_desc, d = panels["d"]
+    covered = sorted(blk for blocks in d.values() for blk in blocks)
+    assert covered == list(range(N_BLOCKS))          # no skip, no repeat
+    assert len(d) == N_PROCESSES                     # every process served
+
+    # -- render the figure ----------------------------------------------------
+    rows = []
+    for label in "abcd":
+        desc, mapping = panels[label]
+        rows.append(render_figure1_panel(label, desc, mapping, N_BLOCKS))
+        rows.append("")
+    rows.append(render_timeline(ss_order))
+    write_table(
+        results_dir, "fig1",
+        "Figure 1: internal organizations of sequential parallel files "
+        "(measured traces, 3 processes)",
+        rows,
+    )

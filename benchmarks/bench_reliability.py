@@ -1,0 +1,80 @@
+"""E8 — §5's reliability arithmetic:
+
+    "Assuming a MTBF of 30,000 hours for each storage device, a file
+    system containing 10 devices could be expected to fail every 3000
+    hours (about 3 times per year, on average), which is probably
+    tolerable. A system with 100 devices, on the other hand, would
+    average more than one failure every two weeks, which is not likely
+    to be acceptable."
+
+Analytic rows plus Monte Carlo validation (exponential lifetimes),
+plus the protection-scheme loss-probability comparison that motivates
+parity and shadowing.
+"""
+
+import pytest
+
+from repro.reliability import (
+    HOURS_PER_WEEK,
+    mtbf_table_row,
+    simulate_fleet,
+    simulate_protected_fleet,
+    system_mtbf,
+)
+
+from conftest import write_table
+
+MTBF = 30_000.0  # "currently achieved by commercially available Winchester disks"
+
+
+def run_experiment():
+    analytic = {n: mtbf_table_row(MTBF, n) for n in (1, 10, 100, 1000)}
+    mc = {n: simulate_fleet(n, MTBF, n_trials=3000, seed=42) for n in (1, 10, 100)}
+    protection = {
+        scheme: simulate_protected_fleet(
+            n_devices=100, device_mtbf_hours=MTBF, mttr_hours=24,
+            scheme=scheme, n_trials=400, seed=7,
+        )
+        for scheme in ("none", "parity", "shadow")
+    }
+    return analytic, mc, protection
+
+
+@pytest.mark.benchmark(group="e8")
+def test_e8_mtbf_table(benchmark, results_dir):
+    analytic, mc, protection = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = ["-- analytic (exponential lifetimes) --"]
+    for n, row in analytic.items():
+        rows.append(
+            f"N={n:<5d} system MTBF={row['system_mtbf_hours']:>9.1f} h  "
+            f"failures/yr={row['failures_per_year']:>8.2f}  "
+            f"weeks between={row['weeks_between_failures']:>7.2f}"
+        )
+    rows.append("-- Monte Carlo (3000 trials) --")
+    for n, r in mc.items():
+        rows.append(r.row())
+    rows.append("-- P(data loss in 1 yr), 100 devices, 24 h repair --")
+    for scheme, p in protection.items():
+        rows.append(f"{scheme:<8s} loss probability = {p:6.3f}")
+
+    # the paper's two worked numbers
+    assert analytic[10]["system_mtbf_hours"] == pytest.approx(3000)
+    assert analytic[10]["failures_per_year"] == pytest.approx(2.92, abs=0.05)
+    assert analytic[100]["system_mtbf_hours"] == pytest.approx(300)
+    assert analytic[100]["system_mtbf_hours"] < 2 * HOURS_PER_WEEK  # "> 1 per 2 weeks"
+    # Monte Carlo agrees with the closed form
+    for n in (1, 10, 100):
+        assert mc[n].mean_time_to_first_failure == pytest.approx(
+            system_mtbf(MTBF, n), rel=0.1
+        )
+    # protection ordering: none is near-certain loss; parity and shadow
+    # reduce it by orders of magnitude; shadow <= parity
+    assert protection["none"] > 0.9
+    assert protection["parity"] < 0.25
+    assert protection["shadow"] <= protection["parity"]
+
+    write_table(
+        results_dir, "e8_reliability",
+        f"E8: reliability at {MTBF:.0f} h device MTBF (the §5 table)",
+        rows,
+    )

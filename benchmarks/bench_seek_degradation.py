@@ -1,0 +1,183 @@
+"""E3 — §4: "For systems with many processors, it may not be practical to
+allocate a separate storage device for each processor. In this case,
+blocks belonging to several processes would be allocated to each device.
+Seek times are likely to cause some performance degradation as the drive
+services requests from different processes. Work is needed here to
+determine the best ways to allocate space on the disks to minimize this
+problem."
+
+Fixed P=16 processes scanning a PS file over D in {1, 2, 4, 8, 16}
+devices. Two placements of co-resident partitions are compared:
+
+* ``clustered`` — each process's partition is contiguous on its device
+  (the §4 suggestion): the arm ping-pongs between the partitions of the
+  processes sharing a drive;
+* ``striped`` — the same file striped finely (no partition locality):
+  every process's request can hit every drive.
+
+Plus an arm-scheduling ablation (FCFS vs SCAN) for the worst case.
+Expected shape: throughput degrades as P/D grows; seeks per device grow
+as more processes share a drive; SCAN recovers part of the loss.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Environment, build_parallel_fs
+from repro.devices import DiskGeometry
+from repro.trace import throughput_mb_s
+
+from conftest import write_table
+
+P = 16
+RECORD = 4096
+N_RECORDS = 64 * P
+GEO = DiskGeometry(block_size=4096, blocks_per_cylinder=16, cylinders=1024)
+
+
+def run_scan(n_devices: int, layout: str, scheduling: str = "fcfs",
+             jitter: bool = False):
+    env = Environment()
+    pfs = build_parallel_fs(env, n_devices, geometry=GEO, scheduling=scheduling)
+    f = pfs.create(
+        "shared", "PS", n_records=N_RECORDS, record_size=RECORD,
+        records_per_block=8, n_processes=P, layout=layout,
+        stripe_unit=4096, n_devices=n_devices,
+    )
+
+    def setup():
+        yield from f.global_view().write(
+            np.zeros((N_RECORDS, RECORD), dtype=np.uint8)
+        )
+
+    env.run(env.process(setup()))
+    for d in pfs.volume.devices:
+        d.disk.total_seeks = 0
+        d.disk.total_seek_distance = 0
+        d.disk.reset_position(0)
+    start = env.now
+    from repro.sim import RngStreams
+
+    streams = RngStreams(7)
+
+    def worker(q):
+        h = f.internal_view(q)
+        while not h.eof:
+            yield from h.read_next(4)
+            if jitter:
+                # uneven per-process compute decorrelates arrival order,
+                # which is when arm scheduling starts to matter
+                yield env.timeout(streams.uniform(f"think{q}", 0.0, 0.01))
+
+    def driver():
+        yield env.all_of([env.process(worker(q)) for q in range(P)])
+
+    env.run(env.process(driver()))
+    elapsed = env.now - start
+    seeks = sum(d.disk.total_seeks for d in pfs.volume.devices)
+    seek_cyls = sum(d.disk.total_seek_distance for d in pfs.volume.devices)
+    return elapsed, seeks, seek_cyls
+
+
+def run_experiment():
+    out = {}
+    for d in (1, 2, 4, 8, 16):
+        out[("clustered", d)] = run_scan(d, "clustered")
+    out[("striped", 1)] = run_scan(1, "striped")
+    return out
+
+
+def run_random_access(scheduling: str):
+    """The arm-scheduling ablation needs *random* arrivals: 16 clients
+    doing uniform random record reads on one shared drive."""
+    env = Environment()
+    pfs = build_parallel_fs(env, 1, geometry=GEO, scheduling=scheduling)
+    f = pfs.create(
+        "rand", "GDA", n_records=N_RECORDS, record_size=RECORD,
+        records_per_block=8, n_processes=P, layout="striped",
+        stripe_unit=4096,
+    )
+
+    def setup():
+        yield from f.global_view().write(
+            np.zeros((N_RECORDS, RECORD), dtype=np.uint8)
+        )
+
+    env.run(env.process(setup()))
+    dev = pfs.volume.devices[0]
+    dev.disk.total_seeks = 0
+    dev.disk.total_seek_distance = 0
+    dev.disk.reset_position(0)
+    start = env.now
+    from repro.workloads import uniform_pattern
+
+    targets = uniform_pattern(N_RECORDS, P * 16, seed=5)
+
+    def client(q):
+        h = f.internal_view(q)
+        for t in range(q, len(targets), P):
+            yield from h.read_record(int(targets[t]))
+
+    def driver():
+        yield env.all_of([env.process(client(q)) for q in range(P)])
+
+    env.run(env.process(driver()))
+    return env.now - start, dev.disk.total_seeks, dev.disk.total_seek_distance
+
+
+@pytest.mark.benchmark(group="e3")
+def test_e3_seek_degradation(benchmark, results_dir):
+    out = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    nbytes = N_RECORDS * RECORD
+    rows = []
+    rates = {}
+    for (layout, d), (elapsed, seeks, cyls) in out.items():
+        rates[(layout, d)] = throughput_mb_s(nbytes, elapsed)
+        rows.append(
+            f"{layout:<10s} D={d:<3d} P/D={P // d if layout == 'clustered' else P:<3d} "
+            f"elapsed={elapsed * 1e3:9.1f} ms  rate={rates[(layout, d)]:7.2f} MB/s  "
+            f"seeks={seeks:6d}  seek_cylinders={cyls:8d}"
+        )
+
+    # throughput degrades monotonically as more processes share each drive
+    assert rates[("clustered", 16)] > rates[("clustered", 8)] > rates[("clustered", 4)]
+    assert rates[("clustered", 4)] > rates[("clustered", 1)]
+    # per-process-contiguous allocation beats fine striping when a single
+    # drive is shared: striping destroys partition locality entirely
+    assert rates[("clustered", 1)] >= rates[("striped", 1)] * 0.95
+    # the 16-process single drive seeks far more than one-process-per-drive
+    assert out[("clustered", 1)][1] > out[("clustered", 16)][1] * 2
+
+    write_table(
+        results_dir, "e3_seek_degradation",
+        f"E3: {P} processes scanning a PS file over D devices "
+        "(per-request reads of 4 records)",
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="e3")
+def test_e3_arm_scheduling_ablation(benchmark, results_dir):
+    """DESIGN.md ablation: arm scheduling under random shared access.
+
+    Sequential partition scans self-organize into elevator order (the
+    main E3 table shows FCFS ~ SCAN there); with random arrivals the
+    policies separate: SCAN/SSTF cut arm travel versus FCFS.
+    """
+
+    def run():
+        return {s: run_random_access(s) for s in ("fcfs", "scan", "sstf")}
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        f"{s:<6s} elapsed={e * 1e3:9.1f} ms  seeks={n:5d}  seek_cylinders={c:8d}"
+        for s, (e, n, c) in out.items()
+    ]
+    assert out["scan"][2] < out["fcfs"][2]
+    assert out["sstf"][2] < out["fcfs"][2]
+    assert out["scan"][0] <= out["fcfs"][0]
+    write_table(
+        results_dir, "e3_arm_scheduling",
+        f"E3b: arm scheduling, {P} clients x 16 uniform random reads, one drive",
+        rows,
+    )

@@ -1,0 +1,31 @@
+"""Shared benchmark infrastructure.
+
+Each ``bench_*.py`` file regenerates one artifact of the paper (Figure 1
+or a §4/§5 claim — see DESIGN.md's per-experiment index). The pytest-
+benchmark fixture times the *simulation run* in wall-clock; the scientific
+output is the table of *simulated* metrics each experiment prints and
+writes to ``benchmarks/results/<exp>.txt``.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+# make `benchmarks` helpers importable when pytest rootdir varies
+sys.path.insert(0, str(Path(__file__).parent))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_table(results_dir: Path, name: str, title: str, rows: list[str]) -> None:
+    """Persist (and echo) one experiment's result table."""
+    text = "\n".join([title, "=" * len(title), *rows, ""])
+    (results_dir / f"{name}.txt").write_text(text)
+    print(f"\n{text}")

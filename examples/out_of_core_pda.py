@@ -1,0 +1,58 @@
+"""Out-of-core computation over a PDA file (§3.2).
+
+"Blocks can be thought of as pages of virtual memory, with the direct
+access feature allowing multiple passes on the data." — each process
+sweeps its owned blocks repeatedly through a block cache standing in for
+its share of main memory; the cache statistics show §4's buffer-caching
+payoff when the working set fits.
+
+Run:  python examples/out_of_core_pda.py
+"""
+
+import numpy as np
+
+from repro import Environment, build_parallel_fs
+from repro.workloads import OutOfCoreSweep, run_out_of_core
+
+
+def main() -> None:
+    n_records, n_processes, rpb = 256, 4, 8
+    data = np.random.default_rng(1).random((n_records, 1))
+
+    for cache_blocks, label in ((8, "working set fits"), (2, "cache thrashes")):
+        env = Environment()
+        pfs = build_parallel_fs(env, n_devices=4)
+        f = pfs.create(
+            "pages.dat", "PDA", n_records=n_records, record_size=8,
+            dtype="float64", records_per_block=rpb, n_processes=n_processes,
+        )
+
+        def setup():
+            yield from f.global_view().write(data)
+
+        env.run(env.process(setup()))
+        start = env.now
+        procs, handles = run_out_of_core(
+            f, OutOfCoreSweep(passes=3, cache_blocks=cache_blocks,
+                              compute_per_record=0.0001),
+        )
+        env.run()
+        elapsed = env.now - start
+        hits = sum(h.cache.hits for h in handles)
+        misses = sum(h.cache.misses for h in handles)
+        print(f"cache={cache_blocks} blocks/process ({label}): "
+              f"3 passes in {elapsed * 1e3:8.1f} ms, "
+              f"hit rate {hits / (hits + misses):5.1%} "
+              f"({misses} device block reads)")
+
+        def check():
+            out = yield from f.global_view().read()
+            return out
+
+        assert np.array_equal(env.run(env.process(check())), data)
+
+    print("data intact after all sweeps (write-back cache flushed correctly)")
+
+
+if __name__ == "__main__":
+    main()

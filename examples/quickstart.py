@@ -1,0 +1,71 @@
+"""Quickstart: create a parallel file, use both of its views.
+
+Demonstrates the paper's central idea (§2): one file, two views —
+processes of a parallel program each access their own partition through
+the *internal view*, while sequential software sees a conventional file
+through the *global view*.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import Environment, build_parallel_fs
+from repro.trace import throughput_mb_s
+
+
+def main() -> None:
+    # A simulated machine: 4 processors' worth of I/O over 4 disks.
+    env = Environment()
+    pfs = build_parallel_fs(env, n_devices=4)
+
+    # A partitioned-sequential (PS) file: 1000 records of 64 bytes,
+    # 10 records per block, partitioned among 4 processes. The layout
+    # defaults to §4's suggestion for PS: one clustered partition per
+    # device.
+    n_records, n_processes = 1000, 4
+    f = pfs.create(
+        "results.dat", "PS",
+        n_records=n_records, record_size=64, dtype="float64",
+        records_per_block=10, n_processes=n_processes,
+    )
+    print(f"created {f.name}: organization={f.attrs.organization}, "
+          f"layout={f.layout.name}, {f.n_blocks} blocks on "
+          f"{f.layout.n_devices} devices")
+
+    data = np.random.default_rng(0).random((n_records, 8))
+
+    # --- parallel phase: each process writes its own partition ---------
+    def worker(p: int):
+        handle = f.internal_view(p)
+        mine = f.map.records_of(p)            # this process's records
+        yield from handle.write_next(data[mine])
+        print(f"  process {p}: wrote {len(mine)} records "
+              f"(blocks {f.map.blocks_of(p).min()}..{f.map.blocks_of(p).max()}) "
+              f"at t={env.now * 1e3:.1f} ms")
+
+    def parallel_phase():
+        workers = [env.process(worker(p)) for p in range(n_processes)]
+        yield env.all_of(workers)
+
+    env.run(env.process(parallel_phase()))
+
+    # --- sequential phase: a conventional program reads the global view --
+    def sequential_consumer():
+        start = env.now
+        view = f.global_view()
+        everything = yield from view.read()
+        elapsed = env.now - start
+        ok = np.array_equal(everything, data)
+        print(f"global view read {everything.shape[0]} records in "
+              f"{elapsed * 1e3:.1f} ms "
+              f"({throughput_mb_s(everything.nbytes, elapsed):.2f} MB/s) "
+              f"— contents correct: {ok}")
+        assert ok
+
+    env.run(env.process(sequential_consumer()))
+    print(f"simulated time: {env.now * 1e3:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

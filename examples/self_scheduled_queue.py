@@ -1,0 +1,74 @@
+"""Self-scheduled work queue (§3.1's SS example): "a queue with multiple
+servers".
+
+Tasks with wildly uneven costs live one-per-block in an SS file; workers
+repeatedly draw the next block. Self-scheduling balances busy time
+automatically — and the run demonstrates §4's early pointer-advance
+optimization keeping the shared file pointer from serializing I/O.
+
+Run:  python examples/self_scheduled_queue.py
+"""
+
+import numpy as np
+
+from repro import Environment, build_parallel_fs
+from repro.workloads import run_task_queue
+
+
+def main() -> None:
+    env = Environment()
+    pfs = build_parallel_fs(env, n_devices=4)
+
+    n_tasks, n_workers = 48, 4
+    tasks = pfs.create(
+        "tasks.q", "SS", n_records=n_tasks, record_size=16, dtype="float64",
+        records_per_block=1, n_processes=n_workers,
+    )
+    results = pfs.create(
+        "results.q", "SS", n_records=n_tasks, record_size=16, dtype="float64",
+        records_per_block=1, n_processes=n_workers,
+    )
+
+    # task costs: every 8th task is 20x more expensive
+    rng = np.random.default_rng(3)
+    payload = rng.random((n_tasks, 2))
+
+    def setup():
+        yield from tasks.global_view().write(payload)
+
+    env.run(env.process(setup()))
+
+    def service_time(block: int, data: np.ndarray) -> float:
+        return 0.100 if block % 8 == 0 else 0.005
+
+    sessions, stats, procs = run_task_queue(
+        tasks, n_workers=n_workers,
+        service_time=service_time,
+        output_file=results,
+        result_fn=lambda b, d: d * 2.0,
+    )
+    env.run()
+    for s in sessions:
+        s.validate()          # every task handed out exactly once
+
+    print(f"{n_tasks} tasks, {n_workers} self-scheduled workers:")
+    for w in stats:
+        print(f"  worker {w.process}: {w.tasks:2d} tasks, "
+              f"busy {w.busy_time * 1e3:6.1f} ms, "
+              f"blocks {w.blocks[:6]}...")
+    busy = [w.busy_time for w in stats]
+    print(f"busy-time imbalance (max/min): {max(busy) / min(busy):.2f} "
+          "(self-scheduling keeps this near 1)")
+
+    def check():
+        out = yield from results.global_view().read()
+        return out
+
+    out = env.run(env.process(check()))
+    assert sorted(out[:, 0].tolist()) == sorted((payload * 2)[:, 0].tolist())
+    print("results file verified: every task's doubled payload present")
+    print(f"simulated time: {env.now * 1e3:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Wrapped matrix storage (§3.1's IS example): out-of-core matrix-vector
+multiply with cyclically distributed rows.
+
+"This organization would be useful for wrapped storage of a matrix, for
+example." — an IS file with one row per record gives process p rows
+p, p+P, p+2P, ..., the classic load-balancing distribution.
+
+Run:  python examples/wrapped_matrix.py
+"""
+
+import numpy as np
+
+from repro import Environment, build_parallel_fs
+from repro.workloads import WrappedMatrix, parallel_matvec, parallel_row_scale
+
+
+def main() -> None:
+    env = Environment()
+    pfs = build_parallel_fs(env, n_devices=4)
+
+    n_rows, n_cols, n_processes = 64, 32, 4
+    rng = np.random.default_rng(7)
+    A = rng.random((n_rows, n_cols))
+    x = rng.random(n_cols)
+
+    matrix = WrappedMatrix(pfs, "A.mat", n_rows, n_cols, n_processes)
+    print(f"matrix {n_rows}x{n_cols} in IS file "
+          f"({matrix.file.layout.name} over {matrix.file.layout.n_devices} devices)")
+    for p in range(n_processes):
+        rows = matrix.my_rows(p)
+        print(f"  process {p} owns rows {rows[:4].tolist()}... ({len(rows)} total)")
+
+    def driver():
+        # store the matrix through the global view (a sequential loader)
+        yield from matrix.store(A)
+
+        # out-of-core y = A @ x: each process multiplies its own rows
+        partials = [
+            env.process(parallel_matvec(matrix, p, x))
+            for p in range(n_processes)
+        ]
+        results = yield env.all_of(partials)
+        y = np.zeros(n_rows)
+        for idx, part in results.values():
+            y[idx] = part
+        print(f"parallel matvec max error: {np.abs(y - A @ x).max():.2e}")
+        assert np.allclose(y, A @ x)
+
+        # in-place parallel update: scale all rows by 0.5
+        scalers = [
+            env.process(parallel_row_scale(matrix, p, 0.5))
+            for p in range(n_processes)
+        ]
+        yield env.all_of(scalers)
+        back = yield from matrix.load()
+        assert np.allclose(back, A * 0.5)
+        print("parallel in-place row scale verified via the global view")
+
+    env.run(env.process(driver()))
+    print(f"simulated time: {env.now * 1e3:.1f} ms")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The offline environment lacks the ``wheel`` package, so PEP-517 editable
+installs (which require ``bdist_wheel``) fail. This shim lets
+``pip install -e . --no-use-pep517`` (or plain ``pip install -e .`` with
+older pips) take the legacy ``setup.py develop`` path. All metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

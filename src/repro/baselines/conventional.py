@@ -1,0 +1,51 @@
+"""Conventional single-device file system — the speedup reference point.
+
+Every striping/interleaving speedup in the benchmarks is reported relative
+to the same file on ONE device of the same type, which is what 1989
+systems without parallel I/O offered.
+"""
+
+from __future__ import annotations
+
+from ..devices.controller import DeviceController
+from ..devices.disk import WREN_1989, DiskGeometry, DiskModel, DiskTiming
+from ..fs.pfs import ParallelFileSystem
+from ..sim.engine import Environment
+from ..storage.volume import Volume
+from ..trace.events import TraceRecorder
+
+__all__ = ["build_parallel_fs", "single_device_fs"]
+
+
+def build_parallel_fs(
+    env: Environment,
+    n_devices: int,
+    timing: DiskTiming = WREN_1989,
+    geometry: DiskGeometry | None = None,
+    recorder: TraceRecorder | None = None,
+    scheduling: str | None = None,
+) -> ParallelFileSystem:
+    """A file system over ``n_devices`` identical drives."""
+    from ..devices.scheduling import make_policy
+
+    geo = geometry or DiskGeometry()
+    devices = [
+        DeviceController(
+            env,
+            DiskModel(geo, timing),
+            name=f"disk{i}",
+            policy=make_policy(scheduling) if scheduling else None,
+        )
+        for i in range(n_devices)
+    ]
+    return ParallelFileSystem(env, Volume(env, devices), recorder=recorder)
+
+
+def single_device_fs(
+    env: Environment,
+    timing: DiskTiming = WREN_1989,
+    geometry: DiskGeometry | None = None,
+    recorder: TraceRecorder | None = None,
+) -> ParallelFileSystem:
+    """The conventional baseline: one drive, no I/O parallelism."""
+    return build_parallel_fs(env, 1, timing, geometry, recorder)

@@ -1,0 +1,154 @@
+"""The file-per-process baseline (§3's NASA Finite Element Machine story).
+
+    "partitioning of external data is frequently handled by assigning a
+    separate file to each process ... This approach was tried on NASA's
+    Finite Element Machine, but was found to be unsatisfactory for more
+    than a handful of processes."
+
+Two failure modes the paper reports, both made measurable here:
+
+1. *Manageability*: "just keeping track of the large number of files was
+   burdensome" — the dataset creates ``files_per_process x P`` catalog
+   entries that must be created/deleted individually (counted).
+2. *Pre/post-processing*: "data stored in a multitude of small files often
+   needed to be treated as a unit by sequential programs" — consuming the
+   dataset globally requires an explicit merge pass that reads and
+   rewrites every byte (timed).
+
+A parallel file (PS organization) provides the same per-process access
+with ONE catalog entry and a global view that costs nothing to set up.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..core.mapping import PartitionedMap
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..fs.pfs import ParallelFile, ParallelFileSystem
+
+__all__ = ["FilePerProcessDataset"]
+
+
+class FilePerProcessDataset:
+    """A logically-single dataset split across one file per process."""
+
+    def __init__(
+        self,
+        pfs: "ParallelFileSystem",
+        basename: str,
+        n_records: int,
+        record_size: int,
+        n_processes: int,
+        records_per_block: int = 1,
+        dtype: str = "uint8",
+    ):
+        self.pfs = pfs
+        self.basename = basename
+        self.n_processes = n_processes
+        self.record_size = record_size
+        self.dtype = dtype
+        # partition exactly as a PS file would, for apples-to-apples
+        from ..core.blocks import BlockSpec
+        from ..core.records import RecordSpec
+
+        self._map = PartitionedMap(
+            BlockSpec(RecordSpec(record_size, dtype), records_per_block),
+            n_records,
+            n_processes,
+        )
+        self.files: list["ParallelFile"] = []
+        for p in range(n_processes):
+            count = self._map.n_local_records(p)
+            self.files.append(
+                pfs.create(
+                    self._name(p),
+                    "S",
+                    n_records=count,
+                    record_size=record_size,
+                    records_per_block=records_per_block,
+                    dtype=dtype,
+                    n_devices=1 if pfs.volume.n_devices == 1 else None,
+                )
+            )
+        #: bytes moved by pre/post-processing utilities (the overhead the
+        #: paper's users "balked at")
+        self.utility_bytes = 0
+
+    def _name(self, p: int) -> str:
+        return f"{self.basename}.{p:04d}"
+
+    @property
+    def file_count(self) -> int:
+        """Catalog entries this dataset occupies (vs. 1 for a parallel file)."""
+        return len(self.files)
+
+    # -- the pre-processing utility -------------------------------------------
+
+    def partition(self, data: np.ndarray):
+        """Generator: split a global dataset into the per-process files.
+
+        This is the §3 pre-processing pass: every byte is read from the
+        global source and rewritten into a small file.
+        """
+        if len(data) != self._map.n_records:
+            raise ValueError("data does not match dataset record count")
+        for p, f in enumerate(self.files):
+            recs = self._map.records_of(p)
+            if len(recs) == 0:
+                continue
+            chunk = data[recs]
+            yield from f.global_view().write(chunk)
+            self.utility_bytes += chunk.size * np.dtype(self.dtype).itemsize
+
+    # -- per-process access (the part that works fine) ---------------------------
+
+    def read_partition(self, p: int):
+        """Generator: process ``p`` reads its own file (independent, fast)."""
+        out = yield from self.files[p].global_view().read()
+        return out
+
+    def write_partition(self, p: int, values: np.ndarray):
+        """Generator: process ``p`` rewrites its own file."""
+        view = self.files[p].global_view()
+        view.seek(0)
+        yield from view.write(values)
+
+    # -- the post-processing utility ------------------------------------------------
+
+    def merge(self, out_name: str):
+        """Generator: merge the small files into one sequential file.
+
+        The §3 post-processing pass sequential programs require; returns
+        the merged :class:`ParallelFile`. Cost: full read + full write.
+        """
+        merged = self.pfs.create(
+            out_name,
+            "S",
+            n_records=self._map.n_records,
+            record_size=self.record_size,
+            records_per_block=self._map.blocks.records_per_block,
+            dtype=self.dtype,
+        )
+        writer = merged.global_view()
+        for p, f in enumerate(self.files):
+            if f.n_records == 0:
+                continue
+            chunk = yield from f.global_view().read()
+            yield from writer.write(chunk)
+            self.utility_bytes += chunk.size * np.dtype(self.dtype).itemsize
+        return merged
+
+    # -- cleanup (every file individually, as the paper laments) -----------------
+
+    def delete_all(self) -> int:
+        """Delete every per-process file; returns how many deletions it took."""
+        n = 0
+        for p in range(self.n_processes):
+            self.pfs.delete(self._name(p))
+            n += 1
+        self.files.clear()
+        return n

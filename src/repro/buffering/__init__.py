@@ -1,0 +1,8 @@
+"""Buffering: pools, read-ahead, deferred write, block caching (§4)."""
+
+from .cache import BufferCache
+from .pool import BufferPool
+from .readahead import ReadStream
+from .writebehind import WriteStream
+
+__all__ = ["BufferCache", "BufferPool", "ReadStream", "WriteStream"]

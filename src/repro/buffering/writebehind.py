@@ -1,0 +1,95 @@
+"""Deferred writing (write-behind).
+
+The write-side dual of read-ahead (§4): the producer process "writes" into
+a buffer, pays only the copy cost, and continues computing while the
+transfer proceeds; up to ``depth`` transfers may be outstanding. With
+``depth = 0`` every write is synchronous write-through.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..sim.engine import Environment, Event
+from .pool import BufferPool
+
+__all__ = ["WriteStream"]
+
+
+class WriteStream:
+    """Deferred (asynchronous) writes with bounded outstanding transfers."""
+
+    def __init__(
+        self,
+        env: Environment,
+        write: Callable[[int, Any], Event],
+        pool: BufferPool,
+        depth: int = 1,
+    ):
+        if depth < 0:
+            raise ValueError("depth must be >= 0")
+        self.env = env
+        self.write = write
+        self.pool = pool
+        self.depth = depth
+        self._outstanding: list[Event] = []
+        #: blocks written (issued) so far
+        self.issued = 0
+
+    def put(self, index: int, data: Any):
+        """Generator: stage ``data`` for block ``index`` and return.
+
+        Charges the buffer copy cost; with ``depth >= 1`` the device write
+        happens in the background. Device errors surface on :meth:`drain`
+        (or on a later ``put`` that reaps completed transfers).
+        """
+        yield self.pool.acquire()
+        yield from self.pool.charge(_nbytes(data))
+
+        if self.depth > 0:
+            # bound the pipeline *before* issuing: at most `depth` writes
+            # may be in flight at once
+            while self._pending_count() >= self.depth:
+                yield self.env.any_of(
+                    [e for e in self._outstanding if not e.processed]
+                )
+            self._reap()
+
+        ev = self.write(index, data)
+        self.issued += 1
+
+        def _release(_ev):
+            self.pool.release()
+
+        if ev.triggered:
+            _release(ev)
+        else:
+            ev.callbacks.append(_release)
+
+        if self.depth == 0:
+            yield ev  # write-through
+            return
+
+        self._outstanding.append(ev)
+
+    def drain(self):
+        """Generator: wait for every outstanding write to complete."""
+        pending = [e for e in self._outstanding if not e.processed]
+        if pending:
+            yield self.env.all_of(pending)
+        self._reap()
+
+    def _pending_count(self) -> int:
+        return sum(1 for e in self._outstanding if not e.processed)
+
+    def _reap(self) -> None:
+        for e in self._outstanding:
+            if e.processed and not e.ok:  # pragma: no cover - device faults
+                raise e.value
+        self._outstanding = [e for e in self._outstanding if not e.processed]
+
+
+def _nbytes(data: Any) -> int:
+    if hasattr(data, "nbytes"):
+        return int(data.nbytes)
+    return len(data)

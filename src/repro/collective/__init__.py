@@ -1,0 +1,5 @@
+"""Collective I/O extensions (two-phase transfers, the MPI-IO lineage)."""
+
+from .twophase import CollectiveIO
+
+__all__ = ["CollectiveIO"]

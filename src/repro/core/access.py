@@ -1,0 +1,148 @@
+"""Access methods, distinguished from file organizations (§6).
+
+    "In particular, it may be useful to distinguish between file
+    organizations and access methods on those organizations."
+
+and §3.2:
+
+    "it might be useful to distinguish between PDA files which perform
+    random access within blocks, and an equivalent organization which
+    always accesses records sequentially within blocks."
+
+This module makes both distinctions concrete:
+
+* :class:`AccessMethod` — *how* records are visited: sequentially, by
+  position (direct), or self-scheduled. Organizations declare which
+  methods they support (:func:`supported_methods`,
+  :func:`check_access_method`), which is what lets an S file be consumed
+  through direct access ("direct access versions of the S and SS file
+  types", §3.2) without inventing a seventh organization.
+* :class:`WithinBlockDiscipline` — the §3.2 PDA refinement: RANDOM versus
+  SEQUENTIAL record order inside an owned block. The
+  :class:`SequentialWithinBlockCursor` enforces the latter and is used by
+  the PDA handle's ``sequential_within_block`` option.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from .errors import OrganizationError, OwnershipError
+from .mapping import OrganizationMap
+from .organizations import FileOrganization
+
+__all__ = [
+    "AccessMethod",
+    "WithinBlockDiscipline",
+    "supported_methods",
+    "check_access_method",
+    "SequentialWithinBlockCursor",
+]
+
+
+class AccessMethod(enum.Enum):
+    """How a program visits records (§6's 'access methods')."""
+
+    SEQUENTIAL = "sequential"          # next record in a fixed order
+    DIRECT = "direct"                  # by explicit record position
+    SELF_SCHEDULED = "self-scheduled"  # next record decided by request order
+
+
+class WithinBlockDiscipline(enum.Enum):
+    """§3.2: record order inside an owned block of a PDA file."""
+
+    RANDOM = "random"
+    SEQUENTIAL = "sequential"
+
+
+#: Which access methods each organization supports. The sequential
+#: organizations also support DIRECT consumption ("this organization
+#: could be used to support direct access versions of the S and SS file
+#: types" works both ways: the global byte layout is identical), while
+#: SS is intrinsically SELF_SCHEDULED.
+_SUPPORT: dict[FileOrganization, frozenset[AccessMethod]] = {
+    FileOrganization.S: frozenset(
+        {AccessMethod.SEQUENTIAL, AccessMethod.DIRECT}
+    ),
+    FileOrganization.PS: frozenset(
+        {AccessMethod.SEQUENTIAL, AccessMethod.DIRECT}
+    ),
+    FileOrganization.IS: frozenset(
+        {AccessMethod.SEQUENTIAL, AccessMethod.DIRECT}
+    ),
+    FileOrganization.SS: frozenset(
+        {AccessMethod.SELF_SCHEDULED}
+    ),
+    FileOrganization.GDA: frozenset(
+        {AccessMethod.DIRECT, AccessMethod.SEQUENTIAL,
+         AccessMethod.SELF_SCHEDULED}
+    ),
+    FileOrganization.PDA: frozenset(
+        {AccessMethod.DIRECT, AccessMethod.SEQUENTIAL}
+    ),
+}
+
+
+def supported_methods(org: FileOrganization) -> frozenset[AccessMethod]:
+    """The access methods an organization supports."""
+    return _SUPPORT[org]
+
+
+def check_access_method(org: FileOrganization, method: AccessMethod) -> None:
+    """Raise :class:`OrganizationError` if ``method`` is unsupported."""
+    if method not in _SUPPORT[org]:
+        raise OrganizationError(
+            f"organization {org} does not support {method.value} access "
+            f"(supports: {sorted(m.value for m in _SUPPORT[org])})"
+        )
+
+
+class SequentialWithinBlockCursor:
+    """Enforces §3.2's sequential-within-block discipline for one process.
+
+    Blocks may still be visited in any order (that is the point of PDA —
+    "the order of block access may be arbitrary as well"), but within a
+    block, records must be visited in ascending order without revisiting.
+    The restriction is what would let an implementation stream each block
+    through a single buffer instead of keeping it randomly addressable.
+    """
+
+    def __init__(self, org_map: OrganizationMap, process: int):
+        if org_map.org is not FileOrganization.PDA:
+            raise OrganizationError(
+                "sequential-within-block discipline applies to PDA files"
+            )
+        self.map = org_map
+        self.process = process
+        #: per-block high-water mark: next admissible slot
+        self._next_slot: dict[int, int] = {}
+
+    def admit(self, record: int) -> None:
+        """Validate (and account) one record access.
+
+        Raises :class:`OwnershipError` if the record is not owned, or
+        :class:`OrganizationError` if it violates the within-block order.
+        """
+        owner = self.map.owner_of_record(record)
+        if owner != self.process:
+            raise OwnershipError(
+                f"process {self.process} may not access record {record}"
+            )
+        block = self.map.blocks.block_of(record)
+        slot = self.map.blocks.slot_of(record)
+        expected = self._next_slot.get(block, 0)
+        if slot != expected:
+            raise OrganizationError(
+                f"sequential-within-block violation: block {block} expects "
+                f"slot {expected}, got {slot}"
+            )
+        self._next_slot[block] = slot + 1
+
+    def block_finished(self, block: int) -> bool:
+        """True once every record of ``block`` has been admitted."""
+        count = self.map.blocks.block_records(block, self.map.n_records)
+        return self._next_slot.get(block, 0) >= count
+
+    def reset_block(self, block: int) -> None:
+        """Allow a fresh sequential pass over ``block`` (multi-pass PDA)."""
+        self._next_slot.pop(block, None)

@@ -1,0 +1,174 @@
+"""Partition-boundary overlap handling (§5, problem area 2).
+
+    "In many algorithms, data along partition boundaries is needed by
+    processes on both sides of the boundary. ... One way of dealing with
+    the problem is to replicate boundary data in both of the adjacent
+    partitions in the file. This will cause difficulties for the global
+    view of the file, since there will be redundant data records. An
+    alternative is to cache boundary data in memory (if it will fit)."
+
+Two mechanisms, matching the two alternatives the paper weighs:
+
+* :class:`ReplicatedPartitioning` — each partition stores its own records
+  plus ``halo`` records from each neighbour. The global view of such a
+  file contains redundant records; :meth:`ReplicatedPartitioning.dedup`
+  reconstructs the true global sequence (owner's copy wins).
+* :class:`HaloCache` — an in-memory cache of boundary records, useful
+  "if more than one pass is made through the file".
+
+Both operate on PS-style contiguous partitions, where boundaries are
+meaningful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .errors import OrganizationError
+from .mapping import PartitionedMap
+
+__all__ = ["ReplicatedPartitioning", "HaloCache"]
+
+
+class ReplicatedPartitioning:
+    """Boundary replication over a contiguous (PS) partition map."""
+
+    def __init__(self, base: PartitionedMap, halo: int):
+        if not isinstance(base, PartitionedMap):
+            raise OrganizationError(
+                "boundary replication is defined for contiguous (PS) "
+                "partitions"
+            )
+        if halo < 0:
+            raise OrganizationError("halo must be >= 0")
+        self.base = base
+        self.halo = halo
+
+    # -- per-process stored ranges ------------------------------------------
+
+    def owned_records(self, process: int) -> tuple[int, int]:
+        """Half-open global record range owned by ``process``."""
+        lo_b, hi_b = self.base.partition_range(process)
+        rpb = self.base.blocks.records_per_block
+        lo = lo_b * rpb
+        hi = min(hi_b * rpb, self.base.n_records)
+        return lo, max(hi, lo)
+
+    def stored_records(self, process: int) -> tuple[int, int]:
+        """Half-open global record range *stored* in ``process``'s partition
+        (owned range extended by the halo, clipped to the file)."""
+        lo, hi = self.owned_records(process)
+        if hi <= lo:  # empty partition stores nothing
+            return lo, hi
+        return max(lo - self.halo, 0), min(hi + self.halo, self.base.n_records)
+
+    def stored_counts(self) -> np.ndarray:
+        """Records stored per process, including replicas."""
+        return np.array(
+            [
+                max(0, hi - lo)
+                for lo, hi in (
+                    self.stored_records(p) for p in range(self.base.n_processes)
+                )
+            ],
+            dtype=np.int64,
+        )
+
+    @property
+    def total_stored(self) -> int:
+        """Total records stored across partitions (>= n_records)."""
+        return int(self.stored_counts().sum())
+
+    @property
+    def inflation(self) -> float:
+        """Stored/true size ratio — the file-size cost of replication."""
+        if self.base.n_records == 0:
+            return 1.0
+        return self.total_stored / self.base.n_records
+
+    @property
+    def redundant_records(self) -> int:
+        """Number of duplicate records the global view would see."""
+        return self.total_stored - self.base.n_records
+
+    # -- building and deduplicating -------------------------------------------
+
+    def build_partitions(self, data: np.ndarray) -> list[np.ndarray]:
+        """Slice a global record array into per-process stored partitions.
+
+        ``data`` is indexed by global record (axis 0).
+        """
+        if len(data) != self.base.n_records:
+            raise ValueError(
+                f"data has {len(data)} records, map expects {self.base.n_records}"
+            )
+        return [
+            data[lo:hi]
+            for lo, hi in (
+                self.stored_records(p) for p in range(self.base.n_processes)
+            )
+        ]
+
+    def dedup(self, partitions: list[np.ndarray]) -> np.ndarray:
+        """Reconstruct the true global sequence from stored partitions.
+
+        For each record the *owner's* copy is taken, so the result is
+        correct even if neighbours' halo copies have gone stale.
+        """
+        if len(partitions) != self.base.n_processes:
+            raise ValueError("one partition array per process required")
+        pieces = []
+        for p, part in enumerate(partitions):
+            s_lo, s_hi = self.stored_records(p)
+            if len(part) != s_hi - s_lo:
+                raise ValueError(
+                    f"partition {p} has {len(part)} records, "
+                    f"expected {s_hi - s_lo}"
+                )
+            o_lo, o_hi = self.owned_records(p)
+            pieces.append(part[o_lo - s_lo : o_hi - s_lo])
+        return np.concatenate(pieces) if pieces else np.empty(0)
+
+
+class HaloCache:
+    """In-memory cache of boundary records, the paper's alternative to
+    replication for multi-pass algorithms."""
+
+    def __init__(self, capacity_records: int):
+        if capacity_records < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity_records
+        self._cache: dict[int, np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._order: list[int] = []  # FIFO eviction order
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def lookup(self, record: int) -> np.ndarray | None:
+        """Cached copy of ``record``, or None (counts hit/miss)."""
+        value = self._cache.get(record)
+        if value is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def insert(self, record: int, value: np.ndarray) -> None:
+        """Cache ``record``; FIFO-evicts when at capacity."""
+        if self.capacity == 0:
+            return
+        if record not in self._cache and len(self._cache) >= self.capacity:
+            victim = self._order.pop(0)
+            del self._cache[victim]
+            self.evictions += 1
+        if record not in self._cache:
+            self._order.append(record)
+        self._cache[record] = value
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the parallel file library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "OrganizationError",
+    "RecordRangeError",
+    "OwnershipError",
+    "ViewMismatchError",
+    "ExhaustedError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class OrganizationError(ReproError):
+    """Invalid organization parameters or misuse of an organization."""
+
+
+class RecordRangeError(ReproError, IndexError):
+    """A record or block index outside the file."""
+
+
+class OwnershipError(ReproError):
+    """A process touched a record or block it does not own.
+
+    The partitioned organizations (PS, IS, PDA) give each process exclusive
+    access to its assigned blocks (§3.1-3.2); violating that assignment is
+    a programming error, surfaced eagerly.
+    """
+
+
+class ViewMismatchError(ReproError):
+    """A file was opened with an internal view incompatible with how it was
+    created, and no degraded-interface or conversion path was requested
+    (§5, problem area 1)."""
+
+
+class ExhaustedError(ReproError):
+    """A self-scheduled file has no records left to hand out."""

@@ -1,0 +1,41 @@
+"""Storage device models: disks, arm schedulers, controllers, shadows, faults."""
+
+from .controller import (
+    DeviceController,
+    DeviceFailedError,
+    IORequest,
+    ServiceInterval,
+)
+from .disk import (
+    FAST_1989,
+    RAM_DEVICE,
+    WREN_1989,
+    DiskGeometry,
+    DiskModel,
+    DiskTiming,
+)
+from .faults import FailureInjector, FailureRecord
+from .scheduling import CSCAN, FCFS, SCAN, SSTF, SchedulingPolicy, make_policy
+from .shadow import ShadowPair
+
+__all__ = [
+    "DeviceController",
+    "DeviceFailedError",
+    "IORequest",
+    "ServiceInterval",
+    "DiskGeometry",
+    "DiskModel",
+    "DiskTiming",
+    "WREN_1989",
+    "FAST_1989",
+    "RAM_DEVICE",
+    "FailureInjector",
+    "FailureRecord",
+    "SchedulingPolicy",
+    "FCFS",
+    "SSTF",
+    "SCAN",
+    "CSCAN",
+    "make_policy",
+    "ShadowPair",
+]

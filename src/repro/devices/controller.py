@@ -1,0 +1,246 @@
+"""Simulated device controller: queueing + arm scheduling + data storage.
+
+A :class:`DeviceController` owns one :class:`~repro.devices.disk.DiskModel`
+and serves byte-addressed read/write requests one at a time (one arm), in
+the order chosen by its scheduling policy. It also owns the device's
+*contents* (a byte array), so simulated runs move real data: integration
+tests can verify both what the file system returned and how long it took.
+
+Failure semantics (§5 of the paper): once :meth:`fail` is called the device
+rejects all current and future requests with :class:`DeviceFailedError`
+until :meth:`repair`. Recovery policy — restore from backup, rebuild from
+parity, switch to shadow — lives above, in ``repro.fs.recovery``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from ..sim.engine import Environment, Event
+from ..sim.stats import Tally, TimeWeighted, UtilizationTracker
+from .disk import DiskModel
+from .scheduling import FCFS, SchedulingPolicy
+
+__all__ = ["DeviceController", "DeviceFailedError", "IORequest"]
+
+
+class DeviceFailedError(Exception):
+    """The target device has failed (remains failed until repaired)."""
+
+    def __init__(self, device: str):
+        super().__init__(f"device {device!r} has failed")
+        self.device = device
+
+
+@dataclass
+class IORequest:
+    """One queued transfer. ``cylinder`` is what arm schedulers look at."""
+
+    kind: Literal["read", "write"]
+    offset: int
+    nbytes: int
+    data: np.ndarray | None
+    event: Event
+    start_block: int
+    cylinder: int
+    submit_time: float
+
+
+@dataclass(frozen=True)
+class ServiceInterval:
+    """One served request: the arm was busy on it for [start, end)."""
+
+    kind: str
+    offset: int
+    nbytes: int
+    start: float
+    end: float
+
+
+class DeviceController:
+    """One drive: request queue, arm scheduler, timing model, contents."""
+
+    def __init__(
+        self,
+        env: Environment,
+        disk: DiskModel,
+        name: str = "disk",
+        policy: SchedulingPolicy | None = None,
+        per_request_overhead: float = 0.0005,
+        store_data: bool = True,
+        keep_service_log: bool = False,
+    ):
+        self.env = env
+        self.disk = disk
+        self.name = name
+        self.policy = policy or FCFS()
+        #: fixed controller/software overhead charged per request (the
+        #: "buffering overheads" knob of §4 lives higher up; this is the
+        #: channel + command cost)
+        self.per_request_overhead = per_request_overhead
+        self._store_data = store_data
+        self._contents: np.ndarray | None = None
+        self._pending: list[IORequest] = []
+        self._wakeup: Event | None = None
+        self._failed = False
+        #: per-request latency (submit -> complete), seconds
+        self.latency = Tally()
+        #: arm utilization over the run
+        self.utilization = UtilizationTracker(env.now)
+        #: optional per-request busy intervals (for Gantt rendering)
+        self.service_log: list[ServiceInterval] | None = (
+            [] if keep_service_log else None
+        )
+        #: time-weighted queue length (pending requests, excluding in service)
+        self.queue_stat = TimeWeighted(env.now)
+        env.process(self._serve(), name=f"{name}.serve")
+
+    # -- public API -----------------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.disk.geometry.capacity_bytes
+
+    @property
+    def failed(self) -> bool:
+        return self._failed
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._pending)
+
+    def read(self, offset: int, nbytes: int) -> Event:
+        """Read ``nbytes`` at byte ``offset``; event value is a uint8 array."""
+        return self._submit("read", offset, nbytes, None)
+
+    def write(self, offset: int, data: bytes | np.ndarray) -> Event:
+        """Write ``data`` at byte ``offset``; event value is bytes written."""
+        arr = np.frombuffer(data, dtype=np.uint8) if isinstance(data, (bytes, bytearray)) else np.asarray(data, dtype=np.uint8)
+        return self._submit("write", offset, len(arr), arr)
+
+    def fail(self) -> None:
+        """Hard-fail the device; pending and future requests error out."""
+        self._failed = True
+        for req in self._pending:
+            if not req.event.triggered:
+                req.event.defuse()
+                req.event.fail(DeviceFailedError(self.name))
+        self._pending.clear()
+
+    def repair(self, contents: np.ndarray | None = None) -> None:
+        """Bring the device back, optionally with restored ``contents``.
+
+        Without ``contents`` the device comes back *empty* (zeroed) — a
+        fresh replacement drive, which is exactly the situation §5's
+        recovery discussion starts from.
+        """
+        self._failed = False
+        if self._store_data:
+            self._contents = None
+            if contents is not None:
+                arr = np.asarray(contents, dtype=np.uint8)
+                if len(arr) > self.capacity_bytes:
+                    raise ValueError("restored contents exceed device capacity")
+                self._ensure_contents()
+                self._contents[: len(arr)] = arr
+
+    def snapshot(self) -> np.ndarray:
+        """Copy of the device contents (used by backup/shadow machinery)."""
+        self._ensure_contents()
+        return self._contents.copy()
+
+    def peek(self, offset: int, nbytes: int) -> np.ndarray:
+        """Zero-time inspection of contents (for tests and recovery checks)."""
+        self._check_range(offset, nbytes)
+        self._ensure_contents()
+        return self._contents[offset : offset + nbytes].copy()
+
+    def poke(self, offset: int, data: bytes | np.ndarray) -> None:
+        """Zero-time mutation of contents (fault-injection helper)."""
+        arr = np.frombuffer(data, dtype=np.uint8) if isinstance(data, (bytes, bytearray)) else np.asarray(data, dtype=np.uint8)
+        self._check_range(offset, len(arr))
+        self._ensure_contents()
+        self._contents[offset : offset + len(arr)] = arr
+
+    # -- internals --------------------------------------------------------
+
+    def _ensure_contents(self) -> None:
+        if self._contents is None:
+            self._contents = np.zeros(self.capacity_bytes, dtype=np.uint8)
+
+    def _check_range(self, offset: int, nbytes: int) -> None:
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.capacity_bytes:
+            raise ValueError(
+                f"range [{offset}, {offset + nbytes}) outside device "
+                f"capacity {self.capacity_bytes}"
+            )
+
+    def _submit(self, kind: str, offset: int, nbytes: int, data) -> Event:
+        ev = Event(self.env)
+        if self._failed:
+            ev.fail(DeviceFailedError(self.name))
+            return ev
+        self._check_range(offset, nbytes)
+        geometry = self.disk.geometry
+        start_block = min(offset // geometry.block_size, geometry.capacity_blocks - 1)
+        req = IORequest(
+            kind=kind,  # type: ignore[arg-type]
+            offset=offset,
+            nbytes=nbytes,
+            data=data,
+            event=ev,
+            start_block=start_block,
+            cylinder=geometry.cylinder_of(start_block),
+            submit_time=self.env.now,
+        )
+        self._pending.append(req)
+        self.queue_stat.record(self.env.now, len(self._pending))
+        if self._wakeup is not None and not self._wakeup.triggered:
+            self._wakeup.succeed()
+        return ev
+
+    def _serve(self):
+        env = self.env
+        while True:
+            while not self._pending:
+                self.utilization.idle(env.now)
+                self._wakeup = Event(env)
+                yield self._wakeup
+                self._wakeup = None
+            self.utilization.busy(env.now)
+            idx = self.policy.select(self._pending, self.disk.head_cylinder)
+            req = self._pending.pop(idx)
+            self.queue_stat.record(env.now, len(self._pending))
+            if req.event.triggered:  # failed while queued
+                continue
+            service = self.disk.service(req.start_block, req.nbytes)
+            service_start = env.now
+            yield env.timeout(self.per_request_overhead + service)
+            if self.service_log is not None:
+                self.service_log.append(
+                    ServiceInterval(
+                        req.kind, req.offset, req.nbytes, service_start, env.now
+                    )
+                )
+            if req.event.triggered:  # device failed mid-service
+                continue
+            if self._failed:
+                req.event.defuse()
+                req.event.fail(DeviceFailedError(self.name))
+                continue
+            self.latency.observe(env.now - req.submit_time)
+            if req.kind == "read":
+                if self._store_data:
+                    self._ensure_contents()
+                    value = self._contents[req.offset : req.offset + req.nbytes].copy()
+                else:
+                    value = np.zeros(req.nbytes, dtype=np.uint8)
+                req.event.succeed(value)
+            else:
+                if self._store_data:
+                    self._ensure_contents()
+                    self._contents[req.offset : req.offset + req.nbytes] = req.data
+                req.event.succeed(req.nbytes)

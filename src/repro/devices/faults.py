@@ -1,0 +1,78 @@
+"""Failure injection for storage devices.
+
+Device lifetimes are exponential with mean MTBF (the memoryless model under
+which §5's arithmetic — system MTBF = device MTBF / N — is exact). The
+injector schedules each device's failure as a simulated event so that
+experiments can observe what breaks mid-run, and the Monte Carlo half of
+experiment E8 can be driven by the same machinery that the analytic half
+(`repro.reliability.analytic`) predicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sim.engine import Environment
+from ..sim.rng import RngStreams
+from .controller import DeviceController
+
+__all__ = ["FailureInjector", "FailureRecord"]
+
+SECONDS_PER_HOUR = 3600.0
+
+
+@dataclass
+class FailureRecord:
+    """One observed device failure."""
+
+    device: str
+    time: float  # simulated seconds
+
+
+@dataclass
+class FailureInjector:
+    """Schedules exponential failures for a set of controllers."""
+
+    env: Environment
+    rng: RngStreams
+    time_scale: float = field(default=SECONDS_PER_HOUR)
+    failures: list[FailureRecord] = field(default_factory=list)
+
+    def arm(self, device: DeviceController, mtbf_hours: float | None = None) -> float:
+        """Draw a lifetime for ``device`` and schedule its failure.
+
+        Returns the scheduled failure time (simulated seconds). The MTBF
+        defaults to the device's own disk timing parameter.
+        """
+        hours = mtbf_hours if mtbf_hours is not None else device.disk.timing.mtbf_hours
+        if hours <= 0:
+            raise ValueError("MTBF must be positive")
+        lifetime = self.rng.exponential(f"fail.{device.name}", hours) * self.time_scale
+        self.env.process(self._kill_later(device, lifetime), name=f"fail.{device.name}")
+        return self.env.now + lifetime
+
+    def arm_all(self, devices: list[DeviceController]) -> list[float]:
+        """Arm every device; returns the scheduled failure times."""
+        return [self.arm(d) for d in devices]
+
+    def kill_at(self, device: DeviceController, when: float) -> None:
+        """Deterministically fail ``device`` at absolute time ``when``."""
+        if when < self.env.now:
+            raise ValueError("cannot schedule a failure in the past")
+        self.env.process(
+            self._kill_later(device, when - self.env.now),
+            name=f"fail.{device.name}",
+        )
+
+    def _kill_later(self, device: DeviceController, delay: float):
+        yield self.env.timeout(delay)
+        if not device.failed:
+            device.fail()
+            self.failures.append(FailureRecord(device.name, self.env.now))
+
+    @property
+    def first_failure_time(self) -> float | None:
+        """Earliest observed failure (simulated seconds), if any."""
+        if not self.failures:
+            return None
+        return min(f.time for f in self.failures)

@@ -1,0 +1,104 @@
+"""Disk-arm scheduling policies.
+
+Crockett (§4) notes that when several processes share one drive, "seek
+times are likely to cause some performance degradation as the drive
+services requests from different processes" and calls for work on space
+allocation to minimize it. Arm scheduling is the other classical lever on
+the same problem, so the device controller accepts a pluggable policy.
+
+Each policy answers one question: *given the pending requests and the
+current head cylinder, which request is served next?*
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence
+
+__all__ = ["SchedulingPolicy", "FCFS", "SSTF", "SCAN", "CSCAN", "make_policy"]
+
+
+class _HasCylinder(Protocol):
+    cylinder: int
+
+
+class SchedulingPolicy:
+    """Base class; subclasses override :meth:`select`."""
+
+    name = "base"
+
+    def select(self, pending: Sequence[_HasCylinder], head: int) -> int:
+        """Index into ``pending`` of the request to serve next."""
+        raise NotImplementedError
+
+
+class FCFS(SchedulingPolicy):
+    """First come, first served (arrival order)."""
+
+    name = "fcfs"
+
+    def select(self, pending: Sequence[_HasCylinder], head: int) -> int:
+        return 0
+
+
+class SSTF(SchedulingPolicy):
+    """Shortest seek time first (greedy nearest cylinder)."""
+
+    name = "sstf"
+
+    def select(self, pending: Sequence[_HasCylinder], head: int) -> int:
+        best, best_dist = 0, abs(pending[0].cylinder - head)
+        for i in range(1, len(pending)):
+            d = abs(pending[i].cylinder - head)
+            if d < best_dist:
+                best, best_dist = i, d
+        return best
+
+
+class SCAN(SchedulingPolicy):
+    """Elevator: sweep up, then down, serving requests along the way."""
+
+    name = "scan"
+
+    def __init__(self) -> None:
+        self._direction = 1  # +1 sweeping toward higher cylinders
+
+    def select(self, pending: Sequence[_HasCylinder], head: int) -> int:
+        ahead = [
+            (abs(r.cylinder - head), i)
+            for i, r in enumerate(pending)
+            if (r.cylinder - head) * self._direction >= 0
+        ]
+        if not ahead:
+            self._direction = -self._direction
+            ahead = [(abs(r.cylinder - head), i) for i, r in enumerate(pending)]
+        return min(ahead)[1]
+
+
+class CSCAN(SchedulingPolicy):
+    """Circular SCAN: sweep up only; jump back to the lowest request."""
+
+    name = "cscan"
+
+    def select(self, pending: Sequence[_HasCylinder], head: int) -> int:
+        ahead = [
+            (r.cylinder - head, i)
+            for i, r in enumerate(pending)
+            if r.cylinder >= head
+        ]
+        if ahead:
+            return min(ahead)[1]
+        # wrap around to the lowest cylinder
+        return min((r.cylinder, i) for i, r in enumerate(pending))[1]
+
+
+_POLICIES = {cls.name: cls for cls in (FCFS, SSTF, SCAN, CSCAN)}
+
+
+def make_policy(name: str) -> SchedulingPolicy:
+    """Construct a policy by name ('fcfs', 'sstf', 'scan', 'cscan')."""
+    try:
+        return _POLICIES[name.lower()]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduling policy {name!r}; choose from {sorted(_POLICIES)}"
+        ) from None

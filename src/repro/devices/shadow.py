@@ -1,0 +1,165 @@
+"""Disk shadowing (mirroring).
+
+§5 of the paper: "A technique sometimes used ... is to replicate every disk,
+and perform exactly the same I/O operations on each disk and its 'shadow'.
+This effectively provides up-to-date backups, so that data can be recovered
+quickly when a drive fails. The drawback is that this approach is very
+expensive in terms of hardware."
+
+:class:`ShadowPair` wraps a primary and a shadow controller behind the
+controller read/write interface: writes go to both and complete when both
+complete; reads are served by the surviving/less-loaded member. Experiment
+E9 uses it to demonstrate the cost (2x devices) versus coverage (any single
+failure, any organization) trade-off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim.engine import AllOf, Environment, Event
+from .controller import DeviceController, DeviceFailedError
+
+__all__ = ["ShadowPair"]
+
+
+class ShadowPair:
+    """Two mirrored device controllers presented as one device."""
+
+    def __init__(self, env: Environment, primary: DeviceController, shadow: DeviceController):
+        if primary.capacity_bytes != shadow.capacity_bytes:
+            raise ValueError("shadow pair members must have equal capacity")
+        self.env = env
+        self.primary = primary
+        self.shadow = shadow
+        self.name = f"{primary.name}+{shadow.name}"
+
+    # -- controller-compatible surface ------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.primary.capacity_bytes
+
+    @property
+    def failed(self) -> bool:
+        """The pair fails only when *both* members fail."""
+        return self.primary.failed and self.shadow.failed
+
+    @property
+    def queue_length(self) -> int:
+        return self.primary.queue_length + self.shadow.queue_length
+
+    def read(self, offset: int, nbytes: int) -> Event:
+        """Read from a surviving member (shorter queue wins when both live)."""
+        member = self._read_member()
+        if member is None:
+            ev = Event(self.env)
+            ev.fail(DeviceFailedError(self.name))
+            return ev
+        return member.read(offset, nbytes)
+
+    def write(self, offset: int, data: bytes | np.ndarray) -> Event:
+        """Write to every surviving member; completes when all complete."""
+        members = [d for d in (self.primary, self.shadow) if not d.failed]
+        if not members:
+            ev = Event(self.env)
+            ev.fail(DeviceFailedError(self.name))
+            return ev
+        writes = [d.write(offset, data) for d in members]
+        if len(writes) == 1:
+            return writes[0]
+        joined = AllOf(self.env, writes)
+        # Collapse the AllOf dict value to the byte count, matching the
+        # single-device write event contract.
+        done = Event(self.env)
+
+        def _finish(ev: Event) -> None:
+            if done.triggered:
+                return
+            if ev.ok:
+                done.succeed(len(np.frombuffer(data, dtype=np.uint8)) if isinstance(data, (bytes, bytearray)) else len(data))
+            else:
+                ev.defuse()
+                done.fail(ev.value)
+
+        joined.callbacks.append(_finish)
+        return done
+
+    def peek(self, offset: int, nbytes: int) -> np.ndarray:
+        """Zero-time inspection via a surviving member."""
+        member = self._read_member()
+        if member is None:
+            raise DeviceFailedError(self.name)
+        return member.peek(offset, nbytes)
+
+    def poke(self, offset: int, data: bytes | np.ndarray) -> None:
+        """Zero-time mutation of every surviving member (keeps mirrors equal)."""
+        for d in (self.primary, self.shadow):
+            if not d.failed:
+                d.poke(offset, data)
+
+    # -- recovery ----------------------------------------------------------
+
+    def surviving(self) -> DeviceController | None:
+        """The member to recover from after a single failure."""
+        return self._read_member()
+
+    def resilver(self) -> None:
+        """Repair the failed member by copying the survivor's contents.
+
+        Zero-time convenience for tests; :meth:`resilver_timed` pays the
+        actual copy cost.
+        """
+        survivor = self._read_member()
+        if survivor is None:
+            raise DeviceFailedError(self.name)
+        for member in (self.primary, self.shadow):
+            if member.failed:
+                member.repair(contents=survivor.snapshot())
+
+    def resilver_timed(self, chunk_bytes: int = 1 << 20):
+        """Generator: rebuild the failed member at real device speed.
+
+        Streams the survivor's contents across in ``chunk_bytes`` pieces
+        (read survivor, write replacement, pipelined chunk by chunk).
+        This is the §5 claim — "data can be recovered quickly when a
+        drive fails" — with its actual price tag: one full-device copy.
+        Returns the number of bytes copied.
+        """
+        if chunk_bytes < 1:
+            raise ValueError("chunk_bytes must be >= 1")
+        survivor = self._read_member()
+        if survivor is None:
+            raise DeviceFailedError(self.name)
+        targets = [m for m in (self.primary, self.shadow) if m.failed]
+        if not targets:
+            return 0
+        (target,) = targets
+        target.repair()
+        cap = survivor.capacity_bytes
+        # Double-buffered copy: survivor and replacement are different
+        # drives, so the read of chunk k+1 overlaps the write of chunk k.
+        copied = 0
+        pending_write = None
+        read_pos = 0
+        while copied < cap:
+            if read_pos < cap:
+                take = min(chunk_bytes, cap - read_pos)
+                data = yield survivor.read(read_pos, take)
+                if pending_write is not None:
+                    yield pending_write
+                    copied += pending_len
+                pending_write = target.write(read_pos, data)
+                pending_len = take
+                read_pos += take
+            else:
+                yield pending_write
+                copied += pending_len
+                pending_write = None
+        return copied
+
+    def _read_member(self) -> DeviceController | None:
+        alive = [d for d in (self.primary, self.shadow) if not d.failed]
+        if not alive:
+            return None
+        return min(alive, key=lambda d: d.queue_length)

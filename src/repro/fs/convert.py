@@ -1,0 +1,93 @@
+"""Executable view-mismatch options (§5, problem area 1).
+
+The paper lists three ways out of a mismatch between how a file was
+created and how it must be consumed; each is implemented here:
+
+1. **Degraded alternate-view interface** — :func:`alternate_view`:
+   access the file through the desired organization's map while leaving
+   the physical layout alone. Correct, zero setup cost, but the desired
+   sequence fragments into many transfers (benchmark E10 measures the
+   degradation).
+2. **Global-view fallback** — "force either the creator or the consumer to
+   use the global view instead of accessing the file in parallel": simply
+   use :meth:`ParallelFile.global_view`; no helper needed.
+3. **Conversion utility** — :func:`convert_file`: physically copy the file
+   into a new file with the desired organization and its native layout
+   ("this could be expensive for large files" — the copy reads and writes
+   every byte once).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..core.mapping import OrganizationMap, make_map
+from ..core.organizations import FileOrganization
+from .internal_io import PartitionHandle
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .pfs import ParallelFile, ParallelFileSystem
+
+__all__ = ["alternate_view", "convert_file"]
+
+
+def alternate_view(
+    file: "ParallelFile",
+    desired_org: FileOrganization | str,
+    process: int,
+    n_processes: int | None = None,
+    **org_params: Any,
+) -> PartitionHandle:
+    """A handle presenting ``desired_org``'s internal view of ``file``.
+
+    The file's physical layout is untouched; only the access pattern
+    changes. Works for the static sequential organizations (PS, IS, S-as-
+    PS etc.); the handle's reads fragment wherever the desired sequence is
+    not contiguous in the file.
+    """
+    p = n_processes if n_processes is not None else file.map.n_processes
+    desired: OrganizationMap = make_map(
+        desired_org, file.attrs.block_spec, file.n_records, p, **org_params
+    )
+    return PartitionHandle(file, process, org_map=desired)
+
+
+def convert_file(
+    pfs: "ParallelFileSystem",
+    src: "ParallelFile",
+    new_name: str,
+    dst_org: FileOrganization | str,
+    *,
+    n_processes: int | None = None,
+    chunk_records: int = 1024,
+    layout: str | None = None,
+    **org_params: Any,
+):
+    """Generator: copy ``src`` into a new file organized as ``dst_org``.
+
+    Runs inside a simulated process (``yield from``). The copy streams
+    through the global view in ``chunk_records`` pieces, so the cost is one
+    full read plus one full write of the file — §5's "expensive for large
+    files" made measurable. Returns the new :class:`ParallelFile`.
+    """
+    if chunk_records < 1:
+        raise ValueError("chunk_records must be >= 1")
+    p = n_processes if n_processes is not None else src.map.n_processes
+    dst = pfs.create(
+        new_name,
+        dst_org,
+        n_records=src.n_records,
+        record_size=src.attrs.record_size,
+        records_per_block=src.attrs.records_per_block,
+        n_processes=p,
+        dtype=src.attrs.dtype,
+        category=src.attrs.category,
+        layout=layout,
+        **org_params,
+    )
+    src_view = src.global_view()
+    dst_view = dst.global_view()
+    while not src_view.eof:
+        chunk = yield from src_view.read(chunk_records)
+        yield from dst_view.write(chunk)
+    return dst

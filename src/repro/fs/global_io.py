@@ -1,0 +1,128 @@
+"""The global view: a parallel file as a conventional file.
+
+§2: "The global view is the logical structure of the file perceived as a
+unit. The global view would typically be held by operating system
+utilities and other sequential programs."
+
+For every sequential organization the global view is the records in
+global index order; for the direct-access organizations it is a
+traditional direct-access file. Both are served here by one handle with a
+sequential cursor plus positioned reads/writes.
+
+§4's caveat is preserved by construction: a global read of a *clustered*
+(PS) file touches the devices one partition at a time — "all of the data
+would have to be read from the first disk, followed by all of the data
+from the second disk, etc., with no potential for parallelism" — because
+that is literally how the layout maps consecutive byte ranges. Benchmark
+E6 measures it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..buffering.pool import BufferPool
+from ..buffering.readahead import ReadStream
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .pfs import ParallelFile
+
+__all__ = ["GlobalViewHandle"]
+
+#: the process id recorded in traces for global-view (sequential utility) access
+GLOBAL_PROCESS = -1
+
+
+class GlobalViewHandle:
+    """Sequential + direct access to the file's global record sequence."""
+
+    def __init__(self, file: "ParallelFile"):
+        self.file = file
+        self._cursor = 0
+
+    @property
+    def position(self) -> int:
+        return self._cursor
+
+    @property
+    def eof(self) -> bool:
+        return self._cursor >= self.file.n_records
+
+    def seek(self, record: int) -> None:
+        """Move the sequential cursor to ``record`` (EOF position legal)."""
+        if not 0 <= record <= self.file.n_records:
+            raise ValueError(f"seek to {record} outside file")
+        self._cursor = record
+
+    # -- sequential -------------------------------------------------------
+
+    def read(self, count: int | None = None):
+        """Generator: read ``count`` records (default: to EOF) at the cursor."""
+        if count is None:
+            count = self.file.n_records - self._cursor
+        count = min(count, self.file.n_records - self._cursor)
+        if count <= 0:
+            return self.file.attrs.record_spec.decode(b"")
+        start = self._cursor
+        data = yield self.file.read_records(start, count)
+        self._cursor += count
+        self._trace("read", start, count)
+        return data
+
+    def write(self, values: np.ndarray):
+        """Generator: write records at the cursor, advancing it."""
+        raw = self.file.attrs.record_spec.encode(values)
+        count = raw.size // self.file.attrs.record_size
+        start = self._cursor
+        yield self.file.write_records(start, values)
+        self._cursor += count
+        self._trace("write", start, count)
+        return count
+
+    # -- direct (GDA-style global access) -----------------------------------
+
+    def read_at(self, record: int, count: int = 1):
+        """Generator: positioned read without moving the cursor."""
+        data = yield self.file.read_records(record, count)
+        self._trace("read", record, count)
+        return data
+
+    def write_at(self, record: int, values: np.ndarray):
+        """Generator: positioned write without moving the cursor."""
+        raw = self.file.attrs.record_spec.encode(values)
+        count = raw.size // self.file.attrs.record_size
+        yield self.file.write_records(record, values)
+        self._trace("write", record, count)
+        return count
+
+    # -- buffered scanning ----------------------------------------------------
+
+    def stream(self, pool: BufferPool, depth: int = 1) -> ReadStream:
+        """A block-granular :class:`ReadStream` over the whole file.
+
+        This is the §4 buffered global scan: read-ahead works because the
+        global order is predictable.
+        """
+        file = self.file
+
+        def fetch(block: int):
+            return file.read_block(block)
+
+        return ReadStream(
+            file.env, fetch, list(range(file.n_blocks)), pool, depth=depth
+        )
+
+    # -- internals ----------------------------------------------------------------
+
+    def _trace(self, op: str, start_record: int, count: int) -> None:
+        bs = self.file.attrs.block_spec
+        if count <= 0:
+            return
+        first = bs.block_of(start_record)
+        last = bs.block_of(start_record + count - 1)
+        for b in range(first, last + 1):
+            lo = max(start_record, bs.first_record(b))
+            hi = min(start_record + count, bs.first_record(b) + bs.records_per_block)
+            self.file.trace(GLOBAL_PROCESS, op, b, hi - lo)

@@ -1,0 +1,87 @@
+"""File attributes: the catalog's description of a parallel file.
+
+§2 requires that standard parallel files "appear conventional to the
+system, or at least have transparent mechanisms to transform them into a
+conventional appearance". The attribute record is that mechanism's data:
+it captures everything (organization, record/block shape, layout family
+and parameters) needed to present either view of the file, and round-trips
+through a plain dict so a real system could persist it in a directory
+entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.blocks import BlockSpec
+from ..core.organizations import FileCategory, FileOrganization
+from ..core.records import RecordSpec
+
+__all__ = ["FileAttributes"]
+
+
+@dataclass
+class FileAttributes:
+    """Everything the file system remembers about one parallel file."""
+
+    name: str
+    organization: FileOrganization
+    category: FileCategory
+    record_size: int
+    records_per_block: int
+    n_records: int
+    n_processes: int
+    layout: str                      # 'striped' | 'interleaved' | 'clustered'
+    layout_params: dict[str, Any] = field(default_factory=dict)
+    org_params: dict[str, Any] = field(default_factory=dict)
+    dtype: str = "uint8"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("file name must be non-empty")
+        if self.n_records < 0:
+            raise ValueError("n_records must be >= 0")
+        if self.n_processes < 1:
+            raise ValueError("n_processes must be >= 1")
+
+    @property
+    def record_spec(self) -> RecordSpec:
+        return RecordSpec(self.record_size, self.dtype)
+
+    @property
+    def block_spec(self) -> BlockSpec:
+        return BlockSpec(self.record_spec, self.records_per_block)
+
+    @property
+    def file_bytes(self) -> int:
+        return self.n_records * self.record_size
+
+    @property
+    def n_blocks(self) -> int:
+        return self.block_spec.n_blocks(self.n_records)
+
+    # -- persistence ------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict form (JSON-serializable) for catalog persistence."""
+        return {
+            "name": self.name,
+            "organization": self.organization.value,
+            "category": self.category.value,
+            "record_size": self.record_size,
+            "records_per_block": self.records_per_block,
+            "n_records": self.n_records,
+            "n_processes": self.n_processes,
+            "layout": self.layout,
+            "layout_params": dict(self.layout_params),
+            "org_params": dict(self.org_params),
+            "dtype": self.dtype,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "FileAttributes":
+        d = dict(d)
+        d["organization"] = FileOrganization(d["organization"])
+        d["category"] = FileCategory(d["category"])
+        return cls(**d)

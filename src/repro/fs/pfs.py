@@ -1,0 +1,315 @@
+"""The parallel file system: create/open/delete and the file object.
+
+This is the operating-system layer §2 calls for: parallel files that
+support "concurrent access by multiple processes" through *internal views*
+while remaining usable "conventionally by sequential programs" through the
+*global view*.
+
+A :class:`ParallelFile` binds together:
+
+* the catalog attributes (organization, record/block shape),
+* the organization map (`repro.core.mapping`) — who accesses what,
+* the data layout (`repro.storage.layout`) — where bytes live, and
+* the volume (`repro.storage.volume`) — the devices themselves.
+
+Handles are obtained with :meth:`ParallelFile.global_view` and
+:meth:`ParallelFile.internal_view`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..core.errors import OrganizationError
+from ..core.mapping import OrganizationMap, make_map
+from ..core.organizations import FileCategory, FileOrganization
+from ..sim.engine import Environment, Process
+from ..storage.layout import (
+    ClusteredLayout,
+    DataLayout,
+    InterleavedLayout,
+    StripedLayout,
+)
+from ..storage.volume import Volume
+from ..trace.events import TraceRecorder
+from .catalog import Catalog, CatalogEntry
+from .global_io import GlobalViewHandle
+from .internal_io import make_internal_handle
+from .metadata import FileAttributes
+
+__all__ = ["ParallelFileSystem", "ParallelFile"]
+
+DEFAULT_STRIPE_UNIT = 4096
+
+
+class ParallelFile:
+    """An open parallel file."""
+
+    def __init__(
+        self,
+        pfs: "ParallelFileSystem",
+        entry: CatalogEntry,
+        org_map: OrganizationMap,
+    ):
+        self.pfs = pfs
+        self.entry = entry
+        self.map = org_map
+
+    # -- convenient aliases -------------------------------------------------
+
+    @property
+    def env(self) -> Environment:
+        return self.pfs.env
+
+    @property
+    def volume(self) -> Volume:
+        return self.pfs.volume
+
+    @property
+    def attrs(self) -> FileAttributes:
+        return self.entry.attrs
+
+    @property
+    def layout(self) -> DataLayout:
+        return self.entry.layout
+
+    @property
+    def name(self) -> str:
+        return self.attrs.name
+
+    @property
+    def n_records(self) -> int:
+        return self.attrs.n_records
+
+    @property
+    def n_blocks(self) -> int:
+        return self.attrs.n_blocks
+
+    # -- views ---------------------------------------------------------------
+
+    def global_view(self) -> GlobalViewHandle:
+        """The file as a conventional (sequential/direct) file (§2)."""
+        return GlobalViewHandle(self)
+
+    def internal_view(self, process: int, **kwargs):
+        """The organization-specific handle for one process (§3)."""
+        return make_internal_handle(self, process, **kwargs)
+
+    # -- record-level byte I/O (the layer every handle sits on) ---------------
+
+    def read_records(self, start: int, count: int) -> Process:
+        """Read ``count`` records from global index ``start`` (decoded array)."""
+        spec = self.attrs.record_spec
+        self._check_span(start, count)
+        offset, nbytes = spec.span(start, count)
+        return self.env.process(
+            self._decode_after(self.volume.read(self.entry.extent, self.layout, offset, nbytes)),
+            name=f"{self.name}.read",
+        )
+
+    def write_records(self, start: int, values: np.ndarray) -> Process:
+        """Write decoded record ``values`` at global index ``start``."""
+        spec = self.attrs.record_spec
+        raw = spec.encode(values)
+        count = raw.size // spec.record_size
+        self._check_span(start, count)
+        offset = start * spec.record_size
+        return self.volume.write(self.entry.extent, self.layout, offset, raw)
+
+    def read_block(self, block: int) -> Process:
+        """Read one logical block (decoded records)."""
+        bs = self.attrs.block_spec
+        offset, nbytes = bs.block_byte_range(block, self.n_records)
+        return self.env.process(
+            self._decode_after(self.volume.read(self.entry.extent, self.layout, offset, nbytes)),
+            name=f"{self.name}.readblk",
+        )
+
+    def write_block(self, block: int, values: np.ndarray) -> Process:
+        """Write one logical block from decoded records."""
+        bs = self.attrs.block_spec
+        expect = bs.block_records(block, self.n_records)
+        raw = self.attrs.record_spec.encode(values)
+        if raw.size != expect * self.attrs.record_size:
+            raise ValueError(
+                f"block {block} holds {expect} records, got "
+                f"{raw.size // self.attrs.record_size}"
+            )
+        offset, _ = bs.block_byte_range(block, self.n_records)
+        return self.volume.write(self.entry.extent, self.layout, offset, raw)
+
+    def _decode_after(self, read_proc: Process):
+        raw = yield read_proc
+        return self.attrs.record_spec.decode(raw)
+
+    def _check_span(self, start: int, count: int) -> None:
+        if start < 0 or count < 0 or start + count > self.n_records:
+            raise ValueError(
+                f"records [{start}, {start + count}) outside file of "
+                f"{self.n_records}"
+            )
+
+    # -- tracing ----------------------------------------------------------------
+
+    def trace(self, process: int, op: str, block: int, records: int) -> None:
+        """Record one access in the file system's trace recorder, if any."""
+        rec = self.pfs.recorder
+        if rec is not None:
+            rec.record(
+                self.env.now,
+                process,
+                op,
+                self.name,
+                block,
+                records,
+                records * self.attrs.record_size,
+            )
+
+
+class ParallelFileSystem:
+    """Create, open, and delete parallel files on a volume."""
+
+    def __init__(
+        self,
+        env: Environment,
+        volume: Volume,
+        recorder: TraceRecorder | None = None,
+    ):
+        self.env = env
+        self.volume = volume
+        self.catalog = Catalog()
+        self.recorder = recorder
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def create(
+        self,
+        name: str,
+        organization: FileOrganization | str,
+        *,
+        n_records: int,
+        record_size: int,
+        records_per_block: int = 1,
+        n_processes: int = 1,
+        dtype: str = "uint8",
+        category: FileCategory | None = None,
+        layout: str | None = None,
+        stripe_unit: int = DEFAULT_STRIPE_UNIT,
+        n_devices: int | None = None,
+        **org_params: Any,
+    ) -> ParallelFile:
+        """Create a parallel file.
+
+        ``layout`` defaults to the organization's §4 implementation
+        strategy (striped for S/SS/GDA, clustered for PS, interleaved for
+        IS/PDA). ``n_devices`` defaults to the whole volume.
+        """
+        if isinstance(organization, str):
+            organization = FileOrganization[organization.upper()]
+        if category is None:
+            # §2: files meant for outside consumption are standard; the
+            # direct-access scratch organizations default to specialized.
+            category = (
+                FileCategory.STANDARD
+                if organization.is_sequential
+                else FileCategory.SPECIALIZED
+            )
+        layout_name = layout or organization.default_layout
+        n_dev = n_devices or self.volume.n_devices
+        if n_dev > self.volume.n_devices:
+            raise ValueError(
+                f"n_devices={n_dev} exceeds volume width {self.volume.n_devices}"
+            )
+
+        attrs = FileAttributes(
+            name=name,
+            organization=organization,
+            category=category,
+            record_size=record_size,
+            records_per_block=records_per_block,
+            n_records=n_records,
+            n_processes=n_processes,
+            layout=layout_name,
+            layout_params={},
+            org_params=dict(org_params),
+            dtype=dtype,
+        )
+        org_map = make_map(
+            organization, attrs.block_spec, n_records, n_processes, **org_params
+        )
+        data_layout = self._build_layout(layout_name, n_dev, attrs, org_map, stripe_unit)
+        attrs.layout_params = self._layout_params(data_layout)
+        extent = self.volume.allocate(data_layout, attrs.file_bytes)
+        entry = CatalogEntry(attrs=attrs, extent=extent, layout=data_layout)
+        self.catalog.add(entry)
+        return ParallelFile(self, entry, org_map)
+
+    def open(self, name: str, n_processes: int | None = None) -> ParallelFile:
+        """Open an existing file, optionally with a different process count.
+
+        Reopening with a different ``n_processes`` re-derives the internal
+        view (legal: the physical layout is unchanged; only the access
+        mapping moves). The §5 mismatch scenarios come from opening with a
+        different *organization* — see ``repro.fs.convert``.
+        """
+        entry = self.catalog.get(name)
+        attrs = entry.attrs
+        p = n_processes if n_processes is not None else attrs.n_processes
+        org_map = make_map(
+            attrs.organization, attrs.block_spec, attrs.n_records, p,
+            **attrs.org_params,
+        )
+        return ParallelFile(self, entry, org_map)
+
+    def delete(self, name: str) -> None:
+        """Remove a file and free its device extents."""
+        entry = self.catalog.remove(name)
+        self.volume.free(entry.extent)
+
+    def exists(self, name: str) -> bool:
+        """True iff a file of that name is in the catalog."""
+        return name in self.catalog
+
+    # -- layout construction -----------------------------------------------------
+
+    def _build_layout(
+        self,
+        layout_name: str,
+        n_devices: int,
+        attrs: FileAttributes,
+        org_map: OrganizationMap,
+        stripe_unit: int,
+    ) -> DataLayout:
+        if layout_name == "striped":
+            return StripedLayout(n_devices, stripe_unit)
+        if layout_name == "interleaved":
+            return InterleavedLayout(n_devices, attrs.block_spec.block_bytes)
+        if layout_name == "clustered":
+            # one contiguous partition per process (PS placement);
+            # partition byte sizes follow the organization map
+            if not org_map.is_static:
+                raise OrganizationError(
+                    "clustered layout requires a statically partitioned "
+                    "organization"
+                )
+            sizes = [
+                org_map.n_local_records(p) * attrs.record_size
+                for p in range(org_map.n_processes)
+            ]
+            return ClusteredLayout(n_devices, sizes)
+        raise ValueError(f"unknown layout {layout_name!r}")
+
+    @staticmethod
+    def _layout_params(layout: DataLayout) -> dict[str, Any]:
+        if isinstance(layout, InterleavedLayout):
+            return {"block_bytes": layout.block_bytes, "n_devices": layout.n_devices}
+        if isinstance(layout, StripedLayout):
+            return {"stripe_unit": layout.stripe_unit, "n_devices": layout.n_devices}
+        if isinstance(layout, ClusteredLayout):
+            return {
+                "partition_bytes": list(layout.partition_bytes),
+                "n_devices": layout.n_devices,
+            }
+        return {}

@@ -1,0 +1,24 @@
+"""Live backend: the organizations on real files with real threads."""
+
+from .backend import LiveParallelFile, LiveParallelFileSystem
+from .handles import (
+    LiveDirectHandle,
+    LiveGlobalView,
+    LiveOwnedDirectHandle,
+    LivePartitionHandle,
+    LiveSequentialHandle,
+    LiveSSHandle,
+    LiveSSSession,
+)
+
+__all__ = [
+    "LiveParallelFile",
+    "LiveParallelFileSystem",
+    "LiveDirectHandle",
+    "LiveGlobalView",
+    "LiveOwnedDirectHandle",
+    "LivePartitionHandle",
+    "LiveSequentialHandle",
+    "LiveSSHandle",
+    "LiveSSSession",
+]

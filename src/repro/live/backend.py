@@ -1,0 +1,221 @@
+"""Live backend: parallel files on the host file system, with real threads.
+
+The simulator (`repro.fs`) measures *performance* in simulated time; this
+backend demonstrates *functional* fidelity: the same organization maps
+(`repro.core.mapping`) interpreted over real files with concurrently
+running threads. Python's GIL means wall-clock speedups are not claimed
+here (see DESIGN.md §2) — correctness under concurrency is.
+
+Each parallel file is one host file (preallocated to its full size) plus a
+JSON metadata sidecar, so files genuinely persist across program runs and
+the "global view" of any sequential organization is — exactly as §2
+requires — a plain flat file any conventional tool can read.
+
+Positioned I/O uses ``os.pread``/``os.pwrite``, which are thread-safe
+without shared seek pointers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from ..core.mapping import OrganizationMap, make_map
+from ..core.organizations import FileCategory, FileOrganization
+from ..fs.metadata import FileAttributes
+from .handles import (
+    LiveDirectHandle,
+    LiveGlobalView,
+    LiveOwnedDirectHandle,
+    LivePartitionHandle,
+    LiveSequentialHandle,
+    LiveSSSession,
+)
+
+__all__ = ["LiveParallelFileSystem", "LiveParallelFile"]
+
+_META_SUFFIX = ".pmeta.json"
+
+
+class LiveParallelFile:
+    """An open parallel file backed by a host file."""
+
+    def __init__(self, attrs: FileAttributes, org_map: OrganizationMap, path: Path):
+        self.attrs = attrs
+        self.map = org_map
+        self.path = path
+        flags = os.O_RDWR
+        self._fd = os.open(path, flags)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release the OS file descriptor (idempotent)."""
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self) -> "LiveParallelFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def fd(self) -> int:
+        if self._fd is None:
+            raise ValueError(f"file {self.attrs.name!r} is closed")
+        return self._fd
+
+    @property
+    def name(self) -> str:
+        return self.attrs.name
+
+    @property
+    def n_records(self) -> int:
+        return self.attrs.n_records
+
+    @property
+    def n_blocks(self) -> int:
+        return self.attrs.n_blocks
+
+    # -- views ----------------------------------------------------------------
+
+    def global_view(self) -> LiveGlobalView:
+        """The conventional (§2 global) view of the file."""
+        return LiveGlobalView(self)
+
+    def ss_session(self) -> LiveSSSession:
+        """A shared self-scheduling session for this SS file."""
+        if self.map.org is not FileOrganization.SS:
+            raise ValueError("ss_session() requires an SS file")
+        return LiveSSSession(self)
+
+    def internal_view(
+        self,
+        process: int,
+        *,
+        session: LiveSSSession | None = None,
+        sequential_within_block: bool = False,
+    ):
+        """The organization-specific handle for one process/thread."""
+        org = self.map.org
+        if org is FileOrganization.S:
+            return LiveSequentialHandle(self, process)
+        if org in (FileOrganization.PS, FileOrganization.IS):
+            return LivePartitionHandle(self, process)
+        if org is FileOrganization.SS:
+            if session is None:
+                raise ValueError(
+                    "SS files need a shared session: file.ss_session()"
+                )
+            return session.handle(process)
+        if org is FileOrganization.GDA:
+            return LiveDirectHandle(self, process)
+        if org is FileOrganization.PDA:
+            return LiveOwnedDirectHandle(
+                self, process,
+                sequential_within_block=sequential_within_block,
+            )
+        raise ValueError(f"no live handle for {org}")  # pragma: no cover
+
+
+class LiveParallelFileSystem:
+    """Create/open/delete parallel files in a host directory."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _data_path(self, name: str) -> Path:
+        if "/" in name or name.startswith("."):
+            raise ValueError(f"invalid file name {name!r}")
+        return self.root / name
+
+    def _meta_path(self, name: str) -> Path:
+        return self.root / f"{name}{_META_SUFFIX}"
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def create(
+        self,
+        name: str,
+        organization: FileOrganization | str,
+        *,
+        n_records: int,
+        record_size: int,
+        records_per_block: int = 1,
+        n_processes: int = 1,
+        dtype: str = "uint8",
+        category: FileCategory | None = None,
+        **org_params,
+    ) -> LiveParallelFile:
+        """Create a parallel file: preallocated data file + metadata sidecar."""
+        if isinstance(organization, str):
+            organization = FileOrganization[organization.upper()]
+        if category is None:
+            category = (
+                FileCategory.STANDARD
+                if organization.is_sequential
+                else FileCategory.SPECIALIZED
+            )
+        data_path = self._data_path(name)
+        meta_path = self._meta_path(name)
+        if data_path.exists() or meta_path.exists():
+            raise FileExistsError(name)
+        attrs = FileAttributes(
+            name=name,
+            organization=organization,
+            category=category,
+            record_size=record_size,
+            records_per_block=records_per_block,
+            n_records=n_records,
+            n_processes=n_processes,
+            layout="host",
+            layout_params={},
+            org_params=dict(org_params),
+            dtype=dtype,
+        )
+        org_map = make_map(
+            organization, attrs.block_spec, n_records, n_processes, **org_params
+        )
+        # Preallocate the data file to its full logical size.
+        with open(data_path, "wb") as fh:
+            if attrs.file_bytes:
+                fh.truncate(attrs.file_bytes)
+        meta_path.write_text(json.dumps(attrs.to_dict(), indent=2))
+        return LiveParallelFile(attrs, org_map, data_path)
+
+    def open(self, name: str, n_processes: int | None = None) -> LiveParallelFile:
+        """Open an existing file, optionally remapping the process count."""
+        meta_path = self._meta_path(name)
+        if not meta_path.exists():
+            raise FileNotFoundError(name)
+        attrs = FileAttributes.from_dict(json.loads(meta_path.read_text()))
+        p = n_processes if n_processes is not None else attrs.n_processes
+        org_map = make_map(
+            attrs.organization, attrs.block_spec, attrs.n_records, p,
+            **attrs.org_params,
+        )
+        return LiveParallelFile(attrs, org_map, self._data_path(name))
+
+    def delete(self, name: str) -> None:
+        """Remove a file's data and metadata."""
+        data, meta = self._data_path(name), self._meta_path(name)
+        if not meta.exists():
+            raise FileNotFoundError(name)
+        meta.unlink()
+        if data.exists():
+            data.unlink()
+
+    def exists(self, name: str) -> bool:
+        """True iff a parallel file of that name exists in this directory."""
+        return self._meta_path(name).exists()
+
+    def names(self) -> list[str]:
+        """All parallel file names in this directory, sorted."""
+        return sorted(
+            p.name[: -len(_META_SUFFIX)]
+            for p in self.root.glob(f"*{_META_SUFFIX}")
+        )

@@ -1,0 +1,25 @@
+"""Reliability: analytic MTBF arithmetic and Monte Carlo validation (§5)."""
+
+from .analytic import (
+    HOURS_PER_WEEK,
+    HOURS_PER_YEAR,
+    availability,
+    expected_failures,
+    failure_probability,
+    mtbf_table_row,
+    system_mtbf,
+)
+from .montecarlo import FleetResult, simulate_fleet, simulate_protected_fleet
+
+__all__ = [
+    "HOURS_PER_WEEK",
+    "HOURS_PER_YEAR",
+    "availability",
+    "expected_failures",
+    "failure_probability",
+    "mtbf_table_row",
+    "system_mtbf",
+    "FleetResult",
+    "simulate_fleet",
+    "simulate_protected_fleet",
+]

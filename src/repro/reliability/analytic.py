@@ -1,0 +1,92 @@
+"""Analytic reliability arithmetic for multi-device file systems (§5).
+
+The paper's worked example:
+
+    "Assuming a MTBF of 30,000 hours for each storage device, a file
+    system containing 10 devices could be expected to fail every 3000
+    hours (about 3 times per year, on average), which is probably
+    tolerable. A system with 100 devices, on the other hand, would
+    average more than one failure every two weeks, which is not likely
+    to be acceptable."
+
+Under the standard exponential-lifetime model those statements are exact:
+with independent devices each of rate λ = 1/MTBF, the time to the *first*
+failure in a population of N is exponential with rate Nλ, so the system
+MTBF is MTBF/N; failures arrive as a Poisson process of rate Nλ, so the
+expected count in time T is NλT.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "system_mtbf",
+    "expected_failures",
+    "failure_probability",
+    "availability",
+    "mtbf_table_row",
+    "HOURS_PER_YEAR",
+    "HOURS_PER_WEEK",
+]
+
+HOURS_PER_YEAR = 8766.0   # 365.25 days
+HOURS_PER_WEEK = 168.0
+
+
+def system_mtbf(device_mtbf_hours: float, n_devices: int) -> float:
+    """Mean time between (any-device) failures: MTBF / N."""
+    _check(device_mtbf_hours, n_devices)
+    return device_mtbf_hours / n_devices
+
+
+def expected_failures(
+    device_mtbf_hours: float, n_devices: int, horizon_hours: float
+) -> float:
+    """Expected failure count in ``horizon_hours`` (Poisson mean N*T/MTBF)."""
+    _check(device_mtbf_hours, n_devices)
+    if horizon_hours < 0:
+        raise ValueError("horizon must be >= 0")
+    return n_devices * horizon_hours / device_mtbf_hours
+
+
+def failure_probability(
+    device_mtbf_hours: float, n_devices: int, horizon_hours: float
+) -> float:
+    """P(at least one failure within ``horizon_hours``) = 1 - e^(-NT/MTBF)."""
+    mean = expected_failures(device_mtbf_hours, n_devices, horizon_hours)
+    return 1.0 - math.exp(-mean)
+
+
+def availability(
+    device_mtbf_hours: float, n_devices: int, mttr_hours: float
+) -> float:
+    """Fraction of time all N devices are simultaneously up.
+
+    Per-device availability a = MTBF/(MTBF+MTTR); the system needs all N:
+    a**N (no redundancy — the §5 baseline that motivates parity/shadowing).
+    """
+    _check(device_mtbf_hours, n_devices)
+    if mttr_hours < 0:
+        raise ValueError("MTTR must be >= 0")
+    a = device_mtbf_hours / (device_mtbf_hours + mttr_hours)
+    return a**n_devices
+
+
+def mtbf_table_row(device_mtbf_hours: float, n_devices: int) -> dict:
+    """One row of the §5 table: system MTBF, failures/year, weeks between
+    failures."""
+    mtbf = system_mtbf(device_mtbf_hours, n_devices)
+    return {
+        "n_devices": n_devices,
+        "system_mtbf_hours": mtbf,
+        "failures_per_year": HOURS_PER_YEAR / mtbf,
+        "weeks_between_failures": mtbf / HOURS_PER_WEEK,
+    }
+
+
+def _check(device_mtbf_hours: float, n_devices: int) -> None:
+    if device_mtbf_hours <= 0:
+        raise ValueError("device MTBF must be positive")
+    if n_devices < 1:
+        raise ValueError("n_devices must be >= 1")

@@ -1,0 +1,44 @@
+"""Discrete-event simulation substrate.
+
+The simulator stands in for the MIMD multiprocessor of Crockett (1989):
+simulated processes play the application processes, simulated time plays
+elapsed machine time. See DESIGN.md §2 for the substitution rationale.
+"""
+
+from .engine import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Timeout,
+)
+from .resources import Container, PriorityResource, Resource, Store
+from .rng import RngStreams
+from .stats import Tally, TimeWeighted, UtilizationTracker
+from .sync import SimBarrier, SimLock, SimSemaphore, TicketCounter
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Process",
+    "SimulationError",
+    "Timeout",
+    "Container",
+    "PriorityResource",
+    "Resource",
+    "Store",
+    "RngStreams",
+    "Tally",
+    "TimeWeighted",
+    "UtilizationTracker",
+    "SimBarrier",
+    "SimLock",
+    "SimSemaphore",
+    "TicketCounter",
+]

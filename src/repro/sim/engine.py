@@ -1,0 +1,425 @@
+"""Discrete-event simulation engine.
+
+A small, deterministic, generator-coroutine event simulator in the style of
+SimPy, built from scratch (no external dependency is available offline).
+Simulated processes are Python generators that ``yield`` events; the
+:class:`Environment` advances simulated time from event to event.
+
+The engine is the substrate for every performance experiment in this
+reproduction: simulated processes model the application processes of
+Crockett's MIMD machine, and simulated time models elapsed wall time on
+that machine (seek, rotation, transfer, compute).
+
+Determinism contract: given the same program and the same RNG seeds, a
+simulation run produces the same event order and the same final clock.
+Ties in scheduled time are broken by insertion order (FIFO).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Generator
+from typing import Any, Callable
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for illegal engine operations (double-trigger, bad yield...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A happening at a point in simulated time.
+
+    An event starts *pending*, may be *triggered* (scheduled with a value or
+    an exception), and is *processed* once its callbacks have run. Processes
+    wait for events by yielding them.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed", "_defused")
+
+    _PENDING = object()
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        #: callables invoked with this event when it is processed
+        self.callbacks: list[Callable[["Event"], None]] | None = []
+        self._value: Any = Event._PENDING
+        self._ok: bool | None = None
+        self._processed = False
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled (value or failure set)."""
+        return self._value is not Event._PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded. Only valid once triggered."""
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or exception instance if it failed)."""
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``.
+
+        The exception is re-raised inside any process waiting on the event.
+        """
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self)
+        return self
+
+    def defuse(self) -> None:
+        """Mark a failed event as handled so it does not crash the run."""
+        self._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "pending"
+            if not self.triggered
+            else ("ok" if self._ok else "failed")
+        )
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, delay)
+
+
+class Initialize(Event):
+    """Internal: first resumption of a new process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks = [process._resume]
+        self._ok = True
+        self._value = None
+        env._schedule(self)
+
+
+class Process(Event):
+    """A simulated process wrapping a generator.
+
+    The process is itself an event that triggers when the generator returns
+    (value = return value) or raises (failure). Other processes can wait for
+    it by yielding it, which is how fork/join is expressed.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(
+        self,
+        env: "Environment",
+        generator: Generator[Event, Any, Any],
+        name: str | None = None,
+    ):
+        if not hasattr(generator, "send"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        #: the event this process is currently waiting on
+        self._target: Event | None = Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a dead process is an error; interrupting yourself is
+        also an error (a process cannot preempt itself).
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt dead process {self.name}")
+        if self.env._active is self:
+            raise SimulationError("a process cannot interrupt itself")
+        target = self._target
+        if target is not None and target.callbacks is not None:
+            # Stop waiting on the old target (it may already be triggered —
+            # e.g. a Timeout is born triggered — but not yet processed).
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        interrupt_event = Event(self.env)
+        interrupt_event.callbacks = [self._resume]
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        self.env._schedule(interrupt_event)
+        self._target = interrupt_event
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the value (or exception) of ``event``."""
+        env = self.env
+        env._active = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    next_event = self._generator.throw(event._value)
+            except StopIteration as stop:
+                env._active = None
+                self._target = None
+                self.succeed(stop.value)
+                return
+            except BaseException as exc:
+                env._active = None
+                self._target = None
+                self.fail(exc)
+                return
+
+            if not isinstance(next_event, Event):
+                env._active = None
+                self._generator.throw(
+                    SimulationError(
+                        f"process {self.name!r} yielded non-event "
+                        f"{next_event!r}"
+                    )
+                )
+                raise AssertionError("unreachable")  # pragma: no cover
+            if next_event.env is not env:
+                raise SimulationError(
+                    "yielded event belongs to a different Environment"
+                )
+
+            if next_event.callbacks is not None:
+                # Not yet processed: wait for it.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                env._active = None
+                return
+            # Already processed: feed its value back immediately.
+            event = next_event
+
+
+class Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("events", "_n_done")
+
+    def __init__(self, env: "Environment", events: list[Event]):
+        super().__init__(env)
+        self.events = list(events)
+        self._n_done = 0
+        for ev in self.events:
+            if ev.env is not env:
+                raise SimulationError("mixed environments in condition")
+            if ev.callbacks is None:  # already processed
+                self._check(ev)
+            else:
+                ev.callbacks.append(self._check)
+        if not self.events and not self.triggered:
+            self.succeed({})
+
+    def _satisfied(self) -> bool:
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if not event._ok:
+            # Always defuse: with several concurrently-failing components
+            # the condition fails once, but every component's failure is
+            # handled here (otherwise the later ones crash the run).
+            event.defuse()
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._n_done += 1
+        if self._satisfied():
+            # Only *processed* events contribute values: a Timeout is
+            # "triggered" from birth but has not yet occurred.
+            self.succeed(
+                {ev: ev._value for ev in self.events if ev.processed and ev._ok}
+            )
+
+
+class AllOf(Condition):
+    """Triggers once every component event has triggered (barrier join)."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._n_done == len(self.events)
+
+
+class AnyOf(Condition):
+    """Triggers as soon as one component event triggers."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return self._n_done >= 1
+
+
+class Environment:
+    """The simulation clock and event queue."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._eid = 0
+        self._active: Process | None = None
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        """The process currently executing, if any."""
+        return self._active
+
+    # -- event constructors -------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self,
+        generator: Generator[Event, Any, Any],
+        name: str | None = None,
+    ) -> Process:
+        """Start a new simulated process from ``generator``."""
+        return Process(self, generator, name)
+
+    def all_of(self, events: list[Event]) -> AllOf:
+        """An event triggering once every component has occurred (join)."""
+        return AllOf(self, events)
+
+    def any_of(self, events: list[Event]) -> AnyOf:
+        """An event triggering as soon as any component occurs."""
+        return AnyOf(self, events)
+
+    # -- scheduling ---------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        self._eid += 1
+        heapq.heappush(self._queue, (self._now + delay, self._eid, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or +inf if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process the single next event."""
+        if not self._queue:
+            raise SimulationError("step() on empty event queue")
+        when, _, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._processed = True
+        for cb in callbacks:
+            cb(event)
+        if event._ok is False and not event._defused:
+            exc = event._value
+            raise exc
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until the event queue drains;
+        * a number — run until the clock reaches that time;
+        * an :class:`Event` — run until that event is processed, returning
+          its value (re-raising its exception if it failed).
+        """
+        if isinstance(until, Event):
+            stop = until
+            while not stop.processed:
+                if not self._queue:
+                    raise SimulationError(
+                        "event queue drained before target event triggered"
+                    )
+                self.step()
+            if stop._ok:
+                return stop._value
+            raise stop._value
+        if until is not None:
+            horizon = float(until)
+            if horizon < self._now:
+                raise ValueError(
+                    f"until={horizon} is in the past (now={self._now})"
+                )
+            while self._queue and self._queue[0][0] <= horizon:
+                self.step()
+            self._now = horizon
+            return None
+        while self._queue:
+            self.step()
+        return None

@@ -1,0 +1,28 @@
+"""Storage layer: layouts, volumes, extent allocation, parity groups."""
+
+from .allocation import AllocationError, ExtentAllocator
+from .layout import (
+    ClusteredLayout,
+    DataLayout,
+    InterleavedLayout,
+    Segment,
+    StripedLayout,
+    make_layout,
+)
+from .parity import ParityGroup, StaleParityError
+from .volume import Extent, Volume
+
+__all__ = [
+    "AllocationError",
+    "ExtentAllocator",
+    "ClusteredLayout",
+    "DataLayout",
+    "InterleavedLayout",
+    "Segment",
+    "StripedLayout",
+    "make_layout",
+    "ParityGroup",
+    "StaleParityError",
+    "Extent",
+    "Volume",
+]

@@ -1,0 +1,213 @@
+"""Parity protection for striped device groups (Kim [3], §5).
+
+    "For striped files, error correcting techniques have been developed
+    which can handle either a single-bit error in a striped block, or
+    complete failure of a single drive. In this system, parity information
+    is stored on each drive, and checking codes are stored on one or more
+    additional drives. However, this method does not appear to be
+    applicable to situations in which the disks are being accessed
+    independently, as in the PS and IS organizations."
+
+:class:`ParityGroup` implements a check device holding the XOR of the data
+devices at equal offsets, with two write disciplines:
+
+* ``mode="synchronized"`` — parity is maintained only by synchronized
+  full-stripe writes (:meth:`write_stripe`), as in Kim's synchronized
+  interleaving. Independent single-device writes succeed but leave the
+  affected parity units **stale**, which the group tracks; a subsequent
+  reconstruction over a stale unit is detectably unsafe. This is the
+  paper's claim made executable (benchmark E9).
+* ``mode="rmw"`` — every independent write performs the read-modify-write
+  parity update (read old data + old parity, write new data + new
+  parity). Parity is never stale, at the price of two extra transfers per
+  write. This is the ablation showing what it would have cost to cover
+  PS/IS in 1989.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..devices.controller import DeviceController, DeviceFailedError
+from ..sim.engine import Environment, Process
+
+__all__ = ["ParityGroup", "StaleParityError"]
+
+
+class StaleParityError(Exception):
+    """Reconstruction attempted over a region whose parity is stale."""
+
+
+class ParityGroup:
+    """``len(data_devices)`` data drives + one check drive."""
+
+    def __init__(
+        self,
+        env: Environment,
+        data_devices: list[DeviceController],
+        parity_device: DeviceController,
+        mode: str = "synchronized",
+        parity_unit: int = 4096,
+    ):
+        if len(data_devices) < 2:
+            raise ValueError("a parity group needs at least 2 data devices")
+        if mode not in ("synchronized", "rmw"):
+            raise ValueError(f"unknown parity mode {mode!r}")
+        if parity_unit < 1:
+            raise ValueError("parity_unit must be >= 1")
+        cap = parity_device.capacity_bytes
+        if any(d.capacity_bytes != cap for d in data_devices):
+            raise ValueError("all group members must have equal capacity")
+        self.env = env
+        self.data_devices = list(data_devices)
+        self.parity_device = parity_device
+        self.mode = mode
+        self.parity_unit = parity_unit
+        #: parity units whose check data is stale: set of (device, unit)
+        self._stale: set[tuple[int, int]] = set()
+
+    @property
+    def n_data(self) -> int:
+        return len(self.data_devices)
+
+    # -- staleness bookkeeping ------------------------------------------------
+
+    def _units(self, offset: int, nbytes: int) -> range:
+        if nbytes == 0:
+            return range(0)
+        return range(offset // self.parity_unit, (offset + nbytes - 1) // self.parity_unit + 1)
+
+    def is_consistent(self, device: int, offset: int, nbytes: int) -> bool:
+        """True iff parity covering this range of ``device`` is up to date."""
+        return not any((device, u) in self._stale for u in self._units(offset, nbytes))
+
+    @property
+    def stale_units(self) -> int:
+        return len(self._stale)
+
+    # -- writes ------------------------------------------------------------------
+
+    def write_stripe(self, offset: int, chunks: list[bytes | np.ndarray]) -> Process:
+        """Synchronized full-stripe write: one equal-length chunk per data
+        device at the same ``offset``, plus the parity write, all in parallel."""
+        if len(chunks) != self.n_data:
+            raise ValueError(f"need {self.n_data} chunks, got {len(chunks)}")
+        arrays = [
+            np.frombuffer(c, dtype=np.uint8) if isinstance(c, (bytes, bytearray)) else np.asarray(c, dtype=np.uint8)
+            for c in chunks
+        ]
+        length = len(arrays[0])
+        if any(len(a) != length for a in arrays):
+            raise ValueError("stripe chunks must be equal length")
+        return self.env.process(self._do_write_stripe(offset, arrays, length), name="parity.stripe")
+
+    def _do_write_stripe(self, offset: int, arrays: list[np.ndarray], length: int):
+        parity = np.zeros(length, dtype=np.uint8)
+        for a in arrays:
+            np.bitwise_xor(parity, a, out=parity)
+        events = [
+            d.write(offset, a) for d, a in zip(self.data_devices, arrays)
+        ]
+        events.append(self.parity_device.write(offset, parity))
+        yield self.env.all_of(events)
+        for dev in range(self.n_data):
+            for u in self._units(offset, length):
+                self._stale.discard((dev, u))
+        return length * self.n_data
+
+    def write(self, device: int, offset: int, data: bytes | np.ndarray) -> Process:
+        """Independent single-device write (PS/IS-style access)."""
+        arr = (
+            np.frombuffer(data, dtype=np.uint8)
+            if isinstance(data, (bytes, bytearray))
+            else np.asarray(data, dtype=np.uint8)
+        )
+        if self.mode == "synchronized":
+            return self.env.process(
+                self._do_independent_stale(device, offset, arr), name="parity.write"
+            )
+        return self.env.process(
+            self._do_independent_rmw(device, offset, arr), name="parity.rmw"
+        )
+
+    def _do_independent_stale(self, device: int, offset: int, arr: np.ndarray):
+        # Data lands; parity is NOT updated — exactly the §5 gap.
+        yield self.data_devices[device].write(offset, arr)
+        for u in self._units(offset, len(arr)):
+            self._stale.add((device, u))
+        return len(arr)
+
+    def _do_independent_rmw(self, device: int, offset: int, arr: np.ndarray):
+        # new_parity = old_parity XOR old_data XOR new_data
+        old_data_ev = self.data_devices[device].read(offset, len(arr))
+        old_parity_ev = self.parity_device.read(offset, len(arr))
+        yield self.env.all_of([old_data_ev, old_parity_ev])
+        new_parity = np.bitwise_xor(
+            np.bitwise_xor(old_parity_ev.value, old_data_ev.value), arr
+        )
+        data_w = self.data_devices[device].write(offset, arr)
+        parity_w = self.parity_device.write(offset, new_parity)
+        yield self.env.all_of([data_w, parity_w])
+        return len(arr)
+
+    # -- reads and reconstruction ---------------------------------------------
+
+    def read(self, device: int, offset: int, nbytes: int) -> Process:
+        """Read from a data device, reconstructing transparently if it failed."""
+        return self.env.process(self._do_read(device, offset, nbytes), name="parity.read")
+
+    def _do_read(self, device: int, offset: int, nbytes: int):
+        target = self.data_devices[device]
+        if not target.failed:
+            data = yield target.read(offset, nbytes)
+            return data
+        return (yield from self._do_reconstruct(device, offset, nbytes))
+
+    def reconstruct(self, device: int, offset: int, nbytes: int) -> Process:
+        """Rebuild ``device``'s contents in a range from survivors + parity.
+
+        Raises :class:`StaleParityError` if any covered parity unit is
+        stale (the §5 "not applicable to independent access" case).
+        """
+        return self.env.process(
+            self._do_reconstruct(device, offset, nbytes), name="parity.reconstruct"
+        )
+
+    def _do_reconstruct(self, device: int, offset: int, nbytes: int):
+        if not self.is_consistent(device, offset, nbytes):
+            raise StaleParityError(
+                f"parity stale for device {device} range "
+                f"[{offset}, {offset + nbytes}); independent writes were "
+                "made without synchronized parity maintenance"
+            )
+        events = []
+        for i, d in enumerate(self.data_devices):
+            if i == device:
+                continue
+            if d.failed:
+                raise DeviceFailedError(d.name)  # double failure: unrecoverable
+            events.append(d.read(offset, nbytes))
+        if self.parity_device.failed:
+            raise DeviceFailedError(self.parity_device.name)
+        events.append(self.parity_device.read(offset, nbytes))
+        yield self.env.all_of(events)
+        out = np.zeros(nbytes, dtype=np.uint8)
+        for ev in events:
+            np.bitwise_xor(out, ev.value, out=out)
+        return out
+
+    def rebuild_device(self, device: int) -> Process:
+        """Full-device rebuild onto a repaired drive (replacement disk)."""
+        return self.env.process(self._do_rebuild(device), name="parity.rebuild")
+
+    def _do_rebuild(self, device: int):
+        target = self.data_devices[device]
+        cap = target.capacity_bytes
+        if not self.is_consistent(device, 0, cap):
+            raise StaleParityError(
+                f"cannot rebuild device {device}: parity has stale units"
+            )
+        data = yield from self._do_reconstruct(device, 0, cap)
+        target.repair(contents=data)
+        yield target.write(0, data)  # pay the write cost of the rebuild
+        return cap

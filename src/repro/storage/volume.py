@@ -1,0 +1,178 @@
+"""Volumes: a file extent across an array of devices.
+
+A :class:`Volume` owns a set of device controllers and their allocators.
+Files (via ``repro.fs``) allocate an :class:`Extent` — one contiguous
+region per device — and then read/write file byte ranges through a
+:class:`~repro.storage.layout.DataLayout`, which decides which devices a
+range touches. Segments on *different* devices proceed in parallel (this
+is the entire point of parallel I/O); segments on the same device queue at
+that device's controller.
+
+Reads return the reassembled byte array; both operations are events (the
+volume internally runs a join process).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..devices.controller import DeviceController
+from ..devices.shadow import ShadowPair
+from ..sim.engine import Environment, Event, Process
+from .allocation import ExtentAllocator
+from .layout import DataLayout, Segment
+
+__all__ = ["Extent", "Volume"]
+
+
+class Extent:
+    """Per-device base offsets of one file's allocation."""
+
+    def __init__(self, bases: list[int | None], sizes: list[int]):
+        if len(bases) != len(sizes):
+            raise ValueError("bases and sizes must align")
+        self.bases = bases      # None where a device contributes nothing
+        self.sizes = sizes
+
+    def base(self, device: int) -> int:
+        """Base byte offset of this extent on ``device``."""
+        b = self.bases[device]
+        if b is None:
+            raise ValueError(f"device {device} not part of this extent")
+        return b
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.sizes)
+
+
+class Volume:
+    """An array of devices presented as an allocatable, layout-aware store."""
+
+    def __init__(
+        self,
+        env: Environment,
+        devices: list[DeviceController | ShadowPair],
+        alignment: int = 1,
+    ):
+        if not devices:
+            raise ValueError("a volume needs at least one device")
+        self.env = env
+        self.devices = list(devices)
+        self.allocators = [
+            ExtentAllocator(d.capacity_bytes, alignment) for d in devices
+        ]
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.devices)
+
+    # -- allocation -----------------------------------------------------------
+
+    def allocate(self, layout: DataLayout, file_bytes: int) -> Extent:
+        """Reserve space for a ``file_bytes`` file under ``layout``."""
+        if layout.n_devices > self.n_devices:
+            raise ValueError(
+                f"layout spans {layout.n_devices} devices, volume has "
+                f"{self.n_devices}"
+            )
+        per_dev = layout.device_bytes(file_bytes)
+        bases: list[int | None] = []
+        done: list[tuple[int, int, int]] = []
+        try:
+            for dev, nbytes in enumerate(per_dev):
+                if nbytes == 0:
+                    bases.append(None)
+                    continue
+                start = self.allocators[dev].allocate(nbytes)
+                bases.append(start)
+                done.append((dev, start, nbytes))
+        except Exception:
+            for dev, start, nbytes in done:
+                self.allocators[dev].free(start, nbytes)
+            raise
+        return Extent(bases, per_dev)
+
+    def free(self, extent: Extent) -> None:
+        """Return every device range of ``extent`` to the allocators."""
+        for dev, (base, size) in enumerate(zip(extent.bases, extent.sizes)):
+            if base is not None and size:
+                self.allocators[dev].free(base, size)
+
+    # -- I/O -------------------------------------------------------------------
+
+    def read(
+        self, extent: Extent, layout: DataLayout, offset: int, nbytes: int
+    ) -> Process:
+        """Read file bytes ``[offset, offset+nbytes)``; value is a uint8 array."""
+        segments = layout.map_range(offset, nbytes)
+        return self.env.process(
+            self._do_read(extent, segments, nbytes), name="volume.read"
+        )
+
+    def write(
+        self, extent: Extent, layout: DataLayout, offset: int, data: bytes | np.ndarray
+    ) -> Process:
+        """Write ``data`` at file byte ``offset``; value is bytes written."""
+        arr = (
+            np.frombuffer(data, dtype=np.uint8)
+            if isinstance(data, (bytes, bytearray))
+            else np.asarray(data, dtype=np.uint8)
+        )
+        segments = layout.map_range(offset, len(arr))
+        return self.env.process(
+            self._do_write(extent, segments, arr), name="volume.write"
+        )
+
+    def _do_read(self, extent: Extent, segments: list[Segment], nbytes: int):
+        events: list[Event] = []
+        for seg in segments:
+            dev = self.devices[seg.device]
+            events.append(dev.read(extent.base(seg.device) + seg.offset, seg.length))
+        if events:
+            yield self.env.all_of(events)
+        out = np.empty(nbytes, dtype=np.uint8)
+        pos = 0
+        for seg, ev in zip(segments, events):
+            out[pos : pos + seg.length] = ev.value
+            pos += seg.length
+        return out
+
+    def _do_write(self, extent: Extent, segments: list[Segment], arr: np.ndarray):
+        events: list[Event] = []
+        pos = 0
+        for seg in segments:
+            dev = self.devices[seg.device]
+            chunk = arr[pos : pos + seg.length]
+            events.append(dev.write(extent.base(seg.device) + seg.offset, chunk))
+            pos += seg.length
+        if events:
+            yield self.env.all_of(events)
+        return int(arr.size)
+
+    # -- zero-time inspection (tests, recovery) ---------------------------------
+
+    def peek(self, extent: Extent, layout: DataLayout, offset: int, nbytes: int) -> np.ndarray:
+        """Zero-time read of file bytes (tests, verification)."""
+        out = np.empty(nbytes, dtype=np.uint8)
+        pos = 0
+        for seg in layout.map_range(offset, nbytes):
+            dev = self.devices[seg.device]
+            out[pos : pos + seg.length] = dev.peek(
+                extent.base(seg.device) + seg.offset, seg.length
+            )
+            pos += seg.length
+        return out
+
+    def poke(self, extent: Extent, layout: DataLayout, offset: int, data: bytes | np.ndarray) -> None:
+        """Zero-time write of file bytes (fault injection)."""
+        arr = (
+            np.frombuffer(data, dtype=np.uint8)
+            if isinstance(data, (bytes, bytearray))
+            else np.asarray(data, dtype=np.uint8)
+        )
+        pos = 0
+        for seg in layout.map_range(offset, len(arr)):
+            dev = self.devices[seg.device]
+            dev.poke(extent.base(seg.device) + seg.offset, arr[pos : pos + seg.length])
+            pos += seg.length

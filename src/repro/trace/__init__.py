@@ -1,0 +1,19 @@
+"""Tracing, reporting, and figure rendering."""
+
+from .events import AccessEvent, TraceRecorder
+from .gantt import render_device_gantt, render_gantt
+from .figures import render_block_map, render_figure1_panel, render_timeline
+from .report import RunReport, device_report, throughput_mb_s
+
+__all__ = [
+    "AccessEvent",
+    "TraceRecorder",
+    "render_device_gantt",
+    "render_gantt",
+    "render_block_map",
+    "render_figure1_panel",
+    "render_timeline",
+    "RunReport",
+    "device_report",
+    "throughput_mb_s",
+]

@@ -1,0 +1,67 @@
+"""I/O trace events and the recorder."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+__all__ = ["AccessEvent", "TraceRecorder"]
+
+
+@dataclass(frozen=True)
+class AccessEvent:
+    """One record/block access by one process."""
+
+    time: float
+    process: int
+    op: Literal["read", "write"]
+    file: str
+    block: int
+    records: int
+    nbytes: int
+
+
+@dataclass
+class TraceRecorder:
+    """Accumulates :class:`AccessEvent` rows during a run."""
+
+    events: list[AccessEvent] = field(default_factory=list)
+
+    def record(
+        self,
+        time: float,
+        process: int,
+        op: str,
+        file: str,
+        block: int,
+        records: int,
+        nbytes: int,
+    ) -> None:
+        """Append one access event."""
+        self.events.append(
+            AccessEvent(time, process, op, file, block, records, nbytes)  # type: ignore[arg-type]
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def for_file(self, name: str) -> list[AccessEvent]:
+        """Events touching the named file."""
+        return [e for e in self.events if e.file == name]
+
+    def blocks_by_process(self, name: str | None = None) -> dict[int, list[int]]:
+        """``{process: [blocks in access order]}`` — the Figure 1 shape."""
+        out: dict[int, list[int]] = {}
+        for e in self.events:
+            if name is not None and e.file != name:
+                continue
+            out.setdefault(e.process, []).append(e.block)
+        return out
+
+    def total_bytes(self, op: str | None = None) -> int:
+        """Bytes moved, optionally filtered by op ("read"/"write")."""
+        return sum(e.nbytes for e in self.events if op is None or e.op == op)
+
+    def clear(self) -> None:
+        """Drop all recorded events."""
+        self.events.clear()

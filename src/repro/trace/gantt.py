@@ -1,0 +1,66 @@
+"""ASCII Gantt charts of device activity.
+
+Renders each device's service intervals on a shared time axis, which is
+the most direct way to *see* the paper's parallelism claims: striped
+transfers light all lanes at once (E1), a PS global-view read lights one
+lane at a time (E6), and read-ahead overlaps the I/O lane with the
+compute lane (E5).
+"""
+
+from __future__ import annotations
+
+from ..devices.controller import DeviceController, ServiceInterval
+
+__all__ = ["render_gantt", "render_device_gantt"]
+
+
+def render_gantt(
+    lanes: dict[str, list[tuple[float, float]]],
+    t0: float | None = None,
+    t1: float | None = None,
+    width: int = 72,
+    busy_char: str = "#",
+    idle_char: str = ".",
+) -> str:
+    """Render busy intervals per lane on a shared axis.
+
+    ``lanes`` maps a lane label to ``[(start, end), ...]`` busy spans.
+    """
+    spans = [s for intervals in lanes.values() for s in intervals]
+    if not spans:
+        return "(no activity)"
+    lo = min(s[0] for s in spans) if t0 is None else t0
+    hi = max(s[1] for s in spans) if t1 is None else t1
+    if hi <= lo:
+        hi = lo + 1e-12
+    scale = width / (hi - lo)
+    label_w = max(len(name) for name in lanes)
+    lines = []
+    for name, intervals in lanes.items():
+        cells = [idle_char] * width
+        for start, end in intervals:
+            a = max(0, min(width - 1, int((start - lo) * scale)))
+            b = max(a + 1, min(width, int(round((end - lo) * scale))))
+            for i in range(a, b):
+                cells[i] = busy_char
+        lines.append(f"{name:<{label_w}s} |{''.join(cells)}|")
+    axis = (
+        f"{'':<{label_w}s} "
+        f"{lo * 1e3:>8.1f} ms{'':{max(width - 22, 1)}}{hi * 1e3:>8.1f} ms"
+    )
+    return "\n".join(lines + [axis])
+
+
+def render_device_gantt(
+    devices: list[DeviceController],
+    width: int = 72,
+) -> str:
+    """Gantt of device service logs (devices need ``keep_service_log=True``)."""
+    lanes: dict[str, list[tuple[float, float]]] = {}
+    for d in devices:
+        if d.service_log is None:
+            raise ValueError(
+                f"device {d.name!r} was not created with keep_service_log=True"
+            )
+        lanes[d.name] = [(iv.start, iv.end) for iv in d.service_log]
+    return render_gantt(lanes, width=width)

@@ -1,0 +1,52 @@
+"""Throughput and utilization reporting for experiment runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..devices.controller import DeviceController
+from ..sim.engine import Environment
+
+__all__ = ["RunReport", "throughput_mb_s", "device_report"]
+
+
+def throughput_mb_s(nbytes: int, elapsed: float) -> float:
+    """Megabytes per second (10^6), the unit 1989 drives are quoted in."""
+    if elapsed <= 0:
+        return float("inf") if nbytes else 0.0
+    return nbytes / elapsed / 1e6
+
+
+@dataclass
+class RunReport:
+    """Summary of one measured run."""
+
+    label: str
+    elapsed: float
+    nbytes: int
+
+    @property
+    def throughput(self) -> float:
+        return throughput_mb_s(self.nbytes, self.elapsed)
+
+    def row(self) -> str:
+        """One formatted report line."""
+        return (
+            f"{self.label:<40s} {self.elapsed * 1e3:>10.2f} ms "
+            f"{self.throughput:>8.2f} MB/s"
+        )
+
+
+def device_report(env: Environment, devices: list[DeviceController]) -> list[str]:
+    """Per-device utilization / seek / latency rows."""
+    rows = []
+    for d in devices:
+        util = d.utilization.utilization(env.now)
+        rows.append(
+            f"{d.name:<10s} util={util:6.1%} "
+            f"seeks={d.disk.total_seeks:>6d} "
+            f"seek_cyls={d.disk.total_seek_distance:>8d} "
+            f"reqs={d.disk.total_requests:>6d} "
+            f"lat_mean={d.latency.mean * 1e3 if d.latency.count else 0:8.2f} ms"
+        )
+    return rows

@@ -1,0 +1,40 @@
+"""Workloads: the application patterns §3 motivates each organization with."""
+
+from .database import DatabaseWorkload, run_database_workload
+from .generators import (
+    record_payload,
+    sequential_pattern,
+    strided_pattern,
+    uniform_pattern,
+    working_set_pattern,
+    zipf_pattern,
+)
+from .matrix import WrappedMatrix, parallel_matvec, parallel_row_scale
+from .outofcore import OutOfCoreSweep, run_out_of_core
+from .stencil import reference_smooth, stencil_pass_cached, stencil_pass_explicit
+from .taskqueue import WorkerStats, run_task_queue
+from .transpose import create_matrix_file, transpose_naive, transpose_tiled
+
+__all__ = [
+    "DatabaseWorkload",
+    "run_database_workload",
+    "record_payload",
+    "sequential_pattern",
+    "strided_pattern",
+    "uniform_pattern",
+    "working_set_pattern",
+    "zipf_pattern",
+    "WrappedMatrix",
+    "parallel_matvec",
+    "parallel_row_scale",
+    "OutOfCoreSweep",
+    "run_out_of_core",
+    "reference_smooth",
+    "stencil_pass_cached",
+    "stencil_pass_explicit",
+    "WorkerStats",
+    "run_task_queue",
+    "create_matrix_file",
+    "transpose_naive",
+    "transpose_tiled",
+]

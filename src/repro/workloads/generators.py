@@ -1,0 +1,118 @@
+"""Access-pattern and payload generators.
+
+Every experiment drives the file system with one of a small set of
+reference patterns:
+
+* sequential / strided — the §3.1 sequential organizations;
+* uniform random — the §3.2 "references may be random" direct case;
+* Zipf-skewed — the non-uniform access that makes declustering win in
+  Livny et al. [2] (experiment E4);
+* working-set — repeated passes over a small hot set, the locality that
+  makes §4's buffer caching pay off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "sequential_pattern",
+    "strided_pattern",
+    "uniform_pattern",
+    "zipf_pattern",
+    "working_set_pattern",
+    "record_payload",
+]
+
+
+def sequential_pattern(n_records: int) -> np.ndarray:
+    """0, 1, 2, ... n-1."""
+    if n_records < 0:
+        raise ValueError("n_records must be >= 0")
+    return np.arange(n_records, dtype=np.int64)
+
+
+def strided_pattern(n_records: int, start: int, stride: int) -> np.ndarray:
+    """start, start+stride, ... (< n_records) — the IS access shape."""
+    if stride < 1:
+        raise ValueError("stride must be >= 1")
+    if not 0 <= start < max(n_records, 1):
+        raise ValueError("start outside file")
+    return np.arange(start, n_records, stride, dtype=np.int64)
+
+
+def uniform_pattern(n_records: int, n_accesses: int, seed: int = 0) -> np.ndarray:
+    """Uniformly random record indices (with replacement)."""
+    _check(n_records, n_accesses)
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, n_records, size=n_accesses, dtype=np.int64)
+
+
+def zipf_pattern(
+    n_records: int, n_accesses: int, skew: float = 1.0, seed: int = 0
+) -> np.ndarray:
+    """Zipf-distributed record indices: rank r drawn ∝ 1/r^skew.
+
+    ``skew = 0`` degenerates to uniform; larger skew concentrates accesses
+    on few hot records. Hot ranks are shuffled over the record space so
+    popularity is not correlated with position (matching the database
+    setting of Livny et al.).
+    """
+    _check(n_records, n_accesses)
+    if skew < 0:
+        raise ValueError("skew must be >= 0")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, n_records + 1, dtype=np.float64)
+    weights = ranks**-skew
+    weights /= weights.sum()
+    # map rank -> record via a fixed shuffle
+    placement = rng.permutation(n_records)
+    draws = rng.choice(n_records, size=n_accesses, p=weights)
+    return placement[draws].astype(np.int64)
+
+
+def working_set_pattern(
+    n_records: int,
+    n_accesses: int,
+    hot_fraction: float = 0.1,
+    hot_probability: float = 0.9,
+    seed: int = 0,
+) -> np.ndarray:
+    """90/10-style locality: ``hot_probability`` of accesses hit the
+    ``hot_fraction`` hottest records."""
+    _check(n_records, n_accesses)
+    if not 0 < hot_fraction <= 1:
+        raise ValueError("hot_fraction in (0, 1]")
+    if not 0 <= hot_probability <= 1:
+        raise ValueError("hot_probability in [0, 1]")
+    rng = np.random.default_rng(seed)
+    hot_n = max(1, int(round(n_records * hot_fraction)))
+    hot = rng.random(n_accesses) < hot_probability
+    idx = np.where(
+        hot,
+        rng.integers(0, hot_n, size=n_accesses),
+        rng.integers(0, n_records, size=n_accesses),
+    )
+    return idx.astype(np.int64)
+
+
+def record_payload(
+    n_records: int, items_per_record: int, dtype: str = "float64", seed: int = 0
+) -> np.ndarray:
+    """Deterministic synthetic record contents."""
+    if n_records < 0 or items_per_record < 1:
+        raise ValueError("bad payload shape")
+    rng = np.random.default_rng(seed)
+    if np.issubdtype(np.dtype(dtype), np.floating):
+        return rng.random((n_records, items_per_record)).astype(dtype)
+    info = np.iinfo(np.dtype(dtype))
+    return rng.integers(
+        info.min, int(info.max) + 1, size=(n_records, items_per_record), dtype=dtype
+    )
+
+
+def _check(n_records: int, n_accesses: int) -> None:
+    if n_records < 1:
+        raise ValueError("n_records must be >= 1")
+    if n_accesses < 0:
+        raise ValueError("n_accesses must be >= 0")

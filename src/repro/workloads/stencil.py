@@ -1,0 +1,94 @@
+"""One-dimensional stencil sweep with partition-boundary overlap (§5).
+
+The boundary-data problem made concrete: a 3-point smoothing stencil over
+a PS-partitioned vector. Each process updates its own records but needs
+one neighbour record from each side — the halo. Three strategies, matching
+§5's alternatives:
+
+* ``"replicate"`` — the file stores halo copies in each partition
+  (:class:`~repro.core.boundary.ReplicatedPartitioning`); each pass reads
+  only the process's own (inflated) partition.
+* ``"cache"`` — halo records are read once and kept in a
+  :class:`~repro.core.boundary.HaloCache`; later passes hit the cache.
+* ``"explicit"`` — the application re-reads boundary records from the
+  file every pass ("let applications address the problem explicitly").
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..core.boundary import HaloCache
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..fs.pfs import ParallelFile
+
+__all__ = ["reference_smooth", "stencil_pass_explicit", "stencil_pass_cached"]
+
+
+def reference_smooth(x: np.ndarray) -> np.ndarray:
+    """The serial ground truth: y[i] = (x[i-1] + x[i] + x[i+1]) / 3,
+    with clamped ends."""
+    padded = np.concatenate([x[:1], x, x[-1:]])
+    return (padded[:-2] + padded[1:-1] + padded[2:]) / 3.0
+
+
+def _owned_range(file: "ParallelFile", process: int) -> tuple[int, int]:
+    recs = file.map.records_of(process)
+    if len(recs) == 0:
+        return 0, 0
+    return int(recs[0]), int(recs[-1]) + 1
+
+
+def stencil_pass_explicit(file: "ParallelFile", process: int):
+    """Generator: one smoothing pass; boundary records re-read from file.
+
+    Returns ``(lo, smoothed_rows)``: the process's updated records. The
+    caller writes them back (after a barrier, to keep passes separate).
+    """
+    lo, hi = _owned_range(file, process)
+    if hi <= lo:
+        return lo, np.empty((0, file.attrs.record_spec.items_per_record))
+    h = file.internal_view(process)
+    own = yield from h.read_next(hi - lo)
+    gv = file.global_view()
+    left = own[:1]
+    if lo > 0:
+        left = yield from gv.read_at(lo - 1)
+    right = own[-1:]
+    if hi < file.n_records:
+        right = yield from gv.read_at(hi)
+    padded = np.concatenate([left, own, right])
+    return lo, (padded[:-2] + padded[1:-1] + padded[2:]) / 3.0
+
+
+def stencil_pass_cached(
+    file: "ParallelFile", process: int, cache: HaloCache
+):
+    """Generator: one smoothing pass; boundary records served from the
+    halo cache when present ("helpful if more than one pass is made")."""
+    lo, hi = _owned_range(file, process)
+    if hi <= lo:
+        return lo, np.empty((0, file.attrs.record_spec.items_per_record))
+    h = file.internal_view(process)
+    own = yield from h.read_next(hi - lo)
+    gv = file.global_view()
+
+    def fetch_boundary(record: int):
+        hit = cache.lookup(record)
+        if hit is not None:
+            return hit
+        data = yield from gv.read_at(record)
+        cache.insert(record, data)
+        return data
+
+    left = own[:1]
+    if lo > 0:
+        left = yield from fetch_boundary(lo - 1)
+    right = own[-1:]
+    if hi < file.n_records:
+        right = yield from fetch_boundary(hi)
+    padded = np.concatenate([left, own, right])
+    return lo, (padded[:-2] + padded[1:-1] + padded[2:]) / 3.0

@@ -1,0 +1,87 @@
+"""Self-scheduled work queue (§3.1's motivating example for SS files).
+
+    "Self-scheduled input is appropriate for algorithms which select the
+    next available unit of work for processing, as in a queue with
+    multiple servers."
+
+Tasks live one-per-block in an SS file; workers repeatedly draw the next
+block, pay its (data-dependent) service time, and optionally write results
+to a second self-scheduled output file ("self-scheduled output can be used
+when the order of the results is not important").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
+
+from ..fs.internal_io import SSSession
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..fs.pfs import ParallelFile
+
+__all__ = ["WorkerStats", "run_task_queue"]
+
+
+@dataclass
+class WorkerStats:
+    """Per-worker accounting for a queue run."""
+
+    process: int
+    tasks: int = 0
+    busy_time: float = 0.0
+    blocks: list[int] = field(default_factory=list)
+
+
+def run_task_queue(
+    input_file: "ParallelFile",
+    n_workers: int,
+    service_time: Callable[[int, np.ndarray], float],
+    output_file: "ParallelFile | None" = None,
+    result_fn: Callable[[int, np.ndarray], np.ndarray] | None = None,
+    early_advance: bool = True,
+    pointer_cost: float = 1e-5,
+):
+    """Set up a self-scheduled queue run; returns (session[s], stats, procs).
+
+    The caller runs ``env.run()`` afterwards and may then validate the
+    session. ``service_time(block, data)`` gives each task's simulated
+    compute cost — uneven costs are exactly what self-scheduling balances
+    and what a static partition cannot (benchmark E7's load-balance side).
+    """
+    env = input_file.env
+    in_session = SSSession(
+        input_file, early_advance=early_advance, pointer_cost=pointer_cost
+    )
+    out_session = (
+        SSSession(output_file, early_advance=early_advance, pointer_cost=pointer_cost)
+        if output_file is not None
+        else None
+    )
+    stats = [WorkerStats(p) for p in range(n_workers)]
+
+    def worker(p: int):
+        h_in = in_session.handle(p)
+        h_out = out_session.handle(p) if out_session is not None else None
+        while True:
+            item = yield from h_in.read_next()
+            if item is None:
+                return
+            block, data = item
+            cost = service_time(block, data)
+            if cost > 0:
+                yield env.timeout(cost)
+            stats[p].tasks += 1
+            stats[p].busy_time += cost
+            stats[p].blocks.append(block)
+            if h_out is not None:
+                result = (
+                    result_fn(block, data) if result_fn is not None else data
+                )
+                yield from h_out.write_next(result)
+
+    procs = [env.process(worker(p), name=f"worker{p}") for p in range(n_workers)]
+    sessions = (in_session, out_session) if out_session else (in_session,)
+    return sessions, stats, procs

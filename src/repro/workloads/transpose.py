@@ -1,0 +1,85 @@
+"""Out-of-core matrix transpose — the access-pattern stress test.
+
+A transpose is the canonical view-mismatch workload: the input matrix is
+stored row-major (one row per record), the output needs it column-major.
+Done naively, every output row gathers one record's worth of data from N
+scattered input records. Done block-wise — the standard out-of-core
+algorithm — the matrix is processed in square tiles: read a tile
+(contiguous row runs), transpose in memory, write it to the mirrored tile
+position. The tile buffer is the §4 "buffer space" knob.
+
+Both are implemented over GDA files so the benchmark/test can compare the
+naive and tiled I/O costs on identical storage.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..fs.pfs import ParallelFile, ParallelFileSystem
+
+__all__ = ["create_matrix_file", "transpose_naive", "transpose_tiled"]
+
+
+def create_matrix_file(
+    pfs: "ParallelFileSystem", name: str, n: int, n_processes: int = 1,
+) -> "ParallelFile":
+    """An ``n x n`` float64 matrix, one row per record, in a GDA file."""
+    if n < 1:
+        raise ValueError("matrix must be at least 1x1")
+    return pfs.create(
+        name, "GDA", n_records=n, record_size=n * 8, dtype="float64",
+        records_per_block=1, n_processes=n_processes,
+    )
+
+
+def transpose_naive(src: "ParallelFile", dst: "ParallelFile", process: int = 0):
+    """Generator: column-at-a-time transpose — one read per element row.
+
+    For each output row j, reads all n input rows to collect column j.
+    O(n^2) record reads; the I/O pattern §5's mismatch discussion warns
+    about.
+    """
+    n = src.n_records
+    h_src = src.internal_view(process)
+    h_dst = dst.internal_view(process)
+    for j in range(n):
+        col = np.empty((1, n))
+        for i in range(n):
+            row = yield from h_src.read_record(i)
+            col[0, i] = row[0, j]
+        yield from h_dst.write_record(j, col)
+    return n
+
+
+def transpose_tiled(
+    src: "ParallelFile", dst: "ParallelFile", tile: int, process: int = 0,
+):
+    """Generator: blocked transpose with a ``tile x n``-element buffer.
+
+    Reads ``tile`` full rows at a time (contiguous records — one
+    transfer), transposes in memory, and scatters ``tile``-wide column
+    strips into the output rows with read-modify-write at tile
+    granularity. Total transfers: O((n / tile)^2) instead of O(n^2).
+    """
+    if tile < 1:
+        raise ValueError("tile must be >= 1")
+    n = src.n_records
+    h_src = src.internal_view(process)
+    h_dst = dst.internal_view(process)
+    for i0 in range(0, n, tile):
+        rows_n = min(tile, n - i0)
+        rows = yield from h_src.read_record(i0, count=rows_n)  # (rows_n, n)
+        for j0 in range(0, n, tile):
+            cols_n = min(tile, n - j0)
+            # the (i0, j0) tile of the input, transposed, lands at
+            # (j0, i0) in the output
+            block = rows[:, j0 : j0 + cols_n].T          # (cols_n, rows_n)
+            out_rows = yield from h_dst.read_record(j0, count=cols_n)
+            out_rows = out_rows.copy()
+            out_rows[:, i0 : i0 + rows_n] = block
+            yield from h_dst.write_record(j0, out_rows)
+    return n

@@ -1,0 +1,183 @@
+"""Unit tests for the LRU block buffer cache."""
+
+import pytest
+
+from repro.buffering import BufferCache
+from repro.sim import Environment
+
+IO_TIME = 1.0
+
+
+class Backend:
+    """Fake block device with fetch/writeback logging."""
+
+    def __init__(self, env, io_time=IO_TIME):
+        self.env = env
+        self.io_time = io_time
+        self.store = {}
+        self.fetches = []
+        self.writes = []
+
+    def fetch(self, block):
+        def transfer():
+            yield self.env.timeout(self.io_time)
+            self.fetches.append((block, self.env.now))
+            return self.store.get(block, b"\0" * 64)
+
+        return self.env.process(transfer())
+
+    def writeback(self, block, data):
+        def transfer():
+            yield self.env.timeout(self.io_time)
+            self.store[block] = data
+            self.writes.append((block, self.env.now))
+            return len(data)
+
+        return self.env.process(transfer())
+
+
+def make(env, capacity=2, io_time=IO_TIME):
+    be = Backend(env, io_time)
+    cache = BufferCache(env, be.fetch, be.writeback, capacity_blocks=capacity)
+    return cache, be
+
+
+def test_validation():
+    env = Environment()
+    be = Backend(env)
+    with pytest.raises(ValueError):
+        BufferCache(env, be.fetch, be.writeback, capacity_blocks=0)
+
+
+def test_miss_then_hit():
+    env = Environment()
+    cache, be = make(env)
+
+    def proc():
+        yield from cache.read(5)
+        t_after_miss = env.now
+        yield from cache.read(5)
+        return t_after_miss, env.now
+
+    t_miss, t_hit = env.run(env.process(proc()))
+    assert t_miss == pytest.approx(IO_TIME)
+    assert t_hit == t_miss  # hit is free
+    assert cache.hits == 1 and cache.misses == 1
+    assert cache.hit_rate == 0.5
+
+
+def test_lru_eviction_order():
+    env = Environment()
+    cache, be = make(env, capacity=2)
+
+    def proc():
+        yield from cache.read(1)
+        yield from cache.read(2)
+        yield from cache.read(1)   # touch 1 -> 2 is LRU
+        yield from cache.read(3)   # evicts 2
+        return None
+
+    env.run(env.process(proc()))
+    assert cache.contains(1) and cache.contains(3)
+    assert not cache.contains(2)
+    assert cache.evictions == 1
+
+
+def test_dirty_victim_written_back_on_eviction():
+    env = Environment()
+    cache, be = make(env, capacity=1)
+
+    def proc():
+        yield from cache.write(1, b"one")
+        yield from cache.read(2)  # evicts dirty block 1
+        return None
+
+    env.run(env.process(proc()))
+    assert be.store[1] == b"one"
+    assert cache.writebacks == 1
+
+
+def test_flush_writes_all_dirty():
+    env = Environment()
+    cache, be = make(env, capacity=4)
+
+    def proc():
+        yield from cache.write(1, b"a")
+        yield from cache.write(2, b"b")
+        yield from cache.flush()
+        return None
+
+    env.run(env.process(proc()))
+    assert be.store == {1: b"a", 2: b"b"}
+    # flush is parallel: both writebacks complete at IO_TIME
+    assert env.now == pytest.approx(IO_TIME)
+
+
+def test_write_hit_updates_in_place():
+    env = Environment()
+    cache, be = make(env, capacity=2)
+
+    def proc():
+        yield from cache.write(1, b"v1")
+        yield from cache.write(1, b"v2")
+        data = yield from cache.read(1)
+        return data
+
+    assert env.run(env.process(proc())) == b"v2"
+    assert cache.misses == 0  # write-allocate, then hits
+
+
+def test_single_flight_concurrent_misses():
+    """Two processes missing the same block share one fetch."""
+    env = Environment()
+    cache, be = make(env)
+    results = []
+
+    def reader(name):
+        data = yield from cache.read(9)
+        results.append((name, env.now, bytes(data)))
+
+    env.process(reader("a"))
+    env.process(reader("b"))
+    env.run()
+    assert len(be.fetches) == 1
+    assert [t for _, t, _ in results] == [IO_TIME, IO_TIME]
+
+
+def test_invalidate_requires_clean_cache():
+    env = Environment()
+    cache, be = make(env)
+
+    def proc():
+        yield from cache.write(1, b"x")
+        return None
+
+    env.run(env.process(proc()))
+    with pytest.raises(RuntimeError):
+        cache.invalidate()
+
+    def proc2():
+        yield from cache.flush()
+        return None
+
+    env.run(env.process(proc2()))
+    cache.invalidate()
+    assert len(cache) == 0
+
+
+def test_no_writeback_function_rejects_dirty_eviction():
+    env = Environment()
+    be = Backend(env)
+    cache = BufferCache(env, be.fetch, None, capacity_blocks=1)
+    failed = []
+
+    def proc():
+        yield from cache.write(1, b"x")
+        try:
+            yield from cache.read(2)
+        except RuntimeError:
+            failed.append(True)
+
+    env.process(proc())
+    env.run()
+    assert failed == [True]

@@ -1,0 +1,66 @@
+"""Unit tests for buffer pools."""
+
+import pytest
+
+from repro.buffering import BufferPool
+from repro.sim import Environment
+
+
+def test_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        BufferPool(env, 0, 1024)
+    with pytest.raises(ValueError):
+        BufferPool(env, 1, 0)
+    with pytest.raises(ValueError):
+        BufferPool(env, 1, 1024, copy_cost_per_byte=-1)
+
+
+def test_copy_cost_formula():
+    env = Environment()
+    pool = BufferPool(env, 2, 4096, copy_cost_per_byte=1e-6, per_buffer_overhead=1e-3)
+    assert pool.copy_cost(1000) == pytest.approx(1e-3 + 1e-3)
+    assert pool.copy_cost(0) == pytest.approx(1e-3)
+    with pytest.raises(ValueError):
+        pool.copy_cost(5000)
+    with pytest.raises(ValueError):
+        pool.copy_cost(-1)
+
+
+def test_charge_advances_clock_and_counts_bytes():
+    env = Environment()
+    pool = BufferPool(env, 1, 4096, copy_cost_per_byte=1e-6, per_buffer_overhead=0)
+
+    def proc():
+        yield from pool.charge(2048)
+
+    env.run(env.process(proc()))
+    assert env.now == pytest.approx(2048e-6)
+    assert pool.bytes_staged == 2048
+
+
+def test_acquire_blocks_at_capacity():
+    env = Environment()
+    pool = BufferPool(env, 2, 1024)
+    acquired = []
+
+    def proc(i):
+        yield pool.acquire()
+        acquired.append((i, env.now))
+        yield env.timeout(1)
+        pool.release()
+
+    for i in range(3):
+        env.process(proc(i))
+    env.run()
+    times = [t for _, t in acquired]
+    assert times == [0, 0, 1]
+    assert pool.peak_in_use == 2
+    assert pool.in_use == 0
+
+
+def test_release_unheld_raises():
+    env = Environment()
+    pool = BufferPool(env, 1, 1024)
+    with pytest.raises(RuntimeError):
+        pool.release()

@@ -1,0 +1,147 @@
+"""Unit tests for read-ahead streams — including the E5 overlap shape."""
+
+import pytest
+
+from repro.buffering import BufferPool, ReadStream
+from repro.sim import Environment
+
+
+IO_TIME = 1.0
+
+
+def make_fetch(env, io_time=IO_TIME, log=None):
+    """A fetch that takes io_time seconds and returns 512 marker bytes."""
+
+    def fetch(index):
+        def transfer():
+            yield env.timeout(io_time)
+            if log is not None:
+                log.append((index, env.now))
+            return bytes([index % 251]) * 512
+
+        return env.process(transfer())
+
+    return fetch
+
+
+def make_pool(env, n=4):
+    return BufferPool(env, n, 4096, copy_cost_per_byte=0.0, per_buffer_overhead=0.0)
+
+
+def test_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        ReadStream(env, make_fetch(env), [0], make_pool(env), depth=-1)
+
+
+def test_sequence_delivered_in_order():
+    env = Environment()
+    stream = ReadStream(env, make_fetch(env), [3, 1, 4, 1, 5], make_pool(env), depth=2)
+
+    def proc():
+        out = yield from stream.read_all()
+        return out
+
+    assert env.run(env.process(proc())) == [3, 1, 4, 1, 5]
+
+
+def test_data_contents_match_index():
+    env = Environment()
+    stream = ReadStream(env, make_fetch(env), [7, 9], make_pool(env), depth=1)
+
+    def proc():
+        i1, d1 = yield from stream.get()
+        i2, d2 = yield from stream.get()
+        return (i1, d1[0], i2, d2[0])
+
+    assert env.run(env.process(proc())) == (7, 7, 9, 9)
+
+
+def test_get_after_exhaustion_returns_none():
+    env = Environment()
+    stream = ReadStream(env, make_fetch(env), [0], make_pool(env), depth=0)
+
+    def proc():
+        yield from stream.get()
+        result = yield from stream.get()
+        return result
+
+    assert env.run(env.process(proc())) is None
+    assert stream.exhausted
+
+
+def test_single_buffering_serializes_io_and_compute():
+    """depth=0: elapsed = n*(io + compute)."""
+    env = Environment()
+    stream = ReadStream(env, make_fetch(env), list(range(5)), make_pool(env), depth=0)
+
+    def proc():
+        yield from stream.read_all(compute=lambda i, d: 1.0)
+
+    env.run(env.process(proc()))
+    assert env.now == pytest.approx(5 * (IO_TIME + 1.0))
+
+
+def test_double_buffering_overlaps_io_with_compute():
+    """depth>=1: elapsed ~ io + n*max(io, compute)."""
+    env = Environment()
+    stream = ReadStream(env, make_fetch(env), list(range(5)), make_pool(env), depth=1)
+
+    def proc():
+        yield from stream.read_all(compute=lambda i, d: 1.0)
+
+    env.run(env.process(proc()))
+    # first block's fetch is exposed; thereafter compute hides I/O
+    assert env.now == pytest.approx(IO_TIME + 5 * 1.0)
+
+
+def test_readahead_hides_io_when_compute_dominates():
+    env = Environment()
+    stream = ReadStream(env, make_fetch(env, io_time=0.1), list(range(10)), make_pool(env), depth=2)
+
+    def proc():
+        yield from stream.read_all(compute=lambda i, d: 1.0)
+
+    env.run(env.process(proc()))
+    assert env.now == pytest.approx(0.1 + 10 * 1.0, rel=0.02)
+
+
+def test_io_bound_floor_is_total_io_time():
+    """When compute ~ 0, read-ahead cannot beat the device."""
+    env = Environment()
+    stream = ReadStream(env, make_fetch(env), list(range(6)), make_pool(env), depth=3)
+
+    def proc():
+        yield from stream.read_all()
+
+    env.run(env.process(proc()))
+    assert env.now == pytest.approx(6 * IO_TIME)
+
+
+def test_copy_cost_charged_per_block():
+    env = Environment()
+    pool = BufferPool(env, 2, 4096, copy_cost_per_byte=1e-3, per_buffer_overhead=0.0)
+    stream = ReadStream(env, make_fetch(env, io_time=0.0), [0, 1], pool, depth=0)
+
+    def proc():
+        yield from stream.read_all()
+
+    env.run(env.process(proc()))
+    assert env.now == pytest.approx(2 * 512e-3)
+    assert pool.bytes_staged == 1024
+
+
+def test_pool_bounds_producer_lookahead():
+    """With depth=4 but a 1-buffer pool, the producer cannot run ahead."""
+    env = Environment()
+    log = []
+    pool = BufferPool(env, 1, 4096, copy_cost_per_byte=0, per_buffer_overhead=0)
+    stream = ReadStream(env, make_fetch(env, log=log), list(range(3)), pool, depth=4)
+
+    def proc():
+        yield from stream.read_all(compute=lambda i, d: 10.0)
+
+    env.run(env.process(proc()))
+    # fetch k+1 cannot complete until consumer releases buffer k
+    fetch_times = [t for _, t in log]
+    assert fetch_times[1] >= IO_TIME + 10.0

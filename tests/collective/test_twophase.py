@@ -1,0 +1,174 @@
+"""Unit + property tests for two-phase collective I/O."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.collective import CollectiveIO
+from repro.core import OrganizationError
+from repro.sim import Environment
+from tests.fs.conftest import build_pfs
+
+
+def make_file(env, org="IS", n=96, rpb=2, p=4):
+    pfs = build_pfs(env)
+    return pfs.create(
+        "coll", org, n_records=n, record_size=16, dtype="float64",
+        records_per_block=rpb, n_processes=p,
+    )
+
+
+def preload(env, f, data):
+    def proc():
+        yield from f.global_view().write(data)
+
+    env.run(env.process(proc()))
+
+
+class TestCollectiveRead:
+    @pytest.mark.parametrize("org", ["PS", "IS"])
+    def test_matches_independent_reads(self, org):
+        env = Environment()
+        f = make_file(env, org)
+        data = np.random.default_rng(0).random((96, 2))
+        preload(env, f, data)
+        coll = CollectiveIO(f)
+
+        def proc():
+            out = yield from coll.read_all()
+            return out
+
+        out = env.run(env.process(proc()))
+        for q in range(4):
+            assert np.array_equal(out[q], data[f.map.records_of(q)])
+
+    def test_exchange_bytes_counted(self):
+        env = Environment()
+        f = make_file(env, "IS")
+        data = np.zeros((96, 2))
+        preload(env, f, data)
+        coll = CollectiveIO(f)
+
+        def proc():
+            yield from coll.read_all()
+
+        env.run(env.process(proc()))
+        # IS records are spread across domains: most records travel
+        assert coll.last_exchange_bytes > 0
+
+    def test_ps_needs_little_exchange(self):
+        """PS partitions nearly coincide with file domains: phase 2 ~ free."""
+        env = Environment()
+        f = make_file(env, "PS")
+        data = np.zeros((96, 2))
+        preload(env, f, data)
+        coll = CollectiveIO(f)
+
+        def proc():
+            yield from coll.read_all()
+
+        env.run(env.process(proc()))
+        assert coll.last_exchange_bytes == 0
+
+    def test_dynamic_org_rejected(self):
+        env = Environment()
+        pfs = build_pfs(env)
+        f = pfs.create("ss", "SS", n_records=8, record_size=16,
+                       dtype="float64", records_per_block=1, n_processes=2)
+        with pytest.raises(OrganizationError):
+            CollectiveIO(f)
+
+    def test_invalid_interconnect(self):
+        env = Environment()
+        f = make_file(env)
+        with pytest.raises(ValueError):
+            CollectiveIO(f, exchange_rate=0)
+        with pytest.raises(ValueError):
+            CollectiveIO(f, exchange_latency=-1)
+
+
+class TestCollectiveWrite:
+    @pytest.mark.parametrize("org", ["PS", "IS"])
+    def test_roundtrip_via_global_view(self, org):
+        env = Environment()
+        f = make_file(env, org)
+        data = np.random.default_rng(1).random((96, 2))
+        coll = CollectiveIO(f)
+        per_process = {
+            q: data[f.map.records_of(q)] for q in range(4)
+        }
+
+        def proc():
+            yield from coll.write_all(per_process)
+            out = yield from f.global_view().read()
+            return out
+
+        assert np.array_equal(env.run(env.process(proc())), data)
+
+    def test_missing_process_rejected(self):
+        env = Environment()
+        f = make_file(env)
+        coll = CollectiveIO(f)
+        with pytest.raises(ValueError):
+            next(coll.write_all({0: np.zeros((24, 2))}))
+
+    def test_wrong_count_rejected(self):
+        env = Environment()
+        f = make_file(env)
+        coll = CollectiveIO(f)
+        bad = {q: np.zeros((5, 2)) for q in range(4)}
+        with pytest.raises(ValueError):
+            next(coll.write_all(bad))
+
+
+class TestFileDomains:
+    def test_domains_partition_the_file(self):
+        env = Environment()
+        f = make_file(env, n=97)  # deliberately uneven
+        coll = CollectiveIO(f)
+        covered = []
+        for q in range(4):
+            lo, hi = coll.file_domain(q)
+            covered.extend(range(lo, hi))
+        assert covered == list(range(97))
+
+    def test_balanced_within_one(self):
+        env = Environment()
+        f = make_file(env, n=97)
+        coll = CollectiveIO(f)
+        sizes = [hi - lo for lo, hi in (coll.file_domain(q) for q in range(4))]
+        assert max(sizes) - min(sizes) <= 1
+
+
+@settings(max_examples=20, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(
+    st.sampled_from(["PS", "IS"]),
+    st.integers(1, 80),
+    st.integers(1, 6),
+    st.integers(1, 5),
+    st.integers(0, 2**16),
+)
+def test_collective_read_equals_independent_property(org, n, rpb, p, seed):
+    env = Environment()
+    pfs = build_pfs(env)
+    f = pfs.create(
+        "prop", org, n_records=n, record_size=16, dtype="float64",
+        records_per_block=rpb, n_processes=p,
+    )
+    data = np.random.default_rng(seed).random((n, 2))
+
+    def setup():
+        yield from f.global_view().write(data)
+
+    env.run(env.process(setup()))
+    coll = CollectiveIO(f)
+
+    def proc():
+        out = yield from coll.read_all()
+        return out
+
+    out = env.run(env.process(proc()))
+    for q in range(p):
+        expected = data[f.map.records_of(q)]
+        assert np.array_equal(out[q], expected)

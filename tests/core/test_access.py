@@ -1,0 +1,193 @@
+"""Unit tests for access methods and the sequential-within-block cursor."""
+
+import pytest
+
+from repro.core import (
+    AccessMethod,
+    BlockSpec,
+    FileOrganization,
+    OrganizationError,
+    OwnershipError,
+    PartitionedDirectMap,
+    PartitionedMap,
+    RecordSpec,
+    SequentialWithinBlockCursor,
+    check_access_method,
+    supported_methods,
+)
+
+
+class TestSupportMatrix:
+    def test_sequential_orgs_also_support_direct(self):
+        for org in (FileOrganization.S, FileOrganization.PS, FileOrganization.IS):
+            methods = supported_methods(org)
+            assert AccessMethod.SEQUENTIAL in methods
+            assert AccessMethod.DIRECT in methods
+            assert AccessMethod.SELF_SCHEDULED not in methods
+
+    def test_ss_is_only_self_scheduled(self):
+        assert supported_methods(FileOrganization.SS) == {
+            AccessMethod.SELF_SCHEDULED
+        }
+
+    def test_gda_supports_everything(self):
+        assert supported_methods(FileOrganization.GDA) == set(AccessMethod)
+
+    def test_check_raises_with_helpful_message(self):
+        with pytest.raises(OrganizationError, match="self-scheduled"):
+            check_access_method(FileOrganization.PS, AccessMethod.SELF_SCHEDULED)
+
+    def test_check_passes_supported(self):
+        check_access_method(FileOrganization.PDA, AccessMethod.DIRECT)
+
+
+def pda_map(n=24, rpb=4, p=2):
+    return PartitionedDirectMap(BlockSpec(RecordSpec(8), rpb), n, p)
+
+
+class TestSequentialWithinBlockCursor:
+    def test_requires_pda(self):
+        ps = PartitionedMap(BlockSpec(RecordSpec(8), 4), 24, 2)
+        with pytest.raises(OrganizationError):
+            SequentialWithinBlockCursor(ps, 0)
+
+    def test_in_order_accesses_admitted(self):
+        m = pda_map()
+        cur = SequentialWithinBlockCursor(m, 0)
+        block0 = m.blocks_of(0)[0]
+        first = m.blocks.first_record(int(block0))
+        for r in range(first, first + 4):
+            cur.admit(r)
+        assert cur.block_finished(int(block0))
+
+    def test_blocks_in_any_order(self):
+        m = pda_map()
+        cur = SequentialWithinBlockCursor(m, 0)
+        blocks = [int(b) for b in m.blocks_of(0)]
+        # visit the LAST owned block first — legal
+        cur.admit(m.blocks.first_record(blocks[-1]))
+        cur.admit(m.blocks.first_record(blocks[0]))
+
+    def test_skip_within_block_rejected(self):
+        m = pda_map()
+        cur = SequentialWithinBlockCursor(m, 0)
+        first = m.blocks.first_record(int(m.blocks_of(0)[0]))
+        cur.admit(first)
+        with pytest.raises(OrganizationError, match="sequential-within-block"):
+            cur.admit(first + 2)  # skipped slot 1
+
+    def test_revisit_rejected(self):
+        m = pda_map()
+        cur = SequentialWithinBlockCursor(m, 0)
+        first = m.blocks.first_record(int(m.blocks_of(0)[0]))
+        cur.admit(first)
+        with pytest.raises(OrganizationError):
+            cur.admit(first)
+
+    def test_foreign_record_rejected(self):
+        m = pda_map()
+        cur = SequentialWithinBlockCursor(m, 0)
+        foreign = m.records_of(1)[0]
+        with pytest.raises(OwnershipError):
+            cur.admit(int(foreign))
+
+    def test_reset_allows_second_pass(self):
+        m = pda_map()
+        cur = SequentialWithinBlockCursor(m, 0)
+        b = int(m.blocks_of(0)[0])
+        first = m.blocks.first_record(b)
+        for r in range(first, first + 4):
+            cur.admit(r)
+        cur.reset_block(b)
+        cur.admit(first)  # fresh pass, slot 0 again
+
+    def test_short_final_block_finishes_early(self):
+        m = pda_map(n=22)  # block 5 holds 2 records; owner is process 0
+        owner = m.owner_of_block(5)
+        cur = SequentialWithinBlockCursor(m, owner)
+        cur.admit(20)
+        assert not cur.block_finished(5)
+        cur.admit(21)
+        assert cur.block_finished(5)
+
+
+class TestPdaHandleDiscipline:
+    """The fs-level wiring of the §3.2 restricted PDA variant."""
+
+    def make_file(self, env):
+        from tests.fs.conftest import build_pfs
+
+        pfs = build_pfs(env)
+        import numpy as np
+
+        f = pfs.create(
+            "pda_sw", "PDA", n_records=24, record_size=8, dtype="float64",
+            records_per_block=4, n_processes=2,
+        )
+
+        def setup():
+            yield from f.global_view().write(np.arange(24).reshape(24, 1) * 1.0)
+
+        env.run(env.process(setup()))
+        return f
+
+    def test_sequential_pass_allowed(self):
+        from repro.sim import Environment
+
+        env = Environment()
+        f = self.make_file(env)
+        h = f.internal_view(0, sequential_within_block=True)
+
+        def proc():
+            for b in h.owned_blocks:
+                first = f.attrs.block_spec.first_record(int(b))
+                for r in range(first, first + 4):
+                    yield from h.read_record(r)
+            return True
+
+        assert env.run(env.process(proc()))
+
+    def test_out_of_order_within_block_rejected(self):
+        from repro.core import OrganizationError
+        from repro.sim import Environment
+
+        env = Environment()
+        f = self.make_file(env)
+        h = f.internal_view(0, sequential_within_block=True)
+        b = int(h.owned_blocks[0])
+        first = f.attrs.block_spec.first_record(b)
+        with pytest.raises(OrganizationError):
+            next(h.read_record(first + 1))  # slot 1 before slot 0
+
+    def test_reset_block_enables_multipass(self):
+        from repro.sim import Environment
+
+        env = Environment()
+        f = self.make_file(env)
+        h = f.internal_view(0, sequential_within_block=True)
+        b = int(h.owned_blocks[0])
+        first = f.attrs.block_spec.first_record(b)
+
+        def proc():
+            yield from h.read_record(first, count=4)
+            h.reset_block(b)
+            yield from h.read_record(first, count=4)
+            return True
+
+        assert env.run(env.process(proc()))
+
+    def test_default_pda_remains_random_access(self):
+        from repro.sim import Environment
+
+        env = Environment()
+        f = self.make_file(env)
+        h = f.internal_view(0)  # unrestricted
+
+        def proc():
+            b = int(h.owned_blocks[0])
+            first = f.attrs.block_spec.first_record(b)
+            yield from h.read_record(first + 3)
+            yield from h.read_record(first + 1)
+            return True
+
+        assert env.run(env.process(proc()))

@@ -1,0 +1,76 @@
+"""Unit tests for the logical block model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import BlockSpec, RecordRangeError, RecordSpec
+
+
+@pytest.fixture
+def spec():
+    return BlockSpec(RecordSpec(8), records_per_block=10)
+
+
+class TestCounting:
+    def test_exact_blocks(self, spec):
+        assert spec.n_blocks(30) == 3
+
+    def test_short_final_block(self, spec):
+        assert spec.n_blocks(31) == 4
+        assert spec.block_records(3, 31) == 1
+        assert spec.is_short(3, 31)
+        assert not spec.is_short(2, 31)
+
+    def test_empty_file(self, spec):
+        assert spec.n_blocks(0) == 0
+        assert spec.block_records(0, 0) == 0
+
+    def test_invalid(self, spec):
+        with pytest.raises(ValueError):
+            spec.n_blocks(-1)
+        with pytest.raises(RecordRangeError):
+            spec.block_records(3, 30)
+        with pytest.raises(ValueError):
+            BlockSpec(RecordSpec(8), 0)
+
+
+class TestCoordinates:
+    def test_block_and_slot(self, spec):
+        assert spec.block_of(0) == 0
+        assert spec.block_of(25) == 2
+        assert spec.slot_of(25) == 5
+
+    def test_record_at_inverse(self, spec):
+        assert spec.record_at(2, 5) == 25
+        assert spec.first_record(3) == 30
+
+    def test_record_at_validates_slot(self, spec):
+        with pytest.raises(RecordRangeError):
+            spec.record_at(0, 10)
+        with pytest.raises(RecordRangeError):
+            spec.record_at(-1, 0)
+
+    @given(st.integers(0, 10_000), st.integers(1, 64))
+    def test_roundtrip_property(self, record, rpb):
+        spec = BlockSpec(RecordSpec(4), rpb)
+        assert spec.record_at(spec.block_of(record), spec.slot_of(record)) == record
+
+
+class TestBytes:
+    def test_block_bytes(self, spec):
+        assert spec.block_bytes == 80
+
+    def test_block_byte_range_full(self, spec):
+        assert spec.block_byte_range(1, 30) == (80, 80)
+
+    def test_block_byte_range_short(self, spec):
+        assert spec.block_byte_range(3, 31) == (240, 8)
+
+    @given(st.integers(1, 300), st.integers(1, 32))
+    def test_block_records_sum_to_file(self, n_records, rpb):
+        spec = BlockSpec(RecordSpec(4), rpb)
+        total = sum(
+            spec.block_records(b, n_records) for b in range(spec.n_blocks(n_records))
+        )
+        assert total == n_records

@@ -1,0 +1,140 @@
+"""Unit + property tests for boundary-overlap handling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    BlockSpec,
+    HaloCache,
+    InterleavedMap,
+    OrganizationError,
+    PartitionedMap,
+    RecordSpec,
+    ReplicatedPartitioning,
+)
+
+
+def ps_map(n_records, rpb, p):
+    return PartitionedMap(BlockSpec(RecordSpec(8), rpb), n_records, p)
+
+
+class TestReplicatedPartitioning:
+    def test_requires_ps(self):
+        m = InterleavedMap(BlockSpec(RecordSpec(8), 4), 40, 2)
+        with pytest.raises(OrganizationError):
+            ReplicatedPartitioning(m, 1)
+
+    def test_negative_halo_rejected(self):
+        with pytest.raises(OrganizationError):
+            ReplicatedPartitioning(ps_map(40, 4, 2), -1)
+
+    def test_zero_halo_is_plain_partitioning(self):
+        rp = ReplicatedPartitioning(ps_map(40, 4, 4), 0)
+        assert rp.inflation == 1.0
+        assert rp.redundant_records == 0
+
+    def test_interior_partitions_extend_both_ways(self):
+        # 40 records, 10 blocks of 4, 4 processes: partitions of 12,12,8,8 recs
+        rp = ReplicatedPartitioning(ps_map(40, 4, 4), halo=2)
+        assert rp.owned_records(1) == (12, 24)
+        assert rp.stored_records(1) == (10, 26)
+
+    def test_edges_clipped_to_file(self):
+        rp = ReplicatedPartitioning(ps_map(40, 4, 4), halo=2)
+        assert rp.stored_records(0) == (0, 14)        # no left halo
+        assert rp.stored_records(3)[1] == 40          # no right halo
+
+    def test_redundancy_counts_interior_boundaries(self):
+        # P partitions, each interior boundary replicated twice (halo each side)
+        rp = ReplicatedPartitioning(ps_map(40, 4, 4), halo=2)
+        assert rp.redundant_records == 2 * 2 * 3  # halo * 2 sides * 3 boundaries
+
+    def test_build_and_dedup_roundtrip(self):
+        rp = ReplicatedPartitioning(ps_map(40, 4, 4), halo=3)
+        data = np.arange(40)
+        parts = rp.build_partitions(data)
+        assert np.array_equal(rp.dedup(parts), data)
+
+    def test_dedup_prefers_owner_copy(self):
+        rp = ReplicatedPartitioning(ps_map(8, 1, 2), halo=1)
+        data = np.arange(8)
+        parts = [p.copy() for p in rp.build_partitions(data)]
+        # corrupt the halo copy of record 4 held by process 0
+        s_lo, s_hi = rp.stored_records(0)
+        parts[0][4 - s_lo] = 999
+        result = rp.dedup(parts)
+        assert result[4] == 4  # owner's copy (process 1) wins
+
+    def test_build_rejects_wrong_length(self):
+        rp = ReplicatedPartitioning(ps_map(8, 1, 2), halo=1)
+        with pytest.raises(ValueError):
+            rp.build_partitions(np.arange(7))
+
+    def test_dedup_rejects_wrong_shapes(self):
+        rp = ReplicatedPartitioning(ps_map(8, 1, 2), halo=1)
+        parts = rp.build_partitions(np.arange(8))
+        with pytest.raises(ValueError):
+            rp.dedup(parts[:1])
+        with pytest.raises(ValueError):
+            rp.dedup([parts[0][:-1], parts[1]])
+
+    @settings(max_examples=50)
+    @given(
+        st.integers(1, 200),
+        st.integers(1, 8),
+        st.integers(1, 8),
+        st.integers(0, 5),
+    )
+    def test_dedup_roundtrip_property(self, n_records, rpb, p, halo):
+        rp = ReplicatedPartitioning(ps_map(n_records, rpb, p), halo)
+        data = np.arange(n_records) * 3 + 1
+        assert np.array_equal(rp.dedup(rp.build_partitions(data)), data)
+
+    @settings(max_examples=50)
+    @given(st.integers(1, 200), st.integers(1, 8), st.integers(1, 8), st.integers(0, 5))
+    def test_inflation_at_least_one(self, n_records, rpb, p, halo):
+        rp = ReplicatedPartitioning(ps_map(n_records, rpb, p), halo)
+        assert rp.inflation >= 1.0
+        assert rp.total_stored >= n_records
+
+
+class TestHaloCache:
+    def test_miss_then_hit(self):
+        cache = HaloCache(4)
+        assert cache.lookup(7) is None
+        cache.insert(7, np.array([1.0]))
+        assert cache.lookup(7) is not None
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_fifo_eviction(self):
+        cache = HaloCache(2)
+        cache.insert(1, np.array([1]))
+        cache.insert(2, np.array([2]))
+        cache.insert(3, np.array([3]))  # evicts 1
+        assert cache.lookup(1) is None
+        assert cache.lookup(2) is not None
+        assert cache.evictions == 1
+
+    def test_zero_capacity_never_stores(self):
+        cache = HaloCache(0)
+        cache.insert(1, np.array([1]))
+        assert cache.lookup(1) is None
+        assert len(cache) == 0
+
+    def test_update_existing_no_eviction(self):
+        cache = HaloCache(2)
+        cache.insert(1, np.array([1]))
+        cache.insert(2, np.array([2]))
+        cache.insert(1, np.array([10]))
+        assert cache.evictions == 0
+        assert cache.lookup(1)[0] == 10
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            HaloCache(-1)
+
+    def test_empty_hit_rate(self):
+        assert HaloCache(1).hit_rate == 0.0

@@ -1,0 +1,233 @@
+"""Unit tests for the simulated device controller."""
+
+import numpy as np
+import pytest
+
+from repro.devices import (
+    RAM_DEVICE,
+    WREN_1989,
+    DeviceController,
+    DeviceFailedError,
+    DiskGeometry,
+    DiskModel,
+    make_policy,
+)
+from repro.sim import Environment
+
+
+def make_controller(env, *, timing=WREN_1989, policy=None, overhead=0.0005, name="d0"):
+    disk = DiskModel(DiskGeometry(block_size=512, blocks_per_cylinder=8, cylinders=128), timing)
+    return DeviceController(env, disk, name=name, policy=policy, per_request_overhead=overhead)
+
+
+class TestReadWrite:
+    def test_write_then_read_roundtrip(self):
+        env = Environment()
+        dev = make_controller(env)
+        payload = bytes(range(256))
+
+        def proc():
+            yield dev.write(1000, payload)
+            data = yield dev.read(1000, 256)
+            return bytes(data)
+
+        assert env.run(env.process(proc())) == payload
+
+    def test_unwritten_space_reads_zero(self):
+        env = Environment()
+        dev = make_controller(env)
+
+        def proc():
+            data = yield dev.read(0, 16)
+            return bytes(data)
+
+        assert env.run(env.process(proc())) == b"\0" * 16
+
+    def test_numpy_write_accepted(self):
+        env = Environment()
+        dev = make_controller(env)
+        arr = np.arange(64, dtype=np.uint8)
+
+        def proc():
+            n = yield dev.write(0, arr)
+            data = yield dev.read(0, 64)
+            return n, data
+
+        n, data = env.run(env.process(proc()))
+        assert n == 64
+        assert np.array_equal(data, arr)
+
+    def test_out_of_range_rejected(self):
+        env = Environment()
+        dev = make_controller(env)
+        with pytest.raises(ValueError):
+            dev.read(dev.capacity_bytes - 10, 100)
+        with pytest.raises(ValueError):
+            dev.read(-1, 10)
+
+    def test_requests_serialize_on_one_arm(self):
+        env = Environment()
+        dev = make_controller(env, timing=RAM_DEVICE, overhead=1.0)
+        done = []
+
+        def proc(i):
+            yield dev.read(0, 512)
+            done.append((i, env.now))
+
+        for i in range(3):
+            env.process(proc(i))
+        env.run()
+        # 1.0s overhead per request on one arm -> completions serialize
+        times = [t for _, t in done]
+        per_request = 1.0 + 512 / 100e6
+        assert times == pytest.approx([per_request * (i + 1) for i in range(3)], rel=1e-3)
+
+    def test_latency_stats_collected(self):
+        env = Environment()
+        dev = make_controller(env)
+
+        def proc():
+            yield dev.write(0, b"x" * 512)
+            yield dev.read(0, 512)
+
+        env.run(env.process(proc()))
+        assert dev.latency.count == 2
+        assert dev.latency.mean > 0
+
+    def test_utilization_between_zero_and_one(self):
+        env = Environment()
+        dev = make_controller(env)
+
+        def proc():
+            yield dev.read(0, 512)
+            yield env.timeout(1.0)  # idle tail
+            yield dev.read(0, 512)
+
+        env.run(env.process(proc()))
+        u = dev.utilization.utilization(env.now)
+        assert 0 < u < 1
+
+
+class TestScheduling:
+    def test_sstf_reorders_queue(self):
+        env = Environment()
+        dev = make_controller(env, policy=make_policy("sstf"))
+        order = []
+        bs = 512 * 8  # one cylinder of bytes
+
+        def submit_all():
+            # Head at cylinder 0. Queue far (cyl 100), then near (cyl 2).
+            far = dev.read(100 * bs, 512)
+            near = dev.read(2 * bs, 512)
+
+            def on_far(ev):
+                order.append("far")
+
+            def on_near(ev):
+                order.append("near")
+
+            far.callbacks.append(on_far)
+            near.callbacks.append(on_near)
+            if False:
+                yield
+
+        env.process(submit_all())
+        env.run()
+        # The first request is grabbed immediately (FCFS while idle), but
+        # with both queued the controller begins with whatever select()
+        # returns; since both were pending before service started, SSTF
+        # picks the near one first.
+        assert order == ["near", "far"]
+
+    def test_fcfs_preserves_arrival_order(self):
+        env = Environment()
+        dev = make_controller(env, policy=make_policy("fcfs"))
+        order = []
+        bs = 512 * 8
+
+        def submit_all():
+            a = dev.read(100 * bs, 512)
+            b = dev.read(2 * bs, 512)
+            a.callbacks.append(lambda ev: order.append("far"))
+            b.callbacks.append(lambda ev: order.append("near"))
+            if False:
+                yield
+
+        env.process(submit_all())
+        env.run()
+        assert order == ["far", "near"]
+
+
+class TestFailure:
+    def test_failed_device_rejects_new_requests(self):
+        env = Environment()
+        dev = make_controller(env)
+        dev.fail()
+        outcome = []
+
+        def proc():
+            try:
+                yield dev.read(0, 512)
+            except DeviceFailedError as e:
+                outcome.append(e.device)
+
+        env.process(proc())
+        env.run()
+        assert outcome == ["d0"]
+
+    def test_pending_requests_fail_on_device_failure(self):
+        env = Environment()
+        dev = make_controller(env)
+        outcome = []
+
+        def reader():
+            try:
+                yield dev.read(0, 512)
+                outcome.append("ok")
+            except DeviceFailedError:
+                outcome.append("failed")
+
+        def killer():
+            yield env.timeout(0.0001)  # mid-queue
+            dev.fail()
+
+        env.process(reader())
+        env.process(reader())
+        env.process(killer())
+        env.run()
+        assert "failed" in outcome
+
+    def test_repair_without_contents_zeroes_device(self):
+        env = Environment()
+        dev = make_controller(env)
+
+        def proc():
+            yield dev.write(0, b"\xff" * 16)
+            dev.fail()
+            dev.repair()
+            data = yield dev.read(0, 16)
+            return bytes(data)
+
+        assert env.run(env.process(proc())) == b"\0" * 16
+
+    def test_repair_with_restored_contents(self):
+        env = Environment()
+        dev = make_controller(env)
+
+        def proc():
+            yield dev.write(0, b"abcd")
+            snap = dev.snapshot()
+            dev.fail()
+            dev.repair(contents=snap)
+            data = yield dev.read(0, 4)
+            return bytes(data)
+
+        assert env.run(env.process(proc())) == b"abcd"
+
+    def test_peek_poke(self):
+        env = Environment()
+        dev = make_controller(env)
+        dev.poke(100, b"zz")
+        assert bytes(dev.peek(100, 2)) == b"zz"
+        with pytest.raises(ValueError):
+            dev.peek(dev.capacity_bytes, 1)

@@ -1,0 +1,122 @@
+"""Unit tests for the disk timing model."""
+
+import numpy as np
+import pytest
+
+from repro.devices import WREN_1989, DiskGeometry, DiskModel, DiskTiming, RAM_DEVICE
+
+
+@pytest.fixture
+def disk():
+    return DiskModel(DiskGeometry(block_size=512, blocks_per_cylinder=8, cylinders=100), WREN_1989)
+
+
+class TestGeometry:
+    def test_capacity(self):
+        g = DiskGeometry(block_size=512, blocks_per_cylinder=8, cylinders=100)
+        assert g.capacity_blocks == 800
+        assert g.capacity_bytes == 800 * 512
+
+    def test_cylinder_of(self):
+        g = DiskGeometry(block_size=512, blocks_per_cylinder=8, cylinders=100)
+        assert g.cylinder_of(0) == 0
+        assert g.cylinder_of(7) == 0
+        assert g.cylinder_of(8) == 1
+        assert g.cylinder_of(799) == 99
+
+    def test_out_of_range_block(self):
+        g = DiskGeometry(block_size=512, blocks_per_cylinder=8, cylinders=100)
+        with pytest.raises(ValueError):
+            g.cylinder_of(800)
+        with pytest.raises(ValueError):
+            g.cylinder_of(-1)
+
+    def test_invalid_fields(self):
+        with pytest.raises(ValueError):
+            DiskGeometry(block_size=0)
+
+
+class TestTiming:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiskTiming(transfer_rate=0)
+        with pytest.raises(ValueError):
+            DiskTiming(seek_min=0.01, seek_full=0.005)
+        with pytest.raises(ValueError):
+            DiskTiming(mtbf_hours=0)
+
+    def test_presets_sane(self):
+        assert WREN_1989.mtbf_hours == 30_000.0
+        assert RAM_DEVICE.seek_full == 0.0
+
+
+class TestSeek:
+    def test_zero_distance_free(self, disk):
+        assert disk.seek_time(0) == 0.0
+
+    def test_monotone_in_distance(self, disk):
+        times = [disk.seek_time(d) for d in (1, 4, 16, 64, 99)]
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+
+    def test_full_stroke_calibration(self, disk):
+        assert disk.seek_time(99) == pytest.approx(WREN_1989.seek_full)
+
+    def test_single_track_near_minimum(self, disk):
+        assert disk.seek_time(1) == pytest.approx(
+            WREN_1989.seek_min + (WREN_1989.seek_full - WREN_1989.seek_min) / np.sqrt(99)
+        )
+
+    def test_negative_distance_rejected(self, disk):
+        with pytest.raises(ValueError):
+            disk.seek_time(-1)
+
+
+class TestService:
+    def test_sequential_same_cylinder_no_seek(self, disk):
+        # Head starts at cylinder 0; blocks 0 and 1 are both cylinder 0,
+        # so both accesses are pure transfer.
+        t0 = disk.service(0, 512)
+        t1 = disk.service(1, 512)
+        assert t0 == pytest.approx(512 / WREN_1989.transfer_rate)
+        assert t1 == pytest.approx(512 / WREN_1989.transfer_rate)
+        assert disk.total_seeks == 0
+
+    def test_cross_cylinder_pays_seek_and_rotation(self, disk):
+        disk.service(0, 512)
+        t = disk.service(640, 512)  # cylinder 80
+        expected_min = disk.seek_time(80) + 512 / WREN_1989.transfer_rate
+        assert t >= expected_min
+        assert disk.total_seeks == 1
+        assert disk.total_seek_distance == 80
+        assert disk.head_cylinder == 80
+
+    def test_transfer_proportional_to_bytes(self, disk):
+        a = disk.service(0, 1024)
+        b = disk.service(1, 2048)
+        assert b == pytest.approx(a * 2) or b > a  # same cylinder: pure transfer doubles
+        assert disk.service(2, 2048) == pytest.approx(2048 / WREN_1989.transfer_rate)
+
+    def test_deterministic_rotational_latency_by_default(self):
+        d1 = DiskModel(DiskGeometry(cylinders=10), WREN_1989)
+        d2 = DiskModel(DiskGeometry(cylinders=10), WREN_1989)
+        assert d1.service(100, 512) == d2.service(100, 512)
+
+    def test_sampled_rotational_latency_with_rng(self):
+        rng = np.random.default_rng(0)
+        d = DiskModel(DiskGeometry(cylinders=10), WREN_1989, rng=rng)
+        lat = d.rotational_latency()
+        assert 0 <= lat < WREN_1989.rotation_period
+
+    def test_counters_accumulate(self, disk):
+        disk.service(0, 100)
+        disk.service(700, 200)
+        assert disk.total_requests == 2
+        assert disk.total_bytes == 300
+
+    def test_reset_position(self, disk):
+        disk.service(700, 100)
+        disk.reset_position(0)
+        assert disk.head_cylinder == 0
+        with pytest.raises(ValueError):
+            disk.reset_position(1000)

@@ -1,0 +1,87 @@
+"""Unit tests for failure injection."""
+
+import pytest
+
+from repro.devices import (
+    WREN_1989,
+    DeviceController,
+    DiskGeometry,
+    DiskModel,
+    FailureInjector,
+)
+from repro.devices.faults import SECONDS_PER_HOUR
+from repro.sim import Environment, RngStreams
+
+
+def make_devices(env, n):
+    geo = DiskGeometry(cylinders=16)
+    return [
+        DeviceController(env, DiskModel(geo, WREN_1989), name=f"d{i}")
+        for i in range(n)
+    ]
+
+
+def test_kill_at_deterministic():
+    env = Environment()
+    (dev,) = make_devices(env, 1)
+    inj = FailureInjector(env, RngStreams(0))
+    inj.kill_at(dev, 100.0)
+    env.run(until=99)
+    assert not dev.failed
+    env.run(until=101)
+    assert dev.failed
+    assert inj.failures[0].device == "d0"
+    assert inj.failures[0].time == 100.0
+
+
+def test_kill_in_past_rejected():
+    env = Environment()
+    (dev,) = make_devices(env, 1)
+    inj = FailureInjector(env, RngStreams(0))
+    env.run(until=10)
+    with pytest.raises(ValueError):
+        inj.kill_at(dev, 5.0)
+
+
+def test_arm_schedules_exponential_failure():
+    env = Environment()
+    (dev,) = make_devices(env, 1)
+    inj = FailureInjector(env, RngStreams(7))
+    when = inj.arm(dev)
+    assert when > 0
+    env.run(until=when + 1)
+    assert dev.failed
+
+
+def test_arm_all_and_first_failure():
+    env = Environment()
+    devices = make_devices(env, 5)
+    inj = FailureInjector(env, RngStreams(3))
+    times = inj.arm_all(devices)
+    assert len(times) == 5
+    env.run(until=max(times) + 1)
+    assert len(inj.failures) == 5
+    assert inj.first_failure_time == pytest.approx(min(times))
+
+
+def test_arm_uses_device_mtbf_scale():
+    """Mean of armed lifetimes should approximate MTBF (law of large numbers)."""
+    env = Environment()
+    devices = make_devices(env, 400)
+    inj = FailureInjector(env, RngStreams(11))
+    times = inj.arm_all(devices)
+    mean_hours = sum(times) / len(times) / SECONDS_PER_HOUR
+    assert mean_hours == pytest.approx(WREN_1989.mtbf_hours, rel=0.15)
+
+
+def test_invalid_mtbf_rejected():
+    env = Environment()
+    (dev,) = make_devices(env, 1)
+    inj = FailureInjector(env, RngStreams(0))
+    with pytest.raises(ValueError):
+        inj.arm(dev, mtbf_hours=0)
+
+
+def test_no_failures_first_failure_none():
+    inj = FailureInjector(Environment(), RngStreams(0))
+    assert inj.first_failure_time is None

@@ -1,0 +1,71 @@
+"""Validation of the device controller against queueing theory.
+
+The simulator's credibility rests on its queueing behaviour: a device
+with Poisson arrivals and deterministic service is an M/D/1 queue, for
+which utilization and mean waiting time have closed forms. These tests
+drive the controller with random arrivals and check the measured
+statistics against theory (loose tolerances — finite runs).
+"""
+
+import pytest
+
+from repro.devices import RAM_DEVICE, DeviceController, DiskGeometry, DiskModel, DiskTiming
+from repro.sim import Environment, RngStreams
+
+
+def run_md1(arrival_rate: float, service_time: float, n_jobs: int = 3000, seed: int = 1):
+    """Poisson arrivals to a deterministic-service device; returns
+    (utilization, mean wait in queue, mean total latency)."""
+    env = Environment()
+    # a device whose every request takes exactly `service_time`:
+    # zero seek/rotation, overhead = service_time, instant transfer
+    geo = DiskGeometry(block_size=512, blocks_per_cylinder=8, cylinders=4)
+    timing = DiskTiming(
+        seek_min=0.0, seek_full=0.0, rotation_period=0.0,
+        transfer_rate=1e18, mtbf_hours=1e9,
+    )
+    dev = DeviceController(
+        env, DiskModel(geo, timing), name="q",
+        per_request_overhead=service_time,
+    )
+    streams = RngStreams(seed)
+    waits = []
+
+    def job():
+        submitted = env.now
+        yield dev.read(0, 1)
+        waits.append(env.now - submitted - service_time)
+
+    def arrivals():
+        for _ in range(n_jobs):
+            yield env.timeout(streams.exponential("arr", 1.0 / arrival_rate))
+            env.process(job())
+
+    env.run(env.process(arrivals()))
+    env.run()
+    util = dev.utilization.utilization(env.now)
+    mean_wait = sum(waits) / len(waits)
+    return util, mean_wait
+
+
+class TestMD1:
+    @pytest.mark.parametrize("rho", [0.3, 0.6, 0.8])
+    def test_utilization_equals_offered_load(self, rho):
+        service = 0.01
+        util, _ = run_md1(arrival_rate=rho / service, service_time=service)
+        assert util == pytest.approx(rho, rel=0.06)
+
+    @pytest.mark.parametrize("rho", [0.3, 0.6])
+    def test_mean_wait_matches_pollaczek_khinchine(self, rho):
+        """M/D/1: Wq = rho * S / (2 * (1 - rho))."""
+        service = 0.01
+        _, wq = run_md1(arrival_rate=rho / service, service_time=service,
+                        n_jobs=6000)
+        expected = rho * service / (2 * (1 - rho))
+        assert wq == pytest.approx(expected, rel=0.15)
+
+    def test_wait_explodes_near_saturation(self):
+        service = 0.01
+        _, wq_low = run_md1(arrival_rate=0.5 / service, service_time=service)
+        _, wq_high = run_md1(arrival_rate=0.95 / service, service_time=service)
+        assert wq_high > 5 * wq_low

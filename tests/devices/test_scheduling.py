@@ -1,0 +1,91 @@
+"""Unit tests for disk-arm scheduling policies."""
+
+from dataclasses import dataclass
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.devices import CSCAN, FCFS, SCAN, SSTF, make_policy
+
+
+@dataclass
+class Req:
+    cylinder: int
+
+
+def run_policy(policy, cylinders, head=0):
+    """Drain a static request set through the policy, returning serve order."""
+    pending = [Req(c) for c in cylinders]
+    order = []
+    while pending:
+        i = policy.select(pending, head)
+        req = pending.pop(i)
+        order.append(req.cylinder)
+        head = req.cylinder
+    return order
+
+
+class TestFCFS:
+    def test_arrival_order(self):
+        assert run_policy(FCFS(), [50, 10, 90]) == [50, 10, 90]
+
+
+class TestSSTF:
+    def test_nearest_first(self):
+        assert run_policy(SSTF(), [50, 10, 90], head=15) == [10, 50, 90]
+
+    def test_greedy_serves_far_request_last(self):
+        # classic SSTF behaviour: the near cluster is drained before the
+        # far request at cylinder 100 (ties broken by arrival order)
+        order = run_policy(SSTF(), [100, 8, 6, 4, 2], head=5)
+        assert order[-1] == 100
+        assert sorted(order[:-1]) == [2, 4, 6, 8]
+
+
+class TestSCAN:
+    def test_sweeps_up_then_down(self):
+        assert run_policy(SCAN(), [10, 80, 40, 5], head=30) == [40, 80, 10, 5]
+
+    def test_direction_state_persists(self):
+        policy = SCAN()
+        run_policy(policy, [50], head=0)      # sweeps up
+        # after exhausting upward requests it reverses when needed
+        assert run_policy(policy, [10, 90], head=50) == [90, 10]
+
+
+class TestCSCAN:
+    def test_wraps_to_lowest(self):
+        assert run_policy(CSCAN(), [10, 80, 40], head=50) == [80, 10, 40]
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("fcfs", FCFS), ("sstf", SSTF), ("scan", SCAN), ("cscan", CSCAN),
+        ("FCFS", FCFS),
+    ])
+    def test_make_policy(self, name, cls):
+        assert isinstance(make_policy(name), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown scheduling policy"):
+            make_policy("elevator9000")
+
+
+@given(
+    st.lists(st.integers(0, 500), min_size=1, max_size=30),
+    st.integers(0, 500),
+    st.sampled_from(["fcfs", "sstf", "scan", "cscan"]),
+)
+def test_every_policy_serves_every_request_exactly_once(cyls, head, name):
+    order = run_policy(make_policy(name), cyls, head)
+    assert sorted(order) == sorted(cyls)
+
+
+@given(st.lists(st.integers(0, 500), min_size=1, max_size=30), st.integers(0, 500))
+def test_sstf_total_movement_never_worse_than_fcfs_first_step(cyls, head):
+    """SSTF's first pick is by definition the closest pending cylinder."""
+    pending = [Req(c) for c in cyls]
+    i = SSTF().select(pending, head)
+    chosen = abs(pending[i].cylinder - head)
+    assert chosen == min(abs(c - head) for c in cyls)

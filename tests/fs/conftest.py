@@ -1,0 +1,34 @@
+"""Shared fixtures for file-system tests."""
+
+import pytest
+
+from repro.devices import WREN_1989, DeviceController, DiskGeometry, DiskModel
+from repro.fs import ParallelFileSystem
+from repro.sim import Environment
+from repro.storage import Volume
+from repro.trace import TraceRecorder
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def recorder():
+    return TraceRecorder()
+
+
+def build_pfs(env, n_devices=4, recorder=None, cylinders=128):
+    geo = DiskGeometry(block_size=512, blocks_per_cylinder=8, cylinders=cylinders)
+    devices = [
+        DeviceController(env, DiskModel(geo, WREN_1989), name=f"d{i}")
+        for i in range(n_devices)
+    ]
+    volume = Volume(env, devices)
+    return ParallelFileSystem(env, volume, recorder=recorder)
+
+
+@pytest.fixture
+def pfs(env, recorder):
+    return build_pfs(env, recorder=recorder)

@@ -1,0 +1,164 @@
+"""Unit tests for versioned checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.core import FileCategory
+from repro.fs.checkpoint import CheckpointManager
+
+from .conftest import build_pfs
+
+
+def payload(n, seed):
+    return np.random.default_rng(seed).random((n, 2))
+
+
+def make_source(env, pfs, org="PS", n=48, p=4):
+    f = pfs.create(
+        "state", org, n_records=n, record_size=16, dtype="float64",
+        records_per_block=4, n_processes=p,
+    )
+
+    def fill(data):
+        def proc():
+            v = f.global_view()
+            v.seek(0)
+            yield from v.write(data)
+
+        env.run(env.process(proc()))
+
+    return f, fill
+
+
+class TestSaveRestore:
+    def test_save_and_restore_latest(self, env, pfs):
+        f, fill = make_source(env, pfs)
+        v1 = payload(48, 1)
+        fill(v1)
+        mgr = CheckpointManager(pfs, f)
+
+        def proc():
+            version = yield from mgr.save()
+            return version
+
+        assert env.run(env.process(proc())) == 0
+        # corrupt the live file, then restore
+        fill(payload(48, 2))
+
+        def proc2():
+            yield from mgr.restore()
+
+        env.run(env.process(proc2()))
+        from repro.fs import verify_file
+
+        assert verify_file(f, v1)
+
+    def test_restore_specific_version(self, env, pfs):
+        f, fill = make_source(env, pfs)
+        v1, v2 = payload(48, 1), payload(48, 2)
+        mgr = CheckpointManager(pfs, f, keep_last=3)
+
+        def save():
+            yield from mgr.save()
+
+        fill(v1)
+        env.run(env.process(save()))
+        fill(v2)
+        env.run(env.process(save()))
+
+        def restore0():
+            yield from mgr.restore(0)
+
+        env.run(env.process(restore0()))
+        from repro.fs import verify_file
+
+        assert verify_file(f, v1)
+
+    def test_rolling_retention(self, env, pfs):
+        f, fill = make_source(env, pfs)
+        mgr = CheckpointManager(pfs, f, keep_last=2)
+
+        def save():
+            yield from mgr.save()
+
+        for seed in range(4):
+            fill(payload(48, seed))
+            env.run(env.process(save()))
+        assert mgr.versions == [2, 3]
+        assert mgr.latest == 3
+        # the deleted versions are gone from the catalog
+        assert not pfs.exists("state.ckpt.000000")
+        assert pfs.exists("state.ckpt.000003")
+
+    def test_restore_unknown_version(self, env, pfs):
+        f, fill = make_source(env, pfs)
+        mgr = CheckpointManager(pfs, f)
+        with pytest.raises(ValueError):
+            next(mgr.restore())       # nothing committed yet
+        with pytest.raises(ValueError):
+            next(mgr.restore(99))
+
+    def test_checkpoints_are_specialized_files(self, env, pfs):
+        f, fill = make_source(env, pfs)
+        fill(payload(48, 0))
+        mgr = CheckpointManager(pfs, f)
+
+        def save():
+            yield from mgr.save()
+
+        env.run(env.process(save()))
+        entry = pfs.catalog.get("state.ckpt.000000")
+        assert entry.attrs.category is FileCategory.SPECIALIZED
+
+    def test_dynamic_org_checkpoints_via_global_view(self, env, pfs):
+        f = pfs.create(
+            "ss_state", "SS", n_records=24, record_size=16, dtype="float64",
+            records_per_block=1, n_processes=3,
+        )
+        data = payload(24, 5)
+
+        def fill():
+            yield from f.global_view().write(data)
+
+        env.run(env.process(fill()))
+        mgr = CheckpointManager(pfs, f)
+
+        def save():
+            yield from mgr.save()
+
+        env.run(env.process(save()))
+        ckpt = pfs.open("ss_state.ckpt.000000")
+        from repro.fs import verify_file
+
+        assert verify_file(ckpt, data)
+
+    def test_discard_all(self, env, pfs):
+        f, fill = make_source(env, pfs)
+        fill(payload(48, 0))
+        mgr = CheckpointManager(pfs, f, keep_last=5)
+
+        def save():
+            yield from mgr.save()
+
+        env.run(env.process(save()))
+        env.run(env.process(save()))
+        assert mgr.discard_all() == 2
+        assert mgr.versions == []
+        assert len(pfs.catalog) == 1  # only the source remains
+
+    def test_validation(self, env, pfs):
+        f, _ = make_source(env, pfs)
+        with pytest.raises(ValueError):
+            CheckpointManager(pfs, f, keep_last=0)
+
+    def test_save_costs_simulated_time(self, env, pfs):
+        f, fill = make_source(env, pfs)
+        fill(payload(48, 0))
+        mgr = CheckpointManager(pfs, f)
+        before = env.now
+
+        def save():
+            yield from mgr.save()
+
+        env.run(env.process(save()))
+        assert env.now > before

@@ -1,0 +1,155 @@
+"""Unit tests for the global view handle."""
+
+import numpy as np
+import pytest
+
+from repro.buffering import BufferPool
+
+
+def records(n, items=2, seed=1):
+    rng = np.random.default_rng(seed)
+    return rng.random((n, items))
+
+
+def make_file(pfs, org="PS", n=40, rpb=4, p=4, **kw):
+    return pfs.create(
+        f"g_{org}", org, n_records=n, record_size=16, dtype="float64",
+        records_per_block=rpb, n_processes=p, **kw,
+    )
+
+
+class TestSequentialCursor:
+    def test_write_then_read_whole_file(self, env, pfs):
+        f = make_file(pfs)
+        data = records(40)
+
+        def proc():
+            w = f.global_view()
+            yield from w.write(data)
+            r = f.global_view()
+            out = yield from r.read()
+            return out
+
+        assert np.array_equal(env.run(env.process(proc())), data)
+
+    def test_chunked_reads_advance_cursor(self, env, pfs):
+        f = make_file(pfs)
+        data = records(40)
+
+        def proc():
+            w = f.global_view()
+            yield from w.write(data)
+            r = f.global_view()
+            a = yield from r.read(15)
+            b = yield from r.read(15)
+            c = yield from r.read(15)  # clipped to 10
+            return a, b, c, r.eof
+
+        a, b, c, eof = env.run(env.process(proc()))
+        assert np.array_equal(np.concatenate([a, b, c]), data)
+        assert len(c) == 10 and eof
+
+    def test_read_at_eof_returns_empty(self, env, pfs):
+        f = make_file(pfs)
+
+        def proc():
+            r = f.global_view()
+            r.seek(40)
+            out = yield from r.read(5)
+            return out
+
+        assert len(env.run(env.process(proc()))) == 0
+
+    def test_seek_bounds(self, pfs):
+        f = make_file(pfs)
+        v = f.global_view()
+        v.seek(40)  # seeking to EOF is legal
+        with pytest.raises(ValueError):
+            v.seek(41)
+        with pytest.raises(ValueError):
+            v.seek(-1)
+
+    def test_global_view_of_ps_equals_concatenated_partitions(self, env, pfs):
+        """§2 invariant: the global view is the partitions in order."""
+        f = make_file(pfs, org="PS")
+        data = records(40)
+
+        def proc():
+            # each process writes its own partition through its internal view
+            writers = [f.internal_view(p) for p in range(4)]
+            for p, h in enumerate(writers):
+                recs = f.map.records_of(p)
+                if len(recs):
+                    yield from h.write_next(data[recs])
+            out = yield from f.global_view().read()
+            return out
+
+        assert np.array_equal(env.run(env.process(proc())), data)
+
+    def test_global_view_of_is_equals_global_order(self, env, pfs):
+        f = make_file(pfs, org="IS")
+        data = records(40)
+
+        def proc():
+            for p in range(4):
+                h = f.internal_view(p)
+                recs = f.map.records_of(p)
+                yield from h.write_next(data[recs])
+            out = yield from f.global_view().read()
+            return out
+
+        assert np.array_equal(env.run(env.process(proc())), data)
+
+
+class TestDirectAccess:
+    def test_read_write_at(self, env, pfs):
+        f = make_file(pfs, org="GDA")
+        data = records(40)
+
+        def proc():
+            v = f.global_view()
+            yield from v.write(data)
+            yield from v.write_at(7, np.full((1, 2), 9.5))
+            out = yield from v.read_at(6, 3)
+            return out, v.position
+
+        out, pos = env.run(env.process(proc()))
+        assert np.array_equal(out[0], data[6])
+        assert np.array_equal(out[1], [9.5, 9.5])
+        assert np.array_equal(out[2], data[8])
+        assert pos == 40  # write moved it; read_at/write_at did not
+
+
+class TestBufferedStream:
+    def test_stream_visits_blocks_in_order(self, env, pfs):
+        f = make_file(pfs)
+        data = records(40)
+
+        def proc():
+            yield from f.global_view().write(data)
+            pool = BufferPool(env, 3, 4096, copy_cost_per_byte=0, per_buffer_overhead=0)
+            stream = f.global_view().stream(pool, depth=2)
+            order = yield from stream.read_all()
+            return order
+
+        assert env.run(env.process(proc())) == list(range(10))
+
+
+class TestTracing:
+    def test_global_reads_traced_by_block(self, env, pfs, recorder):
+        f = make_file(pfs)
+        data = records(40)
+
+        def proc():
+            v = f.global_view()
+            yield from v.write(data)
+            recorder.clear()
+            yield from v.read()  # from cursor 40 -> empty, no trace
+            v.seek(0)
+            yield from v.read(10)  # blocks 0,1,2 (rpb=4 -> 4+4+2)
+
+        env.run(env.process(proc()))
+        by_proc = recorder.blocks_by_process(f.name)
+        assert by_proc == {-1: [0, 1, 2]}
+        counts = [e.records for e in recorder.for_file(f.name)]
+        assert counts == [4, 4, 2]

@@ -1,0 +1,190 @@
+"""Hypothesis property tests across the whole simulated file system.
+
+The invariants here are the §2 contract itself: whatever the
+organization, layout, blocking, or process count, (a) data written
+through any view reads back identically through any other view, and
+(b) the global view is the concatenation of per-process partitions in
+global record order.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment
+
+from .conftest import build_pfs
+
+file_shapes = st.tuples(
+    st.sampled_from(["S", "PS", "IS", "GDA", "PDA"]),
+    st.integers(1, 120),     # n_records
+    st.integers(1, 8),       # records_per_block
+    st.integers(1, 5),       # n_processes
+    st.sampled_from([None, "striped"]),   # layout override
+)
+
+
+def make_file(env, org, n, rpb, p, layout):
+    pfs = build_pfs(env, n_devices=4)
+    return pfs.create(
+        "prop", org, n_records=n, record_size=16, dtype="float64",
+        records_per_block=rpb, n_processes=p, layout=layout,
+        stripe_unit=256,
+    )
+
+
+@settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(file_shapes, st.integers(0, 2**16))
+def test_global_write_read_roundtrip(shape, seed):
+    org, n, rpb, p, layout = shape
+    env = Environment()
+    f = make_file(env, org, n, rpb, p, layout)
+    data = np.random.default_rng(seed).random((n, 2))
+
+    def proc():
+        yield from f.global_view().write(data)
+        v = f.global_view()
+        v.seek(0)
+        out = yield from v.read()
+        return out
+
+    out = env.run(env.process(proc()))
+    assert np.array_equal(out, data)
+
+
+@settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(
+    st.sampled_from(["PS", "IS"]),
+    st.integers(1, 120),
+    st.integers(1, 8),
+    st.integers(1, 5),
+    st.integers(0, 2**16),
+)
+def test_partition_writes_compose_to_global_view(org, n, rpb, p, seed):
+    """Every process writes its own records through the internal view;
+    the global view must equal the original data exactly."""
+    env = Environment()
+    f = make_file(env, org, n, rpb, p, None)
+    data = np.random.default_rng(seed).random((n, 2))
+
+    def worker(q):
+        h = f.internal_view(q)
+        recs = f.map.records_of(q)
+        if len(recs):
+            yield from h.write_next(data[recs])
+
+    def driver():
+        yield env.all_of([env.process(worker(q)) for q in range(p)])
+        out = yield from f.global_view().read()
+        return out
+
+    out = env.run(env.process(driver()))
+    assert np.array_equal(out, data)
+
+
+@settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(
+    st.sampled_from(["PS", "IS"]),
+    st.integers(1, 120),
+    st.integers(1, 8),
+    st.integers(1, 5),
+    st.integers(0, 2**16),
+)
+def test_internal_reads_see_global_writes(org, n, rpb, p, seed):
+    """Dual direction: a global write is visible, correctly sliced, to
+    every process's internal view."""
+    env = Environment()
+    f = make_file(env, org, n, rpb, p, None)
+    data = np.random.default_rng(seed).random((n, 2))
+
+    def proc():
+        yield from f.global_view().write(data)
+        views = {}
+        for q in range(p):
+            h = f.internal_view(q)
+            views[q] = yield from h.read_next(max(h.n_local_records, 1))
+        return views
+
+    views = env.run(env.process(proc()))
+    for q in range(p):
+        expected = data[f.map.records_of(q)]
+        if len(expected) == 0:
+            assert len(views[q]) == 0
+        else:
+            assert np.array_equal(views[q], expected)
+
+
+@settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(
+    st.integers(1, 100),
+    st.integers(1, 6),
+    st.integers(1, 4),
+    st.integers(0, 2**16),
+)
+def test_ss_schedule_reassembles_file(n, rpb, p, seed):
+    """Self-scheduled reads, whatever the interleaving, collectively see
+    every block exactly once with correct contents."""
+    from repro.fs import SSSession
+
+    env = Environment()
+    f = make_file(env, "SS", n, rpb, p, None)
+    data = np.random.default_rng(seed).random((n, 2))
+
+    def setup():
+        yield from f.global_view().write(data)
+
+    env.run(env.process(setup()))
+    session = SSSession(f)
+    got = {}
+
+    def worker(q):
+        h = session.handle(q)
+        while True:
+            item = yield from h.read_next()
+            if item is None:
+                return
+            got[item[0]] = item[1]
+            yield env.timeout(0.001 * ((q + seed) % 3 + 1))
+
+    for q in range(p):
+        env.process(worker(q))
+    env.run()
+    session.validate()
+    bs = f.attrs.block_spec
+    for b, blockdata in got.items():
+        lo = bs.first_record(b)
+        hi = lo + bs.block_records(b, n)
+        assert np.array_equal(blockdata, data[lo:hi])
+
+
+@settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(
+    st.integers(1, 100),
+    st.integers(1, 6),
+    st.integers(1, 4),
+    st.integers(1, 4),
+    st.integers(0, 2**16),
+)
+def test_conversion_preserves_contents(n, rpb, p_src, p_dst, seed):
+    """convert_file between any PS/IS pair preserves the global view."""
+    from repro.fs import convert_file
+
+    env = Environment()
+    pfs = build_pfs(env, n_devices=4)
+    src = pfs.create(
+        "src", "PS", n_records=n, record_size=16, dtype="float64",
+        records_per_block=rpb, n_processes=p_src,
+    )
+    data = np.random.default_rng(seed).random((n, 2))
+
+    def proc():
+        yield from src.global_view().write(data)
+        dst = yield from convert_file(
+            pfs, src, "dst", "IS", n_processes=p_dst, chunk_records=17,
+        )
+        out = yield from dst.global_view().read()
+        return out
+
+    out = env.run(env.process(proc()))
+    assert np.array_equal(out, data)

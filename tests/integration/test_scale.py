@@ -1,0 +1,111 @@
+"""Scale smoke tests: the stack holds up at larger shapes.
+
+Not performance claims — these guard against accidental O(n^2) blowups
+in the engine, the maps, or the layouts when process, device, and block
+counts grow well past the unit-test sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Environment, SSSession, build_parallel_fs
+from repro.devices import DiskGeometry
+
+
+@pytest.mark.parametrize("p,d", [(64, 16)])
+def test_many_processes_many_devices_ps_scan(p, d):
+    env = Environment()
+    pfs = build_parallel_fs(
+        env, d,
+        geometry=DiskGeometry(block_size=4096, blocks_per_cylinder=32,
+                              cylinders=256),
+    )
+    n = 16 * p
+    f = pfs.create(
+        "big", "PS", n_records=n, record_size=1024,
+        records_per_block=4, n_processes=p,
+    )
+
+    def setup():
+        yield from f.global_view().write(np.zeros((n, 1024), dtype=np.uint8))
+
+    env.run(env.process(setup()))
+    done = []
+
+    def worker(q):
+        h = f.internal_view(q)
+        total = 0
+        while not h.eof:
+            chunk = yield from h.read_next(8)
+            total += len(chunk)
+        done.append(total)
+
+    def driver():
+        yield env.all_of([env.process(worker(q)) for q in range(p)])
+
+    env.run(env.process(driver()))
+    assert sum(done) == n
+
+
+def test_wide_self_scheduled_run():
+    env = Environment()
+    pfs = build_parallel_fs(env, 8)
+    n = 512
+    f = pfs.create(
+        "wide_ss", "SS", n_records=n, record_size=512,
+        records_per_block=2, n_processes=32,
+    )
+
+    def setup():
+        yield from f.global_view().write(np.zeros((n, 512), dtype=np.uint8))
+
+    env.run(env.process(setup()))
+    session = SSSession(f)
+    counts = [0] * 32
+
+    def worker(q):
+        h = session.handle(q)
+        while True:
+            item = yield from h.read_next()
+            if item is None:
+                return
+            counts[q] += 1
+
+    for q in range(32):
+        env.process(worker(q))
+    env.run()
+    session.validate()
+    assert sum(counts) == n // 2
+
+
+def test_thousand_block_global_scan_stays_linear():
+    """Doubling the file roughly doubles (not quadruples) the event work;
+    use simulated I/O time as the proxy (wall time is too noisy)."""
+
+    def run(n_blocks):
+        env = Environment()
+        pfs = build_parallel_fs(env, 4)
+        f = pfs.create(
+            "lin", "S", n_records=n_blocks * 4, record_size=512,
+            records_per_block=4,
+        )
+
+        def setup():
+            yield from f.global_view().write(
+                np.zeros((n_blocks * 4, 512), dtype=np.uint8)
+            )
+
+        env.run(env.process(setup()))
+        start = env.now
+
+        def reader():
+            v = f.global_view()
+            v.seek(0)
+            while not v.eof:
+                yield from v.read(16)
+
+        env.run(env.process(reader()))
+        return env.now - start
+
+    t1, t2 = run(512), run(1024)
+    assert t2 == pytest.approx(2 * t1, rel=0.1)

@@ -1,0 +1,113 @@
+"""Hypothesis property tests for the live backend.
+
+The same invariants as `tests/fs/test_properties.py`, interpreted over
+real host files: both backends interpret the same organization maps, so
+they must satisfy the same contracts.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import OrganizationError
+from repro.live import LiveParallelFileSystem
+
+live_shapes = st.tuples(
+    st.sampled_from(["S", "PS", "IS", "GDA", "PDA"]),
+    st.integers(1, 100),    # n_records
+    st.integers(1, 7),      # records_per_block
+    st.integers(1, 5),      # n_processes
+)
+
+
+@settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(live_shapes, st.integers(0, 2**16))
+def test_live_global_roundtrip(tmp_path_factory, shape, seed):
+    org, n, rpb, p = shape
+    root = tmp_path_factory.mktemp("live_prop")
+    lfs = LiveParallelFileSystem(root)
+    f = lfs.create("f", org, n_records=n, record_size=16, dtype="float64",
+                   records_per_block=rpb, n_processes=p)
+    data = np.random.default_rng(seed).random((n, 2))
+    f.global_view().write(data)
+    v = f.global_view()
+    assert np.array_equal(v.read(), data)
+    f.close()
+
+
+@settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(
+    st.sampled_from(["PS", "IS"]),
+    st.integers(1, 100),
+    st.integers(1, 7),
+    st.integers(1, 5),
+    st.integers(0, 2**16),
+)
+def test_live_partition_writes_compose(tmp_path_factory, org, n, rpb, p, seed):
+    root = tmp_path_factory.mktemp("live_prop")
+    lfs = LiveParallelFileSystem(root)
+    f = lfs.create("f", org, n_records=n, record_size=16, dtype="float64",
+                   records_per_block=rpb, n_processes=p)
+    data = np.random.default_rng(seed).random((n, 2))
+    for q in range(p):
+        recs = f.map.records_of(q)
+        if len(recs):
+            f.internal_view(q).write_next(data[recs])
+    assert np.array_equal(f.global_view().read(), data)
+    f.close()
+
+
+@settings(max_examples=20, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(live_shapes, st.integers(0, 2**16))
+def test_live_and_sim_backends_agree(tmp_path_factory, shape, seed):
+    """The two backends, fed the same writes, expose identical global
+    views — the 'organizations are maps, backends are interpreters'
+    contract."""
+    org, n, rpb, p = shape
+    data = np.random.default_rng(seed).random((n, 2))
+
+    # live
+    root = tmp_path_factory.mktemp("agree")
+    lfs = LiveParallelFileSystem(root)
+    lf = lfs.create("f", org, n_records=n, record_size=16, dtype="float64",
+                    records_per_block=rpb, n_processes=p)
+    lf.global_view().write(data)
+    live_out = lf.global_view().read()
+    lf.close()
+
+    # simulated
+    from repro.sim import Environment
+    from tests.fs.conftest import build_pfs
+
+    env = Environment()
+    pfs = build_pfs(env)
+    sf = pfs.create("f", org, n_records=n, record_size=16, dtype="float64",
+                    records_per_block=rpb, n_processes=p)
+
+    def proc():
+        yield from sf.global_view().write(data)
+        v = sf.global_view()
+        v.seek(0)
+        out = yield from v.read()
+        return out
+
+    sim_out = env.run(env.process(proc()))
+    assert np.array_equal(live_out, sim_out)
+
+
+class TestLivePdaSequentialWithinBlock:
+    def test_discipline_enforced(self, tmp_path):
+        lfs = LiveParallelFileSystem(tmp_path / "p")
+        f = lfs.create("f", "PDA", n_records=16, record_size=8,
+                       dtype="float64", records_per_block=4, n_processes=2)
+        h = f.internal_view(0, sequential_within_block=True)
+        b = int(f.map.blocks_of(0)[0])
+        first = f.attrs.block_spec.first_record(b)
+        h.read_record(first)
+        with pytest.raises(OrganizationError):
+            h.read_record(first + 2)   # skipped slot 1
+        h.read_record(first + 1)       # in order: fine
+        h.reset_block(b)
+        h.read_record(first)           # fresh pass
+        f.close()

@@ -1,0 +1,133 @@
+"""Stateful model-based test of the live parallel file system.
+
+Hypothesis drives random sequences of create / write / read / reopen /
+delete operations against a LiveParallelFileSystem, checking it against a
+plain in-memory model (dict of arrays). This is the strongest functional
+statement about the live backend: no operation sequence desynchronizes
+the files from their expected contents or the catalog from its expected
+population.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.live import LiveParallelFileSystem
+
+ORGS = ["S", "PS", "IS", "GDA", "PDA"]
+
+
+class LiveFSMachine(RuleBasedStateMachine):
+    files = Bundle("files")
+
+    @initialize()
+    def setup(self):
+        import tempfile
+
+        self.root = tempfile.mkdtemp(prefix="repro_stateful_")
+        self.lfs = LiveParallelFileSystem(self.root)
+        self.model: dict[str, np.ndarray] = {}
+        self.meta: dict[str, tuple] = {}
+        self.counter = 0
+
+    @rule(
+        target=files,
+        org=st.sampled_from(ORGS),
+        n=st.integers(1, 60),
+        rpb=st.integers(1, 5),
+        p=st.integers(1, 4),
+    )
+    def create(self, org, n, rpb, p):
+        name = f"f{self.counter}"
+        self.counter += 1
+        f = self.lfs.create(
+            name, org, n_records=n, record_size=16, dtype="float64",
+            records_per_block=rpb, n_processes=p,
+        )
+        f.close()
+        self.model[name] = np.zeros((n, 2))
+        self.meta[name] = (org, n, rpb, p)
+        return name
+
+    @rule(name=files, seed=st.integers(0, 2**16))
+    def global_write(self, name, seed):
+        if name not in self.model:
+            return
+        n = len(self.model[name])
+        data = np.random.default_rng(seed).random((n, 2))
+        with self.lfs.open(name) as f:
+            f.global_view().write(data)
+        self.model[name] = data
+
+    @rule(name=files, seed=st.integers(0, 2**16))
+    def partial_positioned_write(self, name, seed):
+        if name not in self.model:
+            return
+        n = len(self.model[name])
+        rng = np.random.default_rng(seed)
+        start = int(rng.integers(0, n))
+        count = int(rng.integers(1, n - start + 1))
+        data = rng.random((count, 2))
+        with self.lfs.open(name) as f:
+            f.global_view().write_at(start, data)
+        self.model[name][start : start + count] = data
+
+    @rule(name=files)
+    def global_read_matches_model(self, name):
+        if name not in self.model:
+            return
+        with self.lfs.open(name) as f:
+            out = f.global_view().read()
+        assert np.array_equal(out, self.model[name])
+
+    @rule(name=files, q=st.integers(0, 3))
+    def partition_read_matches_model(self, name, q):
+        if name not in self.model:
+            return
+        org, n, rpb, p = self.meta[name]
+        if org not in ("PS", "IS") or q >= p:
+            return
+        with self.lfs.open(name) as f:
+            h = f.internal_view(q)
+            recs = f.map.records_of(q)
+            if len(recs) == 0:
+                return
+            out = h.read_next(h.n_local_records)
+        assert np.array_equal(out, self.model[name][recs])
+
+    @rule(name=files)
+    def reopen_with_more_processes(self, name):
+        if name not in self.model:
+            return
+        org, n, rpb, p = self.meta[name]
+        if org == "S":
+            return
+        with self.lfs.open(name, n_processes=p + 1) as f:
+            assert f.map.n_processes == p + 1
+
+    @rule(name=files)
+    def delete(self, name):
+        if name not in self.model:
+            return
+        self.lfs.delete(name)
+        del self.model[name]
+        del self.meta[name]
+
+    @invariant()
+    def catalog_matches_model(self):
+        if not hasattr(self, "lfs"):
+            return
+        assert set(self.lfs.names()) == set(self.model)
+
+
+TestLiveFSStateful = LiveFSMachine.TestCase
+TestLiveFSStateful.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

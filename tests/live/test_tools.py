@@ -1,0 +1,104 @@
+"""Unit tests for the live-file command-line utilities."""
+
+import numpy as np
+import pytest
+
+from repro.live import LiveParallelFileSystem
+from repro.live.tools import main
+
+
+@pytest.fixture
+def populated(tmp_path):
+    root = tmp_path / "pfs"
+    lfs = LiveParallelFileSystem(root)
+    f = lfs.create("alpha", "IS", n_records=24, record_size=16,
+                   dtype="float64", records_per_block=2, n_processes=3)
+    data = np.arange(48, dtype=np.float64).reshape(24, 2)
+    f.global_view().write(data)
+    f.close()
+    g = lfs.create("beta", "SS", n_records=8, record_size=8,
+                   dtype="float64", records_per_block=1, n_processes=2)
+    g.close()
+    return root, data
+
+
+def test_list(populated, capsys):
+    root, _ = populated
+    assert main(["list", str(root)]) == 0
+    out = capsys.readouterr().out
+    assert "alpha" in out and "beta" in out
+    assert "IS" in out and "SS" in out
+
+
+def test_list_empty(tmp_path, capsys):
+    assert main(["list", str(tmp_path / "empty")]) == 0
+    assert "no parallel files" in capsys.readouterr().out
+
+
+def test_info(populated, capsys):
+    root, _ = populated
+    assert main(["info", str(root), "alpha"]) == 0
+    out = capsys.readouterr().out
+    assert "organization" in out and "IS" in out
+    assert "n_blocks" in out
+
+
+def test_info_missing_file(populated, capsys):
+    root, _ = populated
+    assert main(["info", str(root), "ghost"]) == 1
+    assert "no such parallel file" in capsys.readouterr().err
+
+
+def test_dump_head(populated, capsys):
+    root, data = populated
+    assert main(["dump", str(root), "alpha", "--head", "3"]) == 0
+    out = capsys.readouterr().out.strip().splitlines()
+    assert len(out) == 3
+    assert "0." in out[0]
+
+
+def test_map_static(populated, capsys):
+    root, _ = populated
+    assert main(["map", str(root), "alpha"]) == 0
+    out = capsys.readouterr().out
+    # IS over 3 processes: round-robin P1 P2 P3 ...
+    assert "P1" in out and "P3" in out
+
+
+def test_map_dynamic(populated, capsys):
+    root, _ = populated
+    assert main(["map", str(root), "beta"]) == 0
+    assert "run time" in capsys.readouterr().out
+
+
+def test_convert_roundtrip(populated, capsys):
+    root, data = populated
+    assert main([
+        "convert", str(root), "alpha", "alpha_ps", "PS", "--processes", "4",
+    ]) == 0
+    assert "converted" in capsys.readouterr().out
+    lfs = LiveParallelFileSystem(root)
+    g = lfs.open("alpha_ps")
+    assert g.attrs.organization.value == "PS"
+    assert g.map.n_processes == 4
+    assert np.array_equal(g.global_view().read(), data)
+    g.close()
+
+
+def test_convert_existing_target_fails(populated, capsys):
+    root, _ = populated
+    assert main(["convert", str(root), "alpha", "beta", "PS"]) == 1
+    assert "already exists" in capsys.readouterr().err
+
+
+def test_convert_pda_assignment(populated):
+    root, data = populated
+    assert main([
+        "convert", str(root), "alpha", "alpha_pda", "pda",
+        "--assignment", "interleaved", "--chunk", "5",
+    ]) == 0
+    lfs = LiveParallelFileSystem(root)
+    g = lfs.open("alpha_pda")
+    assert g.map.assignment == "interleaved"
+    assert np.array_equal(g.global_view().read(), data)
+    g.close()

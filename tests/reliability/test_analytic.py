@@ -1,0 +1,74 @@
+"""Unit tests for analytic reliability — anchored to the paper's §5 numbers."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.reliability import (
+    HOURS_PER_WEEK,
+    availability,
+    expected_failures,
+    failure_probability,
+    mtbf_table_row,
+    system_mtbf,
+)
+
+
+class TestPaperNumbers:
+    """The exact claims of §5 with 30,000 h Winchester drives."""
+
+    def test_ten_devices_fail_every_3000_hours(self):
+        assert system_mtbf(30_000, 10) == pytest.approx(3000)
+
+    def test_ten_devices_about_three_failures_per_year(self):
+        row = mtbf_table_row(30_000, 10)
+        assert row["failures_per_year"] == pytest.approx(2.92, abs=0.05)
+
+    def test_hundred_devices_more_than_one_failure_per_two_weeks(self):
+        row = mtbf_table_row(30_000, 100)
+        assert row["system_mtbf_hours"] == pytest.approx(300)
+        assert row["weeks_between_failures"] < 2.0
+        assert row["system_mtbf_hours"] < 2 * HOURS_PER_WEEK
+
+    def test_single_device_baseline(self):
+        assert system_mtbf(30_000, 1) == 30_000
+
+
+class TestMath:
+    def test_expected_failures_linear_in_time_and_devices(self):
+        assert expected_failures(30_000, 10, 3000) == pytest.approx(1.0)
+        assert expected_failures(30_000, 20, 3000) == pytest.approx(2.0)
+        assert expected_failures(30_000, 10, 6000) == pytest.approx(2.0)
+
+    def test_failure_probability_poisson(self):
+        p = failure_probability(30_000, 10, 3000)
+        assert p == pytest.approx(1 - math.exp(-1))
+
+    def test_failure_probability_bounds(self):
+        assert failure_probability(30_000, 10, 0) == 0.0
+        assert failure_probability(30_000, 1000, 1e9) == pytest.approx(1.0)
+
+    def test_availability_shrinks_with_devices(self):
+        a1 = availability(30_000, 1, mttr_hours=24)
+        a100 = availability(30_000, 100, mttr_hours=24)
+        assert a100 < a1 < 1.0
+        assert a100 == pytest.approx(a1**100)
+
+    def test_availability_perfect_with_zero_mttr(self):
+        assert availability(30_000, 50, 0) == 1.0
+
+    @given(st.floats(1, 1e6), st.integers(1, 10_000))
+    def test_system_mtbf_monotone_decreasing_in_n(self, mtbf, n):
+        assert system_mtbf(mtbf, n + 1) < system_mtbf(mtbf, n)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            system_mtbf(0, 10)
+        with pytest.raises(ValueError):
+            system_mtbf(30_000, 0)
+        with pytest.raises(ValueError):
+            expected_failures(30_000, 10, -1)
+        with pytest.raises(ValueError):
+            availability(30_000, 10, -1)

@@ -1,0 +1,71 @@
+"""Unit tests for Monte Carlo reliability simulation."""
+
+import pytest
+
+from repro.reliability import (
+    simulate_fleet,
+    simulate_protected_fleet,
+    system_mtbf,
+)
+
+
+class TestSimulateFleet:
+    def test_matches_analytic_first_failure(self):
+        r = simulate_fleet(10, 30_000, n_trials=4000, seed=1)
+        assert r.mean_time_to_first_failure == pytest.approx(
+            system_mtbf(30_000, 10), rel=0.08
+        )
+
+    def test_matches_analytic_failures_per_year(self):
+        r = simulate_fleet(100, 30_000, n_trials=4000, seed=2)
+        # analytic: 100 * 8766 / 30000 = 29.2 failures/year
+        assert r.mean_failures_per_year == pytest.approx(29.2, rel=0.05)
+
+    def test_deterministic_given_seed(self):
+        a = simulate_fleet(10, 30_000, n_trials=100, seed=5)
+        b = simulate_fleet(10, 30_000, n_trials=100, seed=5)
+        assert a == b
+
+    def test_more_devices_fail_sooner(self):
+        small = simulate_fleet(10, 30_000, n_trials=2000, seed=3)
+        large = simulate_fleet(100, 30_000, n_trials=2000, seed=3)
+        assert large.mean_time_to_first_failure < small.mean_time_to_first_failure
+
+    def test_row_renders(self):
+        assert "N=10" in simulate_fleet(10, 30_000, n_trials=10, seed=0).row()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            simulate_fleet(0, 30_000)
+        with pytest.raises(ValueError):
+            simulate_fleet(10, -5)
+
+
+class TestProtectedFleet:
+    def test_protection_ordering(self):
+        """none > parity/shadow in loss probability; protection helps."""
+        kw = dict(
+            n_devices=50, device_mtbf_hours=30_000, mttr_hours=24,
+            n_trials=600, seed=7,
+        )
+        p_none = simulate_protected_fleet(scheme="none", **kw)
+        p_parity = simulate_protected_fleet(scheme="parity", **kw)
+        p_shadow = simulate_protected_fleet(scheme="shadow", **kw)
+        assert p_none > 0.9        # ~15 failures/yr: loss nearly certain
+        assert p_parity < p_none
+        assert p_shadow <= p_parity  # shadow needs the *same* pair to overlap
+
+    def test_zero_mttr_means_no_overlap_losses(self):
+        p = simulate_protected_fleet(
+            n_devices=50, device_mtbf_hours=30_000, mttr_hours=0,
+            scheme="parity", n_trials=300, seed=9,
+        )
+        assert p == 0.0
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            simulate_protected_fleet(10, 30_000, 24, scheme="raid60")
+
+    def test_negative_mttr(self):
+        with pytest.raises(ValueError):
+            simulate_protected_fleet(10, 30_000, -1, scheme="none")

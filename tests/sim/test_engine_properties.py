@@ -1,0 +1,83 @@
+"""Property tests for the simulation engine's core guarantees.
+
+DESIGN.md's determinism contract: the same program and seeds produce the
+same event order and final clock; time never runs backwards; every
+spawned process completes when the queue drains.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, Resource, SimLock
+
+
+def random_program(env, seed, log):
+    """A random process graph: timeouts, resource use, lock use, spawns."""
+    rng = np.random.default_rng(seed)
+    resource = Resource(env, capacity=int(rng.integers(1, 4)))
+    lock = SimLock(env)
+    n_procs = int(rng.integers(1, 10))
+
+    def worker(wid, depth):
+        steps = int(rng.integers(1, 6))
+        for s in range(steps):
+            choice = rng.integers(0, 4)
+            if choice == 0:
+                yield env.timeout(float(rng.random()))
+            elif choice == 1:
+                with resource.request() as req:
+                    yield req
+                    yield env.timeout(float(rng.random()) * 0.1)
+            elif choice == 2:
+                yield lock.acquire()
+                yield env.timeout(float(rng.random()) * 0.05)
+                lock.release()
+            elif depth < 2:
+                child = env.process(worker(wid * 10 + s, depth + 1))
+                yield child
+            log.append((wid, s, round(env.now, 9)))
+
+    return [env.process(worker(w, 0)) for w in range(n_procs)]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_identical_seeds_identical_traces(seed):
+    traces = []
+    for _ in range(2):
+        env = Environment()
+        log = []
+        random_program(env, seed, log)
+        env.run()
+        traces.append((log, env.now))
+    assert traces[0] == traces[1]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10_000))
+def test_clock_monotone_and_all_processes_finish(seed):
+    env = Environment()
+    log = []
+    procs = random_program(env, seed, log)
+    env.run()
+    times = [t for _, _, t in log]
+    assert times == sorted(times)
+    assert all(p.processed for p in procs)
+    assert all(p.ok for p in procs)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(0, 10_000), st.floats(0.1, 5.0))
+def test_run_until_is_prefix_of_full_run(seed, horizon):
+    """Stopping at a horizon observes exactly the events the full run
+    produced up to that time."""
+    env1, log1 = Environment(), []
+    random_program(env1, seed, log1)
+    env1.run()
+    full_prefix = [e for e in log1 if e[2] <= horizon]
+
+    env2, log2 = Environment(), []
+    random_program(env2, seed, log2)
+    env2.run(until=horizon)
+    assert log2 == full_prefix

@@ -1,0 +1,266 @@
+"""Unit tests for simulated resources (Resource, Store, Container)."""
+
+import pytest
+
+from repro.sim import Container, Environment, PriorityResource, Resource, Store
+from repro.sim.engine import SimulationError
+
+
+class TestResource:
+    def test_capacity_one_serializes(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        log = []
+
+        def user(name):
+            with res.request() as req:
+                yield req
+                log.append((name, "in", env.now))
+                yield env.timeout(10)
+                log.append((name, "out", env.now))
+
+        env.process(user("a"))
+        env.process(user("b"))
+        env.run()
+        assert log == [
+            ("a", "in", 0), ("a", "out", 10),
+            ("b", "in", 10), ("b", "out", 20),
+        ]
+
+    def test_capacity_two_overlaps(self):
+        env = Environment()
+        res = Resource(env, capacity=2)
+        done = []
+
+        def user(name):
+            with res.request() as req:
+                yield req
+                yield env.timeout(10)
+                done.append((name, env.now))
+
+        for n in "abc":
+            env.process(user(n))
+        env.run()
+        assert done == [("a", 10), ("b", 10), ("c", 20)]
+
+    def test_fifo_grant_order(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        order = []
+
+        def user(name, arrive):
+            yield env.timeout(arrive)
+            with res.request() as req:
+                yield req
+                order.append(name)
+                yield env.timeout(5)
+
+        env.process(user("late", 2))
+        env.process(user("early", 1))
+        env.run()
+        assert order == ["early", "late"]
+
+    def test_count_and_queue_length(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+        observed = {}
+
+        def holder():
+            with res.request() as req:
+                yield req
+                yield env.timeout(10)
+
+        def waiter():
+            yield env.timeout(1)
+            req = res.request()
+            yield env.timeout(1)
+            observed["count"] = res.count
+            observed["queue"] = res.queue_length
+            yield req
+            res.release(req)
+
+        env.process(holder())
+        env.process(waiter())
+        env.run()
+        assert observed == {"count": 1, "queue": 1}
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Resource(Environment(), capacity=0)
+
+
+class TestPriorityResource:
+    def test_lower_priority_value_served_first(self):
+        env = Environment()
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def user(name, priority):
+            # All queue behind the initial holder.
+            yield env.timeout(1)
+            with res.request(priority=priority) as req:
+                yield req
+                order.append(name)
+                yield env.timeout(1)
+
+        def holder():
+            with res.request() as req:
+                yield req
+                yield env.timeout(5)
+
+        env.process(holder())
+        env.process(user("low", 10))
+        env.process(user("high", 1))
+        env.process(user("mid", 5))
+        env.run()
+        assert order == ["high", "mid", "low"]
+
+    def test_fifo_within_same_priority(self):
+        env = Environment()
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def holder():
+            with res.request() as req:
+                yield req
+                yield env.timeout(5)
+
+        def user(name):
+            yield env.timeout(1)
+            with res.request(priority=3) as req:
+                yield req
+                order.append(name)
+
+        env.process(holder())
+        for n in "xyz":
+            env.process(user(n))
+        env.run()
+        assert order == ["x", "y", "z"]
+
+
+class TestStore:
+    def test_put_get_fifo(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def producer():
+            for i in range(3):
+                yield store.put(i)
+                yield env.timeout(1)
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert got == [0, 1, 2]
+
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        store = Store(env)
+        when = []
+
+        def consumer():
+            item = yield store.get()
+            when.append((item, env.now))
+
+        def producer():
+            yield env.timeout(5)
+            yield store.put("x")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert when == [("x", 5)]
+
+    def test_bounded_put_blocks_until_room(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        log = []
+
+        def producer():
+            yield store.put("a")
+            log.append(("put a", env.now))
+            yield store.put("b")
+            log.append(("put b", env.now))
+
+        def consumer():
+            yield env.timeout(4)
+            item = yield store.get()
+            log.append((f"got {item}", env.now))
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert log == [("put a", 0), ("got a", 4), ("put b", 4)]
+
+    def test_len(self):
+        env = Environment()
+        store = Store(env)
+
+        def proc():
+            yield store.put(1)
+            yield store.put(2)
+
+        env.process(proc())
+        env.run()
+        assert len(store) == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Store(Environment(), capacity=0)
+
+
+class TestContainer:
+    def test_get_blocks_until_level(self):
+        env = Environment()
+        tank = Container(env, capacity=100, init=0)
+        log = []
+
+        def consumer():
+            yield tank.get(30)
+            log.append(("got", env.now, tank.level))
+
+        def producer():
+            yield env.timeout(2)
+            yield tank.put(50)
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert log == [("got", 2, 20.0)]
+
+    def test_put_blocks_at_capacity(self):
+        env = Environment()
+        tank = Container(env, capacity=10, init=8)
+        log = []
+
+        def producer():
+            yield tank.put(5)
+            log.append(("put", env.now))
+
+        def consumer():
+            yield env.timeout(3)
+            yield tank.get(4)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert log == [("put", 3)]
+        assert tank.level == 9.0
+
+    def test_oversized_request_rejected(self):
+        env = Environment()
+        tank = Container(env, capacity=10)
+        with pytest.raises(SimulationError):
+            tank.get(11)
+        with pytest.raises(SimulationError):
+            tank.put(11)
+
+    def test_init_bounds(self):
+        with pytest.raises(ValueError):
+            Container(Environment(), capacity=5, init=6)

@@ -1,0 +1,123 @@
+"""Unit tests for statistics collectors."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import Tally, TimeWeighted, UtilizationTracker
+
+
+class TestTally:
+    def test_empty(self):
+        t = Tally()
+        assert t.count == 0
+        assert math.isnan(t.mean)
+        assert math.isnan(t.variance)
+
+    def test_known_values(self):
+        t = Tally()
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
+            t.observe(x)
+        assert t.count == 8
+        assert t.mean == pytest.approx(5.0)
+        assert t.min == 2.0 and t.max == 9.0
+        assert t.total == 40.0
+        # sample variance of the classic example set
+        assert t.variance == pytest.approx(32 / 7)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=200))
+    def test_matches_numpy(self, xs):
+        t = Tally()
+        for x in xs:
+            t.observe(x)
+        assert t.mean == pytest.approx(np.mean(xs), rel=1e-9, abs=1e-6)
+        assert t.variance == pytest.approx(np.var(xs, ddof=1), rel=1e-6, abs=1e-4)
+
+    @given(
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50),
+        st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50),
+    )
+    def test_merge_equals_combined(self, xs, ys):
+        a, b, c = Tally(), Tally(), Tally()
+        for x in xs:
+            a.observe(x)
+            c.observe(x)
+        for y in ys:
+            b.observe(y)
+            c.observe(y)
+        m = a.merge(b)
+        assert m.count == c.count
+        assert m.mean == pytest.approx(c.mean, rel=1e-9, abs=1e-6)
+        assert m.total == pytest.approx(c.total, rel=1e-9, abs=1e-6)
+        assert m.min == c.min and m.max == c.max
+
+    def test_merge_with_empty(self):
+        a, empty = Tally(), Tally()
+        a.observe(3.0)
+        assert a.merge(empty).mean == 3.0
+        assert empty.merge(a).mean == 3.0
+
+
+class TestTimeWeighted:
+    def test_piecewise_constant_average(self):
+        tw = TimeWeighted(initial=0)
+        tw.record(10, 4)   # 0 for [0,10)
+        tw.record(20, 2)   # 4 for [10,20)
+        # 2 for [20,30)
+        assert tw.mean(30) == pytest.approx((0 * 10 + 4 * 10 + 2 * 10) / 30)
+        assert tw.max == 4
+        assert tw.current == 2
+
+    def test_zero_span(self):
+        tw = TimeWeighted(initial=5)
+        assert tw.mean(0) == 5
+
+    def test_time_backwards_rejected(self):
+        tw = TimeWeighted()
+        tw.record(5, 1)
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            tw.record(4, 2)
+
+
+class TestUtilizationTracker:
+    def test_half_busy(self):
+        u = UtilizationTracker()
+        u.busy(0)
+        u.idle(5)
+        assert u.utilization(10) == pytest.approx(0.5)
+
+    def test_still_busy_counts_to_now(self):
+        u = UtilizationTracker()
+        u.busy(2)
+        assert u.utilization(10) == pytest.approx(0.8)
+
+    def test_idempotent_busy(self):
+        u = UtilizationTracker()
+        u.busy(0)
+        u.busy(3)  # no-op: already busy
+        u.idle(4)
+        assert u.utilization(8) == pytest.approx(0.5)
+
+    def test_never_busy(self):
+        u = UtilizationTracker()
+        assert u.utilization(100) == 0.0
+
+
+class TestSummaryRow:
+    def test_str_renders_label_value_unit(self):
+        from repro.sim.stats import summary
+
+        row = summary("striped scan", 12.5, "MB/s", {"devices": 4})
+        s = str(row)
+        assert "striped scan" in s and "12.5" in s and "MB/s" in s
+        assert "devices=4" in s
+
+    def test_no_extra(self):
+        from repro.sim.stats import summary
+
+        assert "MB/s" in str(summary("x", 1.0, "MB/s"))

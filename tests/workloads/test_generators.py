@@ -1,0 +1,99 @@
+"""Unit tests for access-pattern generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.workloads import (
+    record_payload,
+    sequential_pattern,
+    strided_pattern,
+    uniform_pattern,
+    working_set_pattern,
+    zipf_pattern,
+)
+
+
+class TestSequentialStrided:
+    def test_sequential(self):
+        assert np.array_equal(sequential_pattern(5), [0, 1, 2, 3, 4])
+        assert len(sequential_pattern(0)) == 0
+        with pytest.raises(ValueError):
+            sequential_pattern(-1)
+
+    def test_strided(self):
+        assert np.array_equal(strided_pattern(10, 1, 3), [1, 4, 7])
+        with pytest.raises(ValueError):
+            strided_pattern(10, 0, 0)
+        with pytest.raises(ValueError):
+            strided_pattern(10, 10, 2)
+
+
+class TestRandomPatterns:
+    @pytest.mark.parametrize("fn,kw", [
+        (uniform_pattern, {}),
+        (zipf_pattern, {"skew": 1.0}),
+        (working_set_pattern, {}),
+    ])
+    def test_in_range_and_deterministic(self, fn, kw):
+        a = fn(100, 500, seed=3, **kw)
+        b = fn(100, 500, seed=3, **kw)
+        assert np.array_equal(a, b)
+        assert a.min() >= 0 and a.max() < 100
+        assert len(a) == 500
+
+    def test_zipf_skew_concentrates(self):
+        uni = zipf_pattern(1000, 20_000, skew=0.0, seed=1)
+        hot = zipf_pattern(1000, 20_000, skew=1.2, seed=1)
+
+        def top10_share(xs):
+            _, counts = np.unique(xs, return_counts=True)
+            counts.sort()
+            return counts[-10:].sum() / len(xs)
+
+        assert top10_share(hot) > 3 * top10_share(uni)
+
+    def test_working_set_hits_hot_set(self):
+        xs = working_set_pattern(
+            1000, 10_000, hot_fraction=0.05, hot_probability=0.9, seed=2
+        )
+        share_in_hot = np.mean(xs < 50)
+        assert share_in_hot > 0.85
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_pattern(0, 10)
+        with pytest.raises(ValueError):
+            zipf_pattern(10, 10, skew=-1)
+        with pytest.raises(ValueError):
+            working_set_pattern(10, 10, hot_fraction=0)
+        with pytest.raises(ValueError):
+            working_set_pattern(10, 10, hot_probability=2)
+
+
+class TestPayload:
+    def test_float_payload(self):
+        x = record_payload(10, 4)
+        assert x.shape == (10, 4) and x.dtype == np.float64
+
+    def test_int_payload(self):
+        x = record_payload(10, 4, dtype="uint8")
+        assert x.dtype == np.uint8
+
+    def test_deterministic(self):
+        assert np.array_equal(record_payload(5, 2, seed=7), record_payload(5, 2, seed=7))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            record_payload(-1, 2)
+        with pytest.raises(ValueError):
+            record_payload(1, 0)
+
+
+@given(st.integers(1, 500), st.integers(0, 300), st.floats(0, 3))
+def test_zipf_always_in_range(n_records, n_accesses, skew):
+    xs = zipf_pattern(n_records, n_accesses, skew=skew, seed=0)
+    assert len(xs) == n_accesses
+    if n_accesses:
+        assert xs.min() >= 0 and xs.max() < n_records

@@ -1,0 +1,96 @@
+"""Unit tests for the wrapped-matrix workload."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import WrappedMatrix, parallel_matvec, parallel_row_scale
+from tests.fs.conftest import build_pfs
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def pfs(env):
+    return build_pfs(env)
+
+
+def test_wrapped_assignment(env, pfs):
+    m = WrappedMatrix(pfs, "A", n_rows=9, n_cols=4, n_processes=3)
+    assert m.my_rows(0).tolist() == [0, 3, 6]
+    assert m.my_rows(2).tolist() == [2, 5, 8]
+
+
+def test_store_load_roundtrip(env, pfs):
+    m = WrappedMatrix(pfs, "A", n_rows=8, n_cols=5, n_processes=4)
+    A = np.random.default_rng(0).random((8, 5))
+
+    def proc():
+        yield from m.store(A)
+        out = yield from m.load()
+        return out
+
+    assert np.array_equal(env.run(env.process(proc())), A)
+
+
+def test_shape_validation(env, pfs):
+    m = WrappedMatrix(pfs, "A", n_rows=8, n_cols=5, n_processes=4)
+    with pytest.raises(ValueError):
+        next(m.store(np.zeros((8, 4))))
+    with pytest.raises(ValueError):
+        WrappedMatrix(pfs, "B", n_rows=0, n_cols=5, n_processes=2)
+
+
+def test_read_my_rows(env, pfs):
+    m = WrappedMatrix(pfs, "A", n_rows=10, n_cols=3, n_processes=4)
+    A = np.random.default_rng(1).random((10, 3))
+
+    def proc():
+        yield from m.store(A)
+        rows = yield from m.read_my_rows(1)
+        return rows
+
+    assert np.array_equal(env.run(env.process(proc())), A[[1, 5, 9]])
+
+
+def test_parallel_row_scale(env, pfs):
+    m = WrappedMatrix(pfs, "A", n_rows=12, n_cols=2, n_processes=3)
+    A = np.random.default_rng(2).random((12, 2))
+
+    def driver():
+        yield from m.store(A)
+        children = [
+            env.process(parallel_row_scale(m, p, 2.0)) for p in range(3)
+        ]
+        yield env.all_of(children)
+        out = yield from m.load()
+        return out
+
+    assert np.allclose(env.run(env.process(driver())), A * 2.0)
+
+
+def test_parallel_matvec_matches_numpy(env, pfs):
+    m = WrappedMatrix(pfs, "A", n_rows=11, n_cols=4, n_processes=3)
+    rng = np.random.default_rng(3)
+    A = rng.random((11, 4))
+    x = rng.random(4)
+
+    def driver():
+        yield from m.store(A)
+        children = [env.process(parallel_matvec(m, p, x)) for p in range(3)]
+        results = yield env.all_of(children)
+        y = np.zeros(11)
+        for idx, partial in results.values():
+            y[idx] = partial
+        return y
+
+    assert np.allclose(env.run(env.process(driver())), A @ x)
+
+
+def test_matvec_validates_x(env, pfs):
+    m = WrappedMatrix(pfs, "A", n_rows=4, n_cols=4, n_processes=2)
+    with pytest.raises(ValueError):
+        next(parallel_matvec(m, 0, np.zeros(3)))

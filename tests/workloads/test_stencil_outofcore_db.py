@@ -1,0 +1,191 @@
+"""Unit tests for stencil, out-of-core, and database workloads."""
+
+import numpy as np
+import pytest
+
+from repro.core import HaloCache
+from repro.sim import Environment
+from repro.workloads import (
+    DatabaseWorkload,
+    OutOfCoreSweep,
+    reference_smooth,
+    run_database_workload,
+    run_out_of_core,
+    stencil_pass_cached,
+    stencil_pass_explicit,
+)
+from tests.fs.conftest import build_pfs
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def pfs(env):
+    return build_pfs(env)
+
+
+class TestStencil:
+    def make_vector_file(self, pfs, env, n=32, p=4):
+        f = pfs.create(
+            "vec", "PS", n_records=n, record_size=8, dtype="float64",
+            records_per_block=2, n_processes=p,
+        )
+        x = np.random.default_rng(0).random((n, 1))
+
+        def pre():
+            yield from f.global_view().write(x)
+
+        env.run(env.process(pre()))
+        return f, x
+
+    def test_reference_smooth(self):
+        x = np.array([[1.0], [4.0], [7.0]])
+        y = reference_smooth(x)
+        assert y[1, 0] == pytest.approx(4.0)
+        assert y[0, 0] == pytest.approx((1 + 1 + 4) / 3)
+
+    def test_explicit_pass_matches_reference(self, env, pfs):
+        f, x = self.make_vector_file(pfs, env)
+        expected = reference_smooth(x)
+
+        def driver():
+            children = [
+                env.process(stencil_pass_explicit(f, p)) for p in range(4)
+            ]
+            results = yield env.all_of(children)
+            y = np.empty_like(x)
+            for lo, rows in results.values():
+                y[lo : lo + len(rows)] = rows
+            return y
+
+        assert np.allclose(env.run(env.process(driver())), expected)
+
+    def test_cached_pass_matches_reference_and_hits_on_second_pass(self, env, pfs):
+        f, x = self.make_vector_file(pfs, env)
+        expected = reference_smooth(x)
+        caches = [HaloCache(8) for _ in range(4)]
+
+        def one_pass():
+            children = [
+                env.process(stencil_pass_cached(f, p, caches[p]))
+                for p in range(4)
+            ]
+            results = yield env.all_of(children)
+            y = np.empty_like(x)
+            for lo, rows in results.values():
+                y[lo : lo + len(rows)] = rows
+            return y
+
+        y1 = env.run(env.process(one_pass()))
+        assert np.allclose(y1, expected)
+        misses_after_first = sum(c.misses for c in caches)
+        env.run(env.process(one_pass()))  # second (read-only) pass
+        assert sum(c.hits for c in caches) > 0
+        assert sum(c.misses for c in caches) == misses_after_first
+
+    def test_empty_partition_handled(self, env, pfs):
+        # 2 blocks, 4 processes -> processes 2,3 own nothing
+        f = pfs.create(
+            "tiny", "PS", n_records=4, record_size=8, dtype="float64",
+            records_per_block=2, n_processes=4,
+        )
+
+        def driver():
+            lo, rows = yield from stencil_pass_explicit(f, 3)
+            return len(rows)
+
+        assert env.run(env.process(driver())) == 0
+
+
+class TestOutOfCore:
+    def make_pda_file(self, pfs, env, n=64, p=4):
+        f = pfs.create(
+            "ooc", "PDA", n_records=n, record_size=8, dtype="float64",
+            records_per_block=4, n_processes=p,
+        )
+        x = np.random.default_rng(1).random((n, 1))
+
+        def pre():
+            yield from f.global_view().write(x)
+
+        env.run(env.process(pre()))
+        return f, x
+
+    def test_sweep_preserves_data(self, env, pfs):
+        f, x = self.make_pda_file(pfs, env)
+        procs, handles = run_out_of_core(f, OutOfCoreSweep(passes=2, cache_blocks=2))
+        env.run()
+
+        def check():
+            out = yield from f.global_view().read()
+            return out
+
+        assert np.array_equal(env.run(env.process(check())), x)
+
+    def test_cache_reuse_across_passes_when_working_set_fits(self, env, pfs):
+        f, x = self.make_pda_file(pfs, env)
+        # each process owns 4 blocks; cache of 4 fits the whole working set
+        procs, handles = run_out_of_core(f, OutOfCoreSweep(passes=3, cache_blocks=4))
+        env.run()
+        for h in handles:
+            # pass 1 misses every block; passes 2-3 hit
+            assert h.cache.misses == 4
+            assert h.cache.hits > 0
+
+    def test_thrash_when_working_set_exceeds_cache(self, env, pfs):
+        f, x = self.make_pda_file(pfs, env)
+        procs, handles = run_out_of_core(f, OutOfCoreSweep(passes=3, cache_blocks=1))
+        env.run()
+        for h in handles:
+            # forward sweeps with cache=1: every block access misses
+            assert h.cache.misses == 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OutOfCoreSweep(passes=0)
+        with pytest.raises(ValueError):
+            OutOfCoreSweep(cache_blocks=-1)
+
+
+class TestDatabase:
+    def make_db_file(self, pfs, env, n=128):
+        f = pfs.create(
+            "db", "GDA", n_records=n, record_size=16, dtype="float64",
+            records_per_block=4, n_processes=4,
+        )
+
+        def pre():
+            yield from f.global_view().write(np.zeros((n, 2)))
+
+        env.run(env.process(pre()))
+        return f
+
+    def test_workload_validation(self):
+        with pytest.raises(ValueError):
+            DatabaseWorkload(-1)
+        with pytest.raises(ValueError):
+            DatabaseWorkload(10, write_fraction=1.5)
+        with pytest.raises(ValueError):
+            DatabaseWorkload(10, skew=-1)
+
+    def test_targets_shapes(self):
+        w = DatabaseWorkload(100, skew=0.8, seed=5)
+        t = w.targets(64)
+        assert len(t) == 100 and t.max() < 64
+        assert len(w.is_write()) == 100
+
+    def test_run_completes_all_transactions(self, env, pfs):
+        f = self.make_db_file(pfs, env)
+        w = DatabaseWorkload(60, skew=1.0, write_fraction=0.3, seed=2)
+        clients = run_database_workload(f, w, n_clients=4)
+        env.run()
+        assert all(p.processed for p in clients)
+        assert env.now > 0
+
+    def test_client_count_validation(self, env, pfs):
+        f = self.make_db_file(pfs, env)
+        with pytest.raises(ValueError):
+            run_database_workload(f, DatabaseWorkload(10), n_clients=0)

@@ -1,0 +1,95 @@
+"""Unit tests for the self-scheduled task-queue workload."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Environment
+from repro.workloads import run_task_queue
+from tests.fs.conftest import build_pfs
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def pfs(env):
+    return build_pfs(env)
+
+
+def make_queue_file(pfs, env, name="tasks", n_tasks=24):
+    f = pfs.create(
+        name, "SS", n_records=n_tasks, record_size=16, dtype="float64",
+        records_per_block=1, n_processes=4,
+    )
+    data = np.random.default_rng(0).random((n_tasks, 2))
+
+    def pre():
+        yield from f.global_view().write(data)
+
+    env.run(env.process(pre()))
+    return f, data
+
+
+def test_all_tasks_processed_exactly_once(env, pfs):
+    f, _ = make_queue_file(pfs, env)
+    sessions, stats, procs = run_task_queue(
+        f, n_workers=4, service_time=lambda b, d: 0.01
+    )
+    env.run()
+    sessions[0].validate()
+    assert sum(s.tasks for s in stats) == 24
+
+
+def test_uneven_tasks_balance_by_time(env, pfs):
+    """Self-scheduling balances busy time even with skewed task costs."""
+    f, _ = make_queue_file(pfs, env, n_tasks=40)
+    # task cost alternates tiny/large
+    sessions, stats, procs = run_task_queue(
+        f, n_workers=4,
+        service_time=lambda b, d: 0.5 if b % 8 == 0 else 0.01,
+    )
+    env.run()
+    busy = [s.busy_time for s in stats]
+    # no worker should be starved: all did something
+    assert all(s.tasks > 0 for s in stats)
+    # total busy equals the sum of all task costs
+    expected = sum(0.5 if b % 8 == 0 else 0.01 for b in range(40))
+    assert sum(busy) == pytest.approx(expected)
+
+
+def test_results_written_to_output_file(env, pfs):
+    f, data = make_queue_file(pfs, env)
+    out = pfs.create(
+        "results", "SS", n_records=24, record_size=16, dtype="float64",
+        records_per_block=1, n_processes=4,
+    )
+    sessions, stats, procs = run_task_queue(
+        f, n_workers=4,
+        service_time=lambda b, d: 0.001,
+        output_file=out,
+        result_fn=lambda b, d: d * 2,
+    )
+    env.run()
+    for s in sessions:
+        s.validate()
+
+    def check():
+        got = yield from out.global_view().read()
+        return got
+
+    results = env.run(env.process(check()))
+    # order is nondeterministic across blocks, but the multiset of result
+    # rows must be the inputs doubled
+    assert sorted(results[:, 0].tolist()) == sorted((data * 2)[:, 0].tolist())
+
+
+def test_worker_stats_record_blocks(env, pfs):
+    f, _ = make_queue_file(pfs, env)
+    sessions, stats, procs = run_task_queue(
+        f, n_workers=2, service_time=lambda b, d: 0.0
+    )
+    env.run()
+    all_blocks = sorted(b for s in stats for b in s.blocks)
+    assert all_blocks == list(range(24))

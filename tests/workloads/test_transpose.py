@@ -1,0 +1,108 @@
+"""Unit tests for the out-of-core transpose workload."""
+
+import numpy as np
+import pytest
+
+from repro.sim import Environment
+from repro.workloads import create_matrix_file, transpose_naive, transpose_tiled
+from tests.fs.conftest import build_pfs
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def pfs(env):
+    return build_pfs(env)
+
+
+def setup_matrices(env, pfs, n, seed=0):
+    src = create_matrix_file(pfs, "A", n)
+    dst = create_matrix_file(pfs, "At", n)
+    A = np.random.default_rng(seed).random((n, n))
+
+    def fill():
+        yield from src.global_view().write(A)
+
+    env.run(env.process(fill()))
+    return src, dst, A
+
+
+def read_matrix(env, f, n):
+    def proc():
+        v = f.global_view()
+        v.seek(0)
+        out = yield from v.read()
+        return out.reshape(n, n)
+
+    return env.run(env.process(proc()))
+
+
+class TestNaive:
+    def test_correct_transpose(self, env, pfs):
+        src, dst, A = setup_matrices(env, pfs, 8)
+
+        def proc():
+            yield from transpose_naive(src, dst)
+
+        env.run(env.process(proc()))
+        assert np.array_equal(read_matrix(env, dst, 8), A.T)
+
+
+class TestTiled:
+    @pytest.mark.parametrize("n,tile", [(8, 2), (8, 3), (8, 8), (9, 4), (5, 1)])
+    def test_correct_for_any_tiling(self, env, pfs, n, tile):
+        src, dst, A = setup_matrices(env, pfs, n)
+
+        def proc():
+            yield from transpose_tiled(src, dst, tile)
+
+        env.run(env.process(proc()))
+        assert np.array_equal(read_matrix(env, dst, n), A.T)
+
+    def test_invalid_tile(self, env, pfs):
+        src, dst, _ = setup_matrices(env, pfs, 4)
+        with pytest.raises(ValueError):
+            next(transpose_tiled(src, dst, 0))
+
+    def test_tiled_beats_naive_in_simulated_time(self, env, pfs):
+        from repro.sim import Environment as Env
+
+        def run(algo):
+            env2 = Env()
+            pfs2 = build_pfs(env2)
+            src, dst, _ = setup_matrices(env2, pfs2, 16)
+            start = env2.now
+
+            def proc():
+                yield from algo(src, dst)
+
+            env2.run(env2.process(proc()))
+            return env2.now - start
+
+        t_naive = run(lambda s, d: transpose_naive(s, d))
+        t_tiled = run(lambda s, d: transpose_tiled(s, d, tile=4))
+        assert t_tiled < t_naive * 0.5
+
+    def test_bigger_tiles_fewer_transfers(self, env, pfs):
+        def run(tile):
+            from repro.sim import Environment as Env
+
+            env2 = Env()
+            pfs2 = build_pfs(env2)
+            src, dst, _ = setup_matrices(env2, pfs2, 16)
+            start = env2.now
+
+            def proc():
+                yield from transpose_tiled(src, dst, tile)
+
+            env2.run(env2.process(proc()))
+            return env2.now - start
+
+        assert run(8) < run(2)
+
+    def test_matrix_validation(self, pfs):
+        with pytest.raises(ValueError):
+            create_matrix_file(pfs, "bad", 0)
