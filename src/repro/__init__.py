@@ -49,6 +49,7 @@ from .fs import (
     verify_file,
 )
 from .live import LiveParallelFileSystem
+from .sanitize import AccessConflictDetector, EngineSanitizer
 from .sim import Environment, RngStreams
 from .storage import Volume
 from .trace import TraceRecorder
@@ -74,6 +75,8 @@ __all__ = [
     "protection_overview",
     "verify_file",
     "LiveParallelFileSystem",
+    "AccessConflictDetector",
+    "EngineSanitizer",
     "Environment",
     "RngStreams",
     "Volume",

@@ -41,8 +41,11 @@ class BufferCache:
         self._blocks: OrderedDict[int, Any] = OrderedDict()
         self._dirty: set[int] = set()
         self._inflight: dict[int, Event] = {}
+        self.reads = 0
         self.hits = 0
         self.misses = 0
+        #: hits that joined another reader's in-flight fetch (subset of hits)
+        self.coalesced = 0
         self.evictions = 0
         self.writebacks = 0
 
@@ -61,24 +64,35 @@ class BufferCache:
     # -- operations -----------------------------------------------------------
 
     def read(self, block: int):
-        """Generator: the cached (or fetched) contents of ``block``."""
+        """Generator: the cached (or fetched) contents of ``block``.
+
+        Invariant: ``hits + misses == reads`` — a reader that joins an
+        in-flight fetch counts as a (coalesced) hit, since it causes no
+        device transfer of its own.
+        """
+        self.reads += 1
         if block in self._blocks:
             self.hits += 1
             self._blocks.move_to_end(block)
             return self._blocks[block]
-        self.misses += 1
         inflight = self._inflight.get(block)
         if inflight is not None:
-            # another process is already fetching this block
+            # another process is already fetching (or installing) this block
+            self.hits += 1
+            self.coalesced += 1
             data = yield inflight
             return data
+        self.misses += 1
         ev = self.fetch(block)
         self._inflight[block] = ev
         try:
             data = yield ev
+            # Keep the in-flight entry until install completes: _install may
+            # yield for a dirty-victim writeback, and a reader arriving in
+            # that window must share this fetch, not issue a duplicate one.
+            yield from self._install(block, data)
         finally:
             self._inflight.pop(block, None)
-        yield from self._install(block, data)
         return data
 
     def write(self, block: int, data: Any):

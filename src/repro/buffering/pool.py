@@ -55,12 +55,17 @@ class BufferPool:
 
     def acquire(self) -> Event:
         """Claim one buffer (blocks when all are in use)."""
+        sanitizer = self.env._sanitizer
+        if sanitizer is not None:
+            sanitizer.register_pool(self)
         ev = self._slots.acquire()
 
         def _track(_):
             self._in_use += 1
             if self._in_use > self.peak_in_use:
                 self.peak_in_use = self._in_use
+            if sanitizer is not None:
+                sanitizer.on_pool(self)
 
         if ev.triggered:
             _track(ev)
@@ -70,10 +75,16 @@ class BufferPool:
 
     def release(self) -> None:
         """Return one buffer to the pool."""
+        sanitizer = self.env._sanitizer
+        if sanitizer is not None:
+            sanitizer.register_pool(self)
         if self._in_use <= 0:
+            # the raise itself surfaces the imbalance; no violation recorded
             raise RuntimeError("release of unheld buffer")
         self._in_use -= 1
         self._slots.release()
+        if sanitizer is not None:
+            sanitizer.on_pool(self)
 
     def copy_cost(self, nbytes: int) -> float:
         """Simulated CPU time to stage ``nbytes`` through a buffer."""

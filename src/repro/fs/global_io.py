@@ -125,4 +125,4 @@ class GlobalViewHandle:
         for b in range(first, last + 1):
             lo = max(start_record, bs.first_record(b))
             hi = min(start_record + count, bs.first_record(b) + bs.records_per_block)
-            self.file.trace(GLOBAL_PROCESS, op, b, hi - lo)
+            self.file.trace(GLOBAL_PROCESS, op, b, hi - lo, start=lo)

@@ -85,7 +85,7 @@ class _HandleBase:
                 start_record + count,
                 bs.first_record(b) + bs.records_per_block,
             )
-            self.file.trace(self.process, op, b, hi - lo)
+            self.file.trace(self.process, op, b, hi - lo, start=lo)
 
 
 class SequentialHandle(_HandleBase):
@@ -153,6 +153,9 @@ class PartitionHandle(_HandleBase):
             raise OrganizationError(
                 "alternate-view map does not match the file's record count"
             )
+        sanitizer = file.pfs.sanitizer
+        if sanitizer is not None:
+            sanitizer.note_view(file, process, m.org)
         self.view_map = m
         self._records = m.records_of(process)
         self._cursor = 0

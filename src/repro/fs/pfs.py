@@ -18,7 +18,7 @@ Handles are obtained with :meth:`ParallelFile.global_view` and
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
@@ -38,6 +38,9 @@ from .catalog import Catalog, CatalogEntry
 from .global_io import GlobalViewHandle
 from .internal_io import make_internal_handle
 from .metadata import FileAttributes
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sanitize.access import AccessConflictDetector
 
 __all__ = ["ParallelFileSystem", "ParallelFile"]
 
@@ -153,8 +156,20 @@ class ParallelFile:
 
     # -- tracing ----------------------------------------------------------------
 
-    def trace(self, process: int, op: str, block: int, records: int) -> None:
-        """Record one access in the file system's trace recorder, if any."""
+    def trace(
+        self,
+        process: int,
+        op: str,
+        block: int,
+        records: int,
+        start: int | None = None,
+    ) -> None:
+        """Record one access in the trace recorder and conflict sanitizer.
+
+        ``start`` is the first global record of the access when the caller
+        knows it (record-granular ops); block-granular ops omit it and the
+        sanitizer uses the block's whole record range.
+        """
         rec = self.pfs.recorder
         if rec is not None:
             rec.record(
@@ -166,6 +181,9 @@ class ParallelFile:
                 records,
                 records * self.attrs.record_size,
             )
+        sanitizer = self.pfs.sanitizer
+        if sanitizer is not None:
+            sanitizer.note_access(self, process, op, block, records, start)
 
 
 class ParallelFileSystem:
@@ -176,11 +194,14 @@ class ParallelFileSystem:
         env: Environment,
         volume: Volume,
         recorder: TraceRecorder | None = None,
+        sanitizer: "AccessConflictDetector | None" = None,
     ):
         self.env = env
         self.volume = volume
         self.catalog = Catalog()
         self.recorder = recorder
+        #: optional repro.sanitize.AccessConflictDetector fed by every access
+        self.sanitizer = sanitizer
 
     # -- lifecycle ------------------------------------------------------------
 

@@ -1,0 +1,224 @@
+"""Engine invariant sanitizer: runtime checks on the simulation substrate.
+
+§5 of the paper catalogues how *files* go wrong under parallel access;
+this module watches how the *simulator itself* could go wrong under the
+same contention — races in the substrate would silently corrupt every
+experiment built on top of it. The checked invariants:
+
+* an event popped from the queue has been triggered exactly once and is
+  processed exactly once (no double-schedule, no callback ever runs on an
+  already-processed event);
+* a :class:`~repro.sim.resources.Resource` never grants one request twice,
+  never exceeds its capacity, and never leaves a waiter sleeping while a
+  slot is free (lost wakeup);
+* :class:`~repro.sim.resources.Store` / ``Container`` dispatch leaves no
+  satisfiable put/get untriggered (lost wakeup);
+* :class:`~repro.buffering.pool.BufferPool` acquire/release stays inside
+  ``[0, n_buffers]`` and balances to zero by :meth:`check_balanced`.
+
+Attach with :func:`attach` (collecting mode) or construct the environment
+with ``Environment(strict=True)`` (raise on first violation). Hooks are a
+single attribute test on the hot paths when no sanitizer is attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from ..sim.engine import Environment, Event, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..buffering.pool import BufferPool
+    from ..sim.resources import Container, Resource, Store
+
+__all__ = ["SanitizerError", "Violation", "EngineSanitizer", "attach"]
+
+
+class SanitizerError(SimulationError):
+    """An engine invariant was violated (strict mode only)."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected invariant violation."""
+
+    kind: str
+    detail: str
+    time: float
+
+    def row(self) -> str:
+        """One formatted report line."""
+        return f"t={self.time:>12.6f}  {self.kind:<26s} {self.detail}"
+
+
+class EngineSanitizer:
+    """Collects (or raises on) engine invariant violations for one env."""
+
+    def __init__(self, env: Environment, raise_on_violation: bool = False):
+        self.env = env
+        self.raise_on_violation = raise_on_violation
+        self.violations: list[Violation] = []
+        #: number of invariant checks performed (sanity that hooks fired)
+        self.checks = 0
+        self._pools: list["BufferPool"] = []
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _violate(self, kind: str, detail: str) -> None:
+        violation = Violation(kind, detail, self.env.now)
+        self.violations.append(violation)
+        if self.raise_on_violation:
+            raise SanitizerError(f"[{kind}] {detail} (t={self.env.now})")
+
+    @property
+    def clean(self) -> bool:
+        """True iff no violation has been recorded."""
+        return not self.violations
+
+    def assert_clean(self) -> None:
+        """Raise :class:`SanitizerError` listing any recorded violations."""
+        if self.violations:
+            rows = "\n".join(v.row() for v in self.violations)
+            raise SanitizerError(
+                f"{len(self.violations)} engine invariant violation(s):\n{rows}"
+            )
+
+    # -- engine hooks ----------------------------------------------------------
+
+    def on_step(self, event: Event) -> None:
+        """Called by ``Environment.step`` for every popped event."""
+        self.checks += 1
+        if event._processed:
+            self._violate(
+                "event-reprocessed",
+                f"{event!r} popped from the queue after it was processed",
+            )
+        if event.callbacks is None:
+            self._violate(
+                "event-callbacks-consumed",
+                f"{event!r} reached step() with its callbacks already taken",
+            )
+        if not event.triggered:
+            self._violate(
+                "event-untriggered",
+                f"{event!r} was scheduled without a value or failure",
+            )
+
+    def on_resource(self, resource: "Resource") -> None:
+        """Called after ``Resource._trigger_requests`` settles."""
+        self.checks += 1
+        users = resource.users
+        name = type(resource).__name__
+        if len(users) > resource.capacity:
+            self._violate(
+                "resource-overcommit",
+                f"{name} holds {len(users)} users over capacity "
+                f"{resource.capacity}",
+            )
+        if len({id(u) for u in users}) != len(users):
+            self._violate(
+                "resource-double-grant",
+                f"{name} granted the same request more than one slot",
+            )
+        for user in users:
+            if not user.triggered:
+                self._violate(
+                    "resource-granted-untriggered",
+                    f"{name} lists an ungranted request as a user",
+                )
+        if len(users) < resource.capacity and any(
+            not w.triggered for w in resource._waiting
+        ):
+            self._violate(
+                "resource-lost-wakeup",
+                f"{name} has a free slot but a waiter was left sleeping",
+            )
+
+    def on_store(self, store: "Store") -> None:
+        """Called after ``Store._dispatch`` settles."""
+        self.checks += 1
+        if len(store.items) > store.capacity:
+            self._violate(
+                "store-overfull",
+                f"Store holds {len(store.items)} items over capacity "
+                f"{store.capacity}",
+            )
+        if store.items and any(not g.triggered for g in store._gets):
+            self._violate(
+                "store-lost-wakeup",
+                "Store has items but left a getter sleeping",
+            )
+        if len(store.items) < store.capacity and any(
+            not p.triggered for p in store._puts
+        ):
+            self._violate(
+                "store-lost-wakeup",
+                "Store has room but left a putter sleeping",
+            )
+
+    def on_container(self, container: "Container") -> None:
+        """Called after ``Container._dispatch`` settles."""
+        self.checks += 1
+        level = container._level
+        if level < 0 or level > container.capacity:
+            self._violate(
+                "container-level",
+                f"Container level {level} outside [0, {container.capacity}]",
+            )
+        pending_puts = [p for p in container._puts if not p.triggered]
+        if pending_puts and level + pending_puts[0].amount <= container.capacity:
+            self._violate(
+                "container-lost-wakeup",
+                f"put of {pending_puts[0].amount} fits at level {level} "
+                "but was left sleeping",
+            )
+        pending_gets = [g for g in container._gets if not g.triggered]
+        if pending_gets and level >= pending_gets[0].amount:
+            self._violate(
+                "container-lost-wakeup",
+                f"get of {pending_gets[0].amount} is covered by level "
+                f"{level} but was left sleeping",
+            )
+
+    # -- buffer pools ------------------------------------------------------------
+
+    def register_pool(self, pool: "BufferPool") -> None:
+        """Track a pool for the end-of-run balance check."""
+        if pool not in self._pools:
+            self._pools.append(pool)
+
+    def on_pool(self, pool: "BufferPool") -> None:
+        """Called on every pool acquire-grant and release."""
+        self.checks += 1
+        if not 0 <= pool._in_use <= pool.n_buffers:
+            self._violate(
+                "pool-imbalance",
+                f"BufferPool in_use={pool._in_use} outside "
+                f"[0, {pool.n_buffers}]",
+            )
+
+    def check_balanced(self) -> None:
+        """Record a violation for every pool with unreleased buffers."""
+        for pool in self._pools:
+            if pool._in_use != 0:
+                self._violate(
+                    "pool-unreleased",
+                    f"BufferPool ended with {pool._in_use} of "
+                    f"{pool.n_buffers} buffers still held",
+                )
+
+
+def attach(env: Environment, raise_on_violation: bool = False) -> EngineSanitizer:
+    """Attach an :class:`EngineSanitizer` to ``env`` and return it.
+
+    Attaching twice returns the existing sanitizer (updated with the
+    requested ``raise_on_violation`` policy).
+    """
+    sanitizer: Any = env._sanitizer
+    if sanitizer is None:
+        sanitizer = EngineSanitizer(env, raise_on_violation)
+        env._sanitizer = sanitizer
+    else:
+        sanitizer.raise_on_violation = raise_on_violation
+    return sanitizer

@@ -236,14 +236,22 @@ class Process(Event):
                 return
 
             if not isinstance(next_event, Event):
+                # Close the generator and fail the process cleanly. (Throwing
+                # the error into the generator instead would misbehave when
+                # the generator catches it and keeps yielding.)
                 env._active = None
-                self._generator.throw(
+                try:
+                    self._generator.close()
+                except RuntimeError:
+                    pass  # generator ignored GeneratorExit; fail it anyway
+                self._target = None
+                self.fail(
                     SimulationError(
                         f"process {self.name!r} yielded non-event "
                         f"{next_event!r}"
                     )
                 )
-                raise AssertionError("unreachable")  # pragma: no cover
+                return
             if next_event.env is not env:
                 raise SimulationError(
                     "yielded event belongs to a different Environment"
@@ -322,11 +330,22 @@ class AnyOf(Condition):
 class Environment:
     """The simulation clock and event queue."""
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(self, initial_time: float = 0.0, strict: bool = False):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, Event]] = []
         self._eid = 0
         self._active: Process | None = None
+        #: attached EngineSanitizer, if any (see ``repro.sanitize``)
+        self._sanitizer: Any = None
+        if strict:
+            from ..sanitize.engine_hooks import attach
+
+            attach(self, raise_on_violation=True)
+
+    @property
+    def sanitizer(self) -> Any:
+        """The attached :class:`~repro.sanitize.EngineSanitizer`, if any."""
+        return self._sanitizer
 
     @property
     def now(self) -> float:
@@ -380,6 +399,8 @@ class Environment:
             raise SimulationError("step() on empty event queue")
         when, _, event = heapq.heappop(self._queue)
         self._now = when
+        if self._sanitizer is not None:
+            self._sanitizer.on_step(event)
         callbacks = event.callbacks
         event.callbacks = None
         event._processed = True

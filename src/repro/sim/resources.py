@@ -103,24 +103,25 @@ class Resource:
     @property
     def queue_length(self) -> int:
         """Number of requests waiting for a slot."""
-        n = 0
-        if isinstance(self._waiting, deque):
-            n = len(self._waiting)
-        else:  # pragma: no cover - PriorityResource overrides
-            n = len(self._waiting)
-        return n
+        return len(self._waiting)
 
     def request(self, priority: float = 0.0) -> Request:
         """Claim a slot; the returned event triggers once granted."""
         return Request(self, priority)
 
     def release(self, request: Request) -> Release:
-        """Return a slot. Safe to call for a request never granted."""
+        """Return a slot.
+
+        Safe to call for a request never granted (cancels it) and a no-op
+        for a request already released — a double release must not grant
+        waiters twice.
+        """
         if request in self.users:
             self.users.remove(request)
-        else:
+            self._trigger_requests()
+        elif not request.triggered:
+            # still waiting: cancel it (frees no slot, wakes nobody)
             self._discard(request)
-        self._trigger_requests()
         return Release(self.env)
 
     def _trigger_requests(self) -> None:
@@ -130,6 +131,9 @@ class Resource:
                 continue
             self.users.append(req)
             req.succeed(req)
+        sanitizer = self.env._sanitizer
+        if sanitizer is not None:
+            sanitizer.on_resource(self)
 
 
 class PriorityResource(Resource):
@@ -154,10 +158,6 @@ class PriorityResource(Resource):
             heapq.heapify(self._waiting)
         except ValueError:
             pass
-
-    @property
-    def queue_length(self) -> int:
-        return len(self._waiting)
 
 
 class StorePut(Event):
@@ -219,6 +219,9 @@ class Store:
                     continue
                 get.succeed(self.items.popleft())
                 progressed = True
+        sanitizer = self.env._sanitizer
+        if sanitizer is not None:
+            sanitizer.on_store(self)
 
 
 class ContainerPut(Event):
@@ -308,3 +311,6 @@ class Container:
                     self._level -= get.amount
                     get.succeed(get.amount)
                     progressed = True
+        sanitizer = self.env._sanitizer
+        if sanitizer is not None:
+            sanitizer.on_container(self)

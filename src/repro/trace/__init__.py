@@ -3,7 +3,13 @@
 from .events import AccessEvent, TraceRecorder
 from .gantt import render_device_gantt, render_gantt
 from .figures import render_block_map, render_figure1_panel, render_timeline
-from .report import RunReport, device_report, throughput_mb_s
+from .report import (
+    RunReport,
+    conflict_report,
+    device_report,
+    invariant_report,
+    throughput_mb_s,
+)
 
 __all__ = [
     "AccessEvent",
@@ -14,6 +20,8 @@ __all__ = [
     "render_figure1_panel",
     "render_timeline",
     "RunReport",
+    "conflict_report",
     "device_report",
+    "invariant_report",
     "throughput_mb_s",
 ]

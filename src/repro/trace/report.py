@@ -1,13 +1,24 @@
-"""Throughput and utilization reporting for experiment runs."""
+"""Throughput, utilization, and sanitizer reporting for experiment runs."""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from ..devices.controller import DeviceController
 from ..sim.engine import Environment
 
-__all__ = ["RunReport", "throughput_mb_s", "device_report"]
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sanitize.access import AccessConflictDetector
+    from ..sanitize.engine_hooks import EngineSanitizer
+
+__all__ = [
+    "RunReport",
+    "throughput_mb_s",
+    "device_report",
+    "conflict_report",
+    "invariant_report",
+]
 
 
 def throughput_mb_s(nbytes: int, elapsed: float) -> float:
@@ -35,6 +46,32 @@ class RunReport:
             f"{self.label:<40s} {self.elapsed * 1e3:>10.2f} ms "
             f"{self.throughput:>8.2f} MB/s"
         )
+
+
+def conflict_report(detector: "AccessConflictDetector") -> list[str]:
+    """Render an access-conflict detector's findings, one row per finding.
+
+    A clean run renders a single "no conflicts" row so reports always show
+    the sanitizer actually ran (``records`` counts the accesses indexed).
+    """
+    header = (
+        f"access sanitizer: {len(detector.records)} accesses, "
+        f"{detector.epoch + 1} epoch(s), {len(detector.findings)} finding(s)"
+    )
+    if not detector.findings:
+        return [header, "  no conflicts detected"]
+    return [header] + [f"  {f.row()}" for f in detector.findings]
+
+
+def invariant_report(sanitizer: "EngineSanitizer") -> list[str]:
+    """Render an engine sanitizer's violations, one row per violation."""
+    header = (
+        f"engine sanitizer: {sanitizer.checks} checks, "
+        f"{len(sanitizer.violations)} violation(s)"
+    )
+    if not sanitizer.violations:
+        return [header, "  no invariant violations"]
+    return [header] + [f"  {v.row()}" for v in sanitizer.violations]
 
 
 def device_report(env: Environment, devices: list[DeviceController]) -> list[str]:

@@ -181,3 +181,91 @@ def test_no_writeback_function_rejects_dirty_eviction():
     env.process(proc())
     env.run()
     assert failed == [True]
+
+
+def test_single_flight_window_covers_dirty_victim_install():
+    """A reader arriving while the owner is still installing (dirty-victim
+    writeback in progress) must share the fetch, not issue a duplicate."""
+    env = Environment()
+    cache, be = make(env, capacity=1)
+    results = []
+
+    def owner():
+        yield from cache.write(1, b"dirty")   # block 1 dirty, cache full
+        data = yield from cache.read(2)       # miss: fetch 2, then install
+        results.append(("owner", env.now))    # (install evicts dirty 1)
+        return data
+
+    def late_reader():
+        # arrives after the fetch of block 2 completed (t=1) but while the
+        # dirty-victim writeback of block 1 is still in flight (t in [1,2))
+        yield env.timeout(1.5)
+        data = yield from cache.read(2)
+        results.append(("late", env.now))
+        return data
+
+    env.process(owner())
+    env.process(late_reader())
+    env.run()
+
+    assert [b for b, _ in be.fetches] == [2]  # exactly one device fetch
+    assert ("late", 1.5) in results           # joiner returned immediately
+    assert cache.coalesced == 1
+
+
+def test_waiters_counted_as_shared_fetch_hits():
+    """Joining an in-flight fetch is a hit, and hits+misses==reads."""
+    env = Environment()
+    cache, be = make(env)
+
+    def reader():
+        yield from cache.read(7)
+
+    for _ in range(3):
+        env.process(reader())
+    env.run()
+
+    assert cache.reads == 3
+    assert cache.misses == 1      # one device fetch
+    assert cache.hits == 2        # two coalesced joiners
+    assert cache.coalesced == 2
+    assert cache.hits + cache.misses == cache.reads
+    assert cache.hit_rate == pytest.approx(2 / 3)
+    assert len(be.fetches) == 1
+
+
+def test_read_accounting_invariant_mixed_workload():
+    env = Environment()
+    cache, be = make(env, capacity=2)
+
+    def proc():
+        for block in (1, 2, 1, 3, 2, 3, 1):
+            yield from cache.read(block)
+
+    env.run(env.process(proc()))
+    assert cache.hits + cache.misses == cache.reads == 7
+    assert cache.misses == len(be.fetches)
+
+
+def test_failed_fetch_clears_inflight_entry():
+    env = Environment()
+
+    def bad_fetch(block):
+        def transfer():
+            yield env.timeout(1)
+            raise IOError(f"device error on {block}")
+
+        return env.process(transfer())
+
+    cache = BufferCache(env, bad_fetch, None, capacity_blocks=2)
+    caught = []
+
+    def reader():
+        try:
+            yield from cache.read(4)
+        except IOError:
+            caught.append(True)
+
+    env.run(env.process(reader()))
+    assert caught == [True]
+    assert 4 not in cache._inflight

@@ -343,3 +343,46 @@ def test_any_of_failure_propagates_once():
     env.process(proc())
     env.run()
     assert caught == [True]
+
+
+def test_yield_non_event_caught_by_generator_still_fails_cleanly():
+    """A generator that catches the thrown error must not resurrect the
+    process: the engine closes it and fails the process event."""
+    env = Environment()
+    cleaned_up = []
+
+    def stubborn():
+        try:
+            try:
+                yield 42  # type: ignore[misc]
+            except SimulationError:
+                pass  # swallow it and try to keep going
+            while True:
+                yield env.timeout(1)
+        finally:
+            cleaned_up.append(True)
+
+    proc = env.process(stubborn())
+    with pytest.raises(SimulationError, match="non-event"):
+        env.run()
+    assert proc.triggered and not proc.ok
+    assert isinstance(proc.value, SimulationError)
+    assert cleaned_up == [True]  # generator was closed, finally ran
+
+
+def test_yield_non_event_failure_joinable_by_parent():
+    """A parent waiting on the bad process sees the failure like any other."""
+    env = Environment()
+
+    def bad():
+        yield object()  # type: ignore[misc]
+
+    def parent():
+        try:
+            yield env.process(bad())
+        except SimulationError as exc:
+            return str(exc)
+        return None
+
+    msg = env.run(env.process(parent()))
+    assert msg is not None and "non-event" in msg

@@ -264,3 +264,73 @@ class TestContainer:
     def test_init_bounds(self):
         with pytest.raises(ValueError):
             Container(Environment(), capacity=5, init=6)
+
+
+class TestDoubleRelease:
+    def test_double_release_is_noop_and_grants_once(self):
+        """Releasing an already-released request must not hand the freed
+        slot to waiters a second time."""
+        env = Environment()
+        res = Resource(env, capacity=1)
+        grants = []
+
+        def holder():
+            req = res.request()
+            yield req
+            yield env.timeout(1)
+            res.release(req)
+            yield env.timeout(1)
+            res.release(req)  # double release: must be a no-op
+
+        def waiter(name, delay):
+            yield env.timeout(delay)
+            req = res.request()
+            yield req
+            grants.append((name, env.now))
+            yield env.timeout(10)  # hold past the double release
+            res.release(req)
+
+        env.process(holder())
+        env.process(waiter("w1", 0.5))
+        env.process(waiter("w2", 0.6))
+        env.run()
+
+        # w1 got the slot at t=1; the double release at t=2 must NOT have
+        # granted w2 while w1 still held it
+        assert grants == [("w1", 1), ("w2", 11)]
+        assert res.count == 0
+
+    def test_double_release_under_sanitizer_is_clean(self):
+        env = Environment(strict=True)
+        res = Resource(env, capacity=1)
+
+        def proc():
+            req = res.request()
+            yield req
+            res.release(req)
+            res.release(req)
+
+        env.run(env.process(proc()))
+        assert env.sanitizer.clean
+
+    def test_release_of_waiting_request_cancels_it(self):
+        env = Environment()
+        res = Resource(env, capacity=1)
+
+        def holder():
+            req = res.request()
+            yield req
+            yield env.timeout(5)
+            res.release(req)
+
+        def quitter():
+            yield env.timeout(1)
+            req = res.request()
+            yield env.timeout(1)
+            res.release(req)  # give up before being granted
+
+        env.process(holder())
+        env.process(quitter())
+        env.run()
+        assert res.count == 0
+        assert res.queue_length == 0
