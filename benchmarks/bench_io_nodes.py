@@ -1,0 +1,164 @@
+"""E8 — §4: dedicated I/O processors. Server-mediated access trades an
+interconnect round-trip per request for the server's batch vantage point:
+requests from many clients coalesce into fewer, larger device transfers,
+and a server-side cache absorbs re-reads entirely.
+
+P processes scan an IS (interleaved) file over D devices, direct-attached
+versus routed through an I/O-node cluster. The scientific outputs are
+*device request counts* (the aggregation win) and cache hit rates (the
+locality win) — the wall-clock trade is reported alongside.
+
+Quick mode (``REPRO_BENCH_QUICK=1``) shrinks the workload and the config
+sweep for CI smoke runs.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import Environment, build_parallel_fs
+from repro.devices import DiskGeometry
+from repro.trace import ionode_report
+
+from conftest import write_table
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+D = 4  # devices
+P = 8  # client processes
+RECORD = 512
+RPB = 8  # records per block -> 4096-byte blocks
+BLOCKS_PER_PROC = 8 if QUICK else 32
+GEO = DiskGeometry(block_size=4096, blocks_per_cylinder=32, cylinders=256)
+NODE_SWEEP = (2,) if QUICK else (1, 2, 4)
+
+
+def device_requests(pfs) -> int:
+    return sum(d.disk.total_requests for d in pfs.volume.devices)
+
+
+def run_is_scan(io_nodes: int | None, cache_blocks: int = 0, passes: int = 1):
+    """P clients scan their IS stripes ``passes`` times; returns metrics."""
+    env = Environment()
+    pfs = build_parallel_fs(env, D, geometry=GEO)
+    cluster = None
+    if io_nodes:
+        cluster = pfs.attach_io_nodes(
+            io_nodes,
+            cache_blocks=cache_blocks,
+            cache_block_bytes=GEO.block_size,
+            queue_depth=P,
+            batch_limit=P,
+        )
+    n_records = P * BLOCKS_PER_PROC * RPB
+    f = pfs.create(
+        "scan", "IS", n_records=n_records, record_size=RECORD,
+        records_per_block=RPB, n_processes=P,
+    )
+
+    def seed():
+        yield from f.global_view().write(
+            np.zeros((n_records, RECORD), dtype=np.uint8)
+        )
+
+    env.run(env.process(seed()))
+    reqs_before = device_requests(pfs)
+    t0 = env.now
+
+    def worker(q):
+        for _ in range(passes):
+            h = f.internal_view(q)
+            while not h.eof:
+                yield from h.read_next(RPB)  # one strided block per call
+
+    def driver():
+        yield env.all_of([env.process(worker(q)) for q in range(P)])
+
+    env.run(env.process(driver()))
+    if cluster is not None:
+        cluster.assert_drained()
+    return {
+        "elapsed": env.now - t0,
+        "read_reqs": device_requests(pfs) - reqs_before,
+        "cluster": cluster,
+        "env": env,
+        "nbytes": passes * n_records * RECORD,
+    }
+
+
+def run_experiment():
+    out = {"direct": run_is_scan(None)}
+    for n in NODE_SWEEP:
+        out[f"ion{n}"] = run_is_scan(n)
+    out["direct-reread"] = run_is_scan(None, passes=2)
+    out["cached-reread"] = run_is_scan(
+        NODE_SWEEP[-1], cache_blocks=P * BLOCKS_PER_PROC, passes=2
+    )
+    return out
+
+
+@pytest.mark.benchmark(group="e8")
+def test_e8_aggregation_reduces_device_requests(benchmark, results_dir):
+    out = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    rows = []
+    for label, m in out.items():
+        ratio = (
+            f"{np.mean([n.coalescing_ratio for n in m['cluster'].nodes]):5.2f}"
+            if m["cluster"] is not None
+            else "    -"
+        )
+        hit = (
+            f"{np.mean([n.cache.hit_rate for n in m['cluster'].nodes]):6.1%}"
+            if m["cluster"] is not None and m["cluster"].nodes[0].cache
+            else "     -"
+        )
+        rows.append(
+            f"{label:<14s} device_reqs={m['read_reqs']:>5d} "
+            f"elapsed={m['elapsed'] * 1e3:9.1f} ms coalesce={ratio} "
+            f"cache_hit={hit}"
+        )
+    direct, mediated = out["direct"], out[f"ion{NODE_SWEEP[-1]}"]
+    # the acceptance claim: the server's batch view coalesces the strided
+    # IS read traffic into strictly fewer device requests than direct
+    assert mediated["read_reqs"] < direct["read_reqs"], (
+        f"aggregation should cut device requests: "
+        f"{mediated['read_reqs']} vs {direct['read_reqs']}"
+    )
+    # caching: the second pass is absorbed server-side
+    assert (
+        out["cached-reread"]["read_reqs"] < out["direct-reread"]["read_reqs"]
+    )
+    cached = out["cached-reread"]["cluster"]
+    assert any(n.cache.hits > 0 for n in cached.nodes)
+    rows += ["", "per-node table (cached re-read config):"]
+    rows += ionode_report(out["cached-reread"]["env"], cached)
+    write_table(
+        results_dir, "e8_io_nodes",
+        "E8: strided IS reads, direct vs I/O-node mediated",
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="e8")
+def test_e8_node_count_sweep(benchmark, results_dir):
+    """More nodes -> narrower batches per node (less cross-client view)
+    but more service parallelism; the sweep records the trade."""
+
+    def run():
+        return {n: run_is_scan(n) for n in NODE_SWEEP}
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for n, m in out.items():
+        rows.append(
+            f"nodes={n}  clients/node={P // n:>2d}  "
+            f"device_reqs={m['read_reqs']:>5d}  "
+            f"elapsed={m['elapsed'] * 1e3:9.1f} ms"
+        )
+        m["cluster"].assert_drained()
+    write_table(
+        results_dir, "e8_node_sweep",
+        "E8b: client:node ratio sweep (strided IS reads)",
+        rows,
+    )

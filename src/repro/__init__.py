@@ -48,6 +48,7 @@ from .fs import (
     protection_overview,
     verify_file,
 )
+from .ionode import Interconnect, IONode, IONodeCluster, MediatedVolume, ServerCache
 from .live import LiveParallelFileSystem
 from .sanitize import AccessConflictDetector, EngineSanitizer
 from .sim import Environment, RngStreams
@@ -74,6 +75,11 @@ __all__ = [
     "convert_file",
     "protection_overview",
     "verify_file",
+    "Interconnect",
+    "IONode",
+    "IONodeCluster",
+    "MediatedVolume",
+    "ServerCache",
     "LiveParallelFileSystem",
     "AccessConflictDetector",
     "EngineSanitizer",

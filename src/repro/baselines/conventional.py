@@ -24,8 +24,13 @@ def build_parallel_fs(
     geometry: DiskGeometry | None = None,
     recorder: TraceRecorder | None = None,
     scheduling: str | None = None,
+    io_nodes: int | None = None,
 ) -> ParallelFileSystem:
-    """A file system over ``n_devices`` identical drives."""
+    """A file system over ``n_devices`` identical drives.
+
+    ``io_nodes`` (a node count) opts the file system into the
+    server-mediated data plane of :mod:`repro.ionode`.
+    """
     from ..devices.scheduling import make_policy
 
     geo = geometry or DiskGeometry()
@@ -38,7 +43,9 @@ def build_parallel_fs(
         )
         for i in range(n_devices)
     ]
-    return ParallelFileSystem(env, Volume(env, devices), recorder=recorder)
+    return ParallelFileSystem(
+        env, Volume(env, devices), recorder=recorder, io_nodes=io_nodes
+    )
 
 
 def single_device_fs(

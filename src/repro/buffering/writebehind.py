@@ -41,30 +41,45 @@ class WriteStream:
 
         Charges the buffer copy cost; with ``depth >= 1`` the device write
         happens in the background. Device errors surface on :meth:`drain`
-        (or on a later ``put`` that reaps completed transfers).
+        (or on a later ``put`` that reaps completed transfers); a put that
+        raises a *previous* write's error releases its own just-acquired
+        buffer before propagating, so the pool stays balanced.
         """
         yield self.pool.acquire()
-        yield from self.pool.charge(_nbytes(data))
+        try:
+            yield from self.pool.charge(_nbytes(data))
 
-        if self.depth > 0:
-            # bound the pipeline *before* issuing: at most `depth` writes
-            # may be in flight at once
-            while self._pending_count() >= self.depth:
-                yield self.env.any_of(
-                    [e for e in self._outstanding if not e.processed]
-                )
-            self._reap()
+            if self.depth > 0:
+                # bound the pipeline *before* issuing: at most `depth`
+                # writes may be in flight at once
+                while self._pending_count() >= self.depth:
+                    try:
+                        yield self.env.any_of(
+                            [e for e in self._outstanding if not e.processed]
+                        )
+                    except Exception:
+                        pass  # the failure is surfaced by _reap below
+                self._reap()
+        except BaseException:
+            # this put's buffer was acquired but its write never issued:
+            # no completion callback will release it — do it here
+            self.pool.release()
+            raise
 
         ev = self.write(index, data)
         self.issued += 1
 
-        def _release(_ev):
+        def _on_done(_ev):
             self.pool.release()
+            if not ev.ok:
+                # nothing is waiting on a background write: defuse so the
+                # failure surfaces at the next reap, not in the scheduler
+                ev.defuse()
 
         if ev.triggered:
-            _release(ev)
+            _on_done(ev)
         else:
-            ev.callbacks.append(_release)
+            ev.callbacks.append(_on_done)
 
         if self.depth == 0:
             yield ev  # write-through
@@ -73,20 +88,29 @@ class WriteStream:
         self._outstanding.append(ev)
 
     def drain(self):
-        """Generator: wait for every outstanding write to complete."""
-        pending = [e for e in self._outstanding if not e.processed]
-        if pending:
-            yield self.env.all_of(pending)
+        """Generator: wait for every outstanding write; raise the first error."""
+        while True:
+            pending = [e for e in self._outstanding if not e.processed]
+            if not pending:
+                break
+            try:
+                yield self.env.all_of(pending)
+            except Exception:
+                # the join fails at the FIRST component failure while the
+                # rest may still be in flight — keep waiting so _reap sees
+                # every final state (and the error is raised exactly once)
+                pass
         self._reap()
 
     def _pending_count(self) -> int:
         return sum(1 for e in self._outstanding if not e.processed)
 
     def _reap(self) -> None:
-        for e in self._outstanding:
-            if e.processed and not e.ok:  # pragma: no cover - device faults
-                raise e.value
+        done = [e for e in self._outstanding if e.processed]
         self._outstanding = [e for e in self._outstanding if not e.processed]
+        for e in done:
+            if not e.ok:
+                raise e.value
 
 
 def _nbytes(data: Any) -> int:

@@ -40,6 +40,7 @@ from .internal_io import make_internal_handle
 from .metadata import FileAttributes
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..ionode.routing import IONodeCluster, MediatedVolume
     from ..sanitize.access import AccessConflictDetector
 
 __all__ = ["ParallelFileSystem", "ParallelFile"]
@@ -59,6 +60,8 @@ class ParallelFile:
         self.pfs = pfs
         self.entry = entry
         self.map = org_map
+        #: per-file data-plane override (None: follow the file system)
+        self._data_plane: "Volume | MediatedVolume | None" = None
 
     # -- convenient aliases -------------------------------------------------
 
@@ -69,6 +72,34 @@ class ParallelFile:
     @property
     def volume(self) -> Volume:
         return self.pfs.volume
+
+    @property
+    def data_plane(self) -> "Volume | MediatedVolume":
+        """Where this file's data traffic goes: the raw volume, or the
+        server-mediated facade when the ``io_nodes=`` path is active."""
+        return self._data_plane if self._data_plane is not None else self.pfs.data_plane
+
+    def route_through(self, io_nodes: "IONodeCluster | int", **cluster_kwargs: Any) -> "IONodeCluster":
+        """Opt this file into server-mediated I/O (overrides the pfs default).
+
+        ``io_nodes`` is an existing :class:`~repro.ionode.IONodeCluster`
+        or a node count to build one over the volume's devices;
+        ``cluster_kwargs`` are forwarded to the builder in that case.
+        Returns the cluster in use.
+        """
+        from ..ionode.routing import IONodeCluster, MediatedVolume
+
+        cluster = (
+            IONodeCluster.build(self.env, self.volume.devices, io_nodes, **cluster_kwargs)
+            if isinstance(io_nodes, int)
+            else io_nodes
+        )
+        self._data_plane = MediatedVolume(self.volume, cluster)
+        return cluster
+
+    def route_direct(self) -> None:
+        """Opt this file back into direct-attached device access."""
+        self._data_plane = self.volume
 
     @property
     def attrs(self) -> FileAttributes:
@@ -108,7 +139,7 @@ class ParallelFile:
         self._check_span(start, count)
         offset, nbytes = spec.span(start, count)
         return self.env.process(
-            self._decode_after(self.volume.read(self.entry.extent, self.layout, offset, nbytes)),
+            self._decode_after(self.data_plane.read(self.entry.extent, self.layout, offset, nbytes)),
             name=f"{self.name}.read",
         )
 
@@ -119,14 +150,14 @@ class ParallelFile:
         count = raw.size // spec.record_size
         self._check_span(start, count)
         offset = start * spec.record_size
-        return self.volume.write(self.entry.extent, self.layout, offset, raw)
+        return self.data_plane.write(self.entry.extent, self.layout, offset, raw)
 
     def read_block(self, block: int) -> Process:
         """Read one logical block (decoded records)."""
         bs = self.attrs.block_spec
         offset, nbytes = bs.block_byte_range(block, self.n_records)
         return self.env.process(
-            self._decode_after(self.volume.read(self.entry.extent, self.layout, offset, nbytes)),
+            self._decode_after(self.data_plane.read(self.entry.extent, self.layout, offset, nbytes)),
             name=f"{self.name}.readblk",
         )
 
@@ -141,7 +172,7 @@ class ParallelFile:
                 f"{raw.size // self.attrs.record_size}"
             )
         offset, _ = bs.block_byte_range(block, self.n_records)
-        return self.volume.write(self.entry.extent, self.layout, offset, raw)
+        return self.data_plane.write(self.entry.extent, self.layout, offset, raw)
 
     def _decode_after(self, read_proc: Process):
         raw = yield read_proc
@@ -195,6 +226,7 @@ class ParallelFileSystem:
         volume: Volume,
         recorder: TraceRecorder | None = None,
         sanitizer: "AccessConflictDetector | None" = None,
+        io_nodes: "IONodeCluster | int | None" = None,
     ):
         self.env = env
         self.volume = volume
@@ -202,6 +234,42 @@ class ParallelFileSystem:
         self.recorder = recorder
         #: optional repro.sanitize.AccessConflictDetector fed by every access
         self.sanitizer = sanitizer
+        #: the cluster serving this file system, when server-mediated
+        self.io_cluster: "IONodeCluster | None" = None
+        #: where file data traffic goes: the volume, or a MediatedVolume
+        self.data_plane: "Volume | MediatedVolume" = volume
+        if io_nodes is not None:
+            self.attach_io_nodes(io_nodes)
+
+    # -- I/O-node opt-in -------------------------------------------------------
+
+    def attach_io_nodes(
+        self, io_nodes: "IONodeCluster | int", **cluster_kwargs: Any
+    ) -> "IONodeCluster":
+        """Route all file data traffic through dedicated I/O nodes (§4).
+
+        ``io_nodes`` is an existing :class:`~repro.ionode.IONodeCluster`
+        or a node count to build one over the volume's devices;
+        ``cluster_kwargs`` (``queue_depth``, ``cache_blocks``, ``policy``,
+        ...) are forwarded to the builder in that case. Files opened
+        before or after attach both follow the new data plane unless they
+        carry a per-file override. Returns the cluster in use.
+        """
+        from ..ionode.routing import IONodeCluster, MediatedVolume
+
+        cluster = (
+            IONodeCluster.build(self.env, self.volume.devices, io_nodes, **cluster_kwargs)
+            if isinstance(io_nodes, int)
+            else io_nodes
+        )
+        self.io_cluster = cluster
+        self.data_plane = MediatedVolume(self.volume, cluster)
+        return cluster
+
+    def detach_io_nodes(self) -> None:
+        """Return to direct-attached device access (the default)."""
+        self.io_cluster = None
+        self.data_plane = self.volume
 
     # -- lifecycle ------------------------------------------------------------
 

@@ -1,0 +1,116 @@
+"""Server-side block cache shared by all clients of one I/O node.
+
+§4: "buffer caching techniques would be helpful when there is some
+locality of reference". The per-process :class:`~repro.buffering.cache.
+BufferCache` captures one process's locality; placing the cache *in the
+I/O node* instead makes it shared — a block fetched for one client serves
+every later client of any device the node owns, with zero device traffic.
+
+The cache is write-through coherent: node writes update fully-covered
+cached blocks in place and invalidate partially-covered ones. Because
+each device is owned by exactly one node, there is no cross-node
+coherence problem by construction.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["ServerCache"]
+
+
+class ServerCache:
+    """LRU cache of fixed-size aligned device blocks, keyed ``(device, block)``."""
+
+    def __init__(self, capacity_blocks: int, block_bytes: int = 4096):
+        if capacity_blocks < 1:
+            raise ValueError("capacity_blocks must be >= 1")
+        if block_bytes < 1:
+            raise ValueError("block_bytes must be >= 1")
+        self.capacity = capacity_blocks
+        self.block_bytes = block_bytes
+        self._blocks: OrderedDict[tuple[int, int], np.ndarray] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups fully served from cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def lookup(self, device: int, offset: int, nbytes: int) -> np.ndarray | None:
+        """The bytes ``[offset, offset+nbytes)`` if every covering block is
+        cached, else ``None``. Counts one hit or miss per call."""
+        bs = self.block_bytes
+        first, last = offset // bs, (offset + nbytes - 1) // bs
+        keys = [(device, b) for b in range(first, last + 1)]
+        if nbytes <= 0 or any(k not in self._blocks for k in keys):
+            self.misses += 1
+            return None
+        self.hits += 1
+        for k in keys:
+            self._blocks.move_to_end(k)
+        joined = np.concatenate([self._blocks[k] for k in keys])
+        lo = offset - first * bs
+        return joined[lo : lo + nbytes].copy()
+
+    def install(self, device: int, offset: int, data: np.ndarray) -> None:
+        """Cache every full aligned block contained in ``[offset, offset+len)``.
+
+        Partial edge blocks are skipped — the cache only ever holds whole
+        blocks, so a later :meth:`lookup` never returns short data.
+        """
+        bs = self.block_bytes
+        end = offset + len(data)
+        first = -(-offset // bs)  # first block starting at or after offset
+        b = first
+        while (b + 1) * bs <= end:
+            lo = b * bs - offset
+            self._put((device, b), np.asarray(data[lo : lo + bs], dtype=np.uint8).copy())
+            b += 1
+
+    def note_write(self, device: int, offset: int, data: np.ndarray) -> None:
+        """Keep the cache coherent with a write-through device write.
+
+        Blocks fully covered by the write are updated in place; blocks
+        only partially covered are invalidated (dropped).
+        """
+        bs = self.block_bytes
+        end = offset + len(data)
+        if end == offset:
+            return
+        for b in range(offset // bs, (end - 1) // bs + 1):
+            key = (device, b)
+            if b * bs >= offset and (b + 1) * bs <= end:
+                # fully covered: write-allocate the fresh contents
+                lo = b * bs - offset
+                self._put(key, np.asarray(data[lo : lo + bs], dtype=np.uint8).copy())
+            elif key in self._blocks:
+                del self._blocks[key]
+                self.invalidations += 1
+
+    def invalidate_device(self, device: int) -> int:
+        """Drop every cached block of ``device``; returns the count dropped."""
+        victims = [k for k in self._blocks if k[0] == device]
+        for k in victims:
+            del self._blocks[k]
+        self.invalidations += len(victims)
+        return len(victims)
+
+    def _put(self, key: tuple[int, int], data: np.ndarray) -> None:
+        if key in self._blocks:
+            self._blocks[key] = data
+            self._blocks.move_to_end(key)
+            return
+        while len(self._blocks) >= self.capacity:
+            self._blocks.popitem(last=False)
+            self.evictions += 1
+        self._blocks[key] = data

@@ -1,0 +1,51 @@
+"""Parametric interconnect cost model for client <-> I/O-node traffic.
+
+§4 of the paper proposes "dedicated I/O processors" that compute processes
+hand their requests to; on a MIMD machine that hand-off crosses the
+interconnection network. The cost model here mirrors the one
+``repro.collective.twophase`` uses for its exchange phase: a fixed
+per-message latency plus a bandwidth term, with the 1989-flavoured
+defaults (10 MB/s, 100 µs) — an order of magnitude faster than one disk,
+which is the regime in which offloading I/O to servers pays off.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Interconnect"]
+
+
+class Interconnect:
+    """Latency + bandwidth cost model for one network hop.
+
+    ``latency`` is seconds per message, ``bandwidth`` bytes per second,
+    and ``request_bytes`` the size of a bare request/ack message (the
+    header that travels even when no payload does).
+    """
+
+    def __init__(
+        self,
+        latency: float = 1e-4,
+        bandwidth: float = 10e6,
+        request_bytes: int = 64,
+    ):
+        if latency < 0 or bandwidth <= 0 or request_bytes < 0:
+            raise ValueError("invalid interconnect parameters")
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.request_bytes = request_bytes
+
+    def transfer_cost(self, nbytes: int) -> float:
+        """Seconds to move one message carrying ``nbytes`` of payload."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be >= 0")
+        return self.latency + (self.request_bytes + nbytes) / self.bandwidth
+
+    def request_cost(self) -> float:
+        """Seconds to move a payload-free request or acknowledgement."""
+        return self.transfer_cost(0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Interconnect(latency={self.latency}, "
+            f"bandwidth={self.bandwidth}, request_bytes={self.request_bytes})"
+        )

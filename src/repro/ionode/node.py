@@ -1,0 +1,394 @@
+"""Dedicated I/O-node processes: buffering and device service as a server.
+
+§4 of the paper names this implementation strategy directly: "dedicated
+I/O processors" whose only job is to accept requests from compute
+processes and service the devices. :class:`IONode` is one such processor,
+realized as a simulated server process:
+
+* a **bounded inbox** (admission control) — at most ``queue_depth``
+  requests may be queued; further clients block at submission, so a flood
+  of clients produces backpressure instead of unbounded server state;
+* a **batch service loop** — each cycle drains up to ``batch_limit``
+  queued requests and services them together, which is what gives the
+  request aggregator (`repro.ionode.aggregator`) its cross-client view
+  for coalescing and data sieving;
+* an optional **server-side block cache** (`repro.ionode.cache`) — hot
+  blocks are served to any client with zero device traffic;
+* per-node statistics (queue depth, coalescing ratio, cache hit rate,
+  utilization) rendered by :func:`repro.trace.report.ionode_report`.
+
+The node self-reports its queue invariants to an attached
+:class:`~repro.sanitize.EngineSanitizer` after every batch: no request is
+ever lost, occupancy stays within bounds, and every byte a client asked
+for is delivered exactly once even through sieved (covering-extent)
+reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..sim.engine import Environment, Event
+from ..sim.resources import Store
+from ..sim.stats import TimeWeighted, UtilizationTracker
+from .aggregator import plan_reads, plan_writes
+from .cache import ServerCache
+
+__all__ = ["IONode", "NodeRequest"]
+
+
+@dataclass
+class NodeRequest:
+    """One client message to a node: a batch of byte ranges on its devices.
+
+    ``items`` holds ``(device, offset, nbytes)`` triples (absolute device
+    offsets). For writes, ``data[i]`` is the payload of ``items[i]``.
+    ``admitted`` triggers when the request clears admission control;
+    ``event`` triggers when the node has serviced it — with a list of
+    per-item arrays for reads, or the byte count for writes.
+    """
+
+    kind: str
+    items: list[tuple[int, int, int]]
+    data: list[np.ndarray] | None
+    event: Event
+    admitted: Event | None
+    submit_time: float
+
+    @property
+    def payload_bytes(self) -> int:
+        """Total bytes this request moves (requested or supplied)."""
+        return sum(n for _, _, n in self.items)
+
+
+@dataclass
+class _ReadWant:
+    """One read item awaiting device service (cache misses only)."""
+
+    offset: int
+    nbytes: int
+    req: NodeRequest
+    slot: int
+
+
+@dataclass
+class _Job:
+    """One issued device operation and the request items it serves."""
+
+    kind: str
+    device: int
+    offset: int
+    nbytes: int
+    guard: Event
+    consumers: list
+    data: np.ndarray | None = None
+    extra: dict = field(default_factory=dict)
+
+
+class IONode:
+    """One dedicated I/O processor owning a set of device controllers."""
+
+    def __init__(
+        self,
+        env: Environment,
+        name: str,
+        devices: dict[int, Any],
+        *,
+        queue_depth: int = 16,
+        batch_limit: int = 8,
+        sieve: bool = True,
+        sieve_factor: float = 4.0,
+        sieve_window: int = 1 << 22,
+        cache_blocks: int = 0,
+        cache_block_bytes: int = 4096,
+    ):
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if batch_limit < 1:
+            raise ValueError("batch_limit must be >= 1")
+        if not devices:
+            raise ValueError("an I/O node needs at least one device")
+        self.env = env
+        self.name = name
+        #: global device index -> controller (or ShadowPair)
+        self.devices = dict(devices)
+        self.queue_depth = queue_depth
+        self.batch_limit = batch_limit
+        self.sieve = sieve
+        self.sieve_factor = sieve_factor
+        self.sieve_window = sieve_window
+        self.cache: ServerCache | None = (
+            ServerCache(cache_blocks, cache_block_bytes) if cache_blocks > 0 else None
+        )
+        self.inbox = Store(env, capacity=queue_depth)
+        # -- lifecycle counters (sanitizer invariants) --
+        self.accepted = 0
+        self.completed = 0
+        self.in_service = 0
+        # -- aggregation / device counters --
+        self.batches = 0
+        self.items_in = 0
+        self.device_reads = 0
+        self.device_writes = 0
+        self.device_bytes_read = 0
+        self.device_bytes_written = 0
+        self.read_payload_bytes = 0
+        self.sieve_waste_bytes = 0
+        self.sieved_batches = 0
+        self.read_requested_bytes = 0
+        self.read_delivered_bytes = 0
+        # -- time-weighted stats --
+        self.queue_stat = TimeWeighted(env.now)
+        self.utilization = UtilizationTracker(env.now)
+        self._proc = env.process(self._serve(), name=f"{name}.serve")
+        sanitizer = env._sanitizer
+        if sanitizer is not None and hasattr(sanitizer, "register_node"):
+            sanitizer.register_node(self)
+
+    # -- client surface ------------------------------------------------------
+
+    @property
+    def queued(self) -> int:
+        """Requests admitted and waiting for service."""
+        return len(self.inbox.items)
+
+    @property
+    def pending_admission(self) -> int:
+        """Requests blocked at admission control (inbox full)."""
+        return sum(1 for p in self.inbox._puts if not p.triggered)
+
+    def submit(
+        self,
+        kind: str,
+        items: list[tuple[int, int, int]],
+        data: list[np.ndarray] | None = None,
+    ) -> NodeRequest:
+        """Enqueue one request; returns it with ``admitted`` to wait on.
+
+        Clients must ``yield req.admitted`` (backpressure: it blocks while
+        the inbox is full) and then ``yield req.event`` for the result.
+        """
+        if kind not in ("read", "write"):
+            raise ValueError(f"unknown request kind {kind!r}")
+        if kind == "write" and (data is None or len(data) != len(items)):
+            raise ValueError("write requests need one data payload per item")
+        for dev, offset, nbytes in items:
+            if dev not in self.devices:
+                raise ValueError(f"device {dev} is not owned by node {self.name}")
+            if offset < 0 or nbytes < 0:
+                raise ValueError(f"invalid range ({offset}, {nbytes})")
+        req = NodeRequest(
+            kind=kind,
+            items=list(items),
+            data=data,
+            event=Event(self.env),
+            admitted=None,
+            submit_time=self.env.now,
+        )
+        self.accepted += 1
+        req.admitted = self.inbox.put(req)
+        self.queue_stat.record(self.env.now, self.queued)
+        sanitizer = self.env._sanitizer
+        if sanitizer is not None and hasattr(sanitizer, "register_node"):
+            sanitizer.register_node(self)
+        return req
+
+    def assert_drained(self) -> None:
+        """Raise unless every accepted request has been serviced."""
+        backlog = self.queued + self.in_service + self.pending_admission
+        if backlog or self.accepted != self.completed:
+            raise RuntimeError(
+                f"node {self.name}: {backlog} request(s) still in flight "
+                f"({self.accepted} accepted, {self.completed} completed)"
+            )
+
+    @property
+    def coalescing_ratio(self) -> float:
+        """Client byte-range items per device request actually issued.
+
+        > 1 means aggregation and/or caching removed device traffic.
+        """
+        ops = self.device_reads + self.device_writes
+        return self.items_in / ops if ops else float("nan")
+
+    # -- service loop -----------------------------------------------------------
+
+    def _serve(self):
+        env = self.env
+        while True:
+            self.utilization.idle(env.now)
+            first = yield self.inbox.get()
+            self.utilization.busy(env.now)
+            batch = [first]
+            self.in_service = 1
+            while len(batch) < self.batch_limit and self.inbox.items:
+                batch.append((yield self.inbox.get()))
+                self.in_service = len(batch)
+            self.queue_stat.record(env.now, self.queued)
+            yield from self._service_batch(batch)
+            self.completed += len(batch)
+            self.in_service = 0
+            self.batches += 1
+            sanitizer = env._sanitizer
+            if sanitizer is not None and hasattr(sanitizer, "on_ionode"):
+                sanitizer.on_ionode(self)
+
+    def _service_batch(self, batch: list[NodeRequest]):
+        env = self.env
+        self.items_in += sum(len(r.items) for r in batch)
+        results: dict[int, list] = {id(r): [None] * len(r.items) for r in batch}
+        errors: dict[int, BaseException] = {}
+        jobs: list[_Job] = []
+
+        self._plan_batch_writes(batch, jobs)
+        self._plan_batch_reads(batch, results, jobs)
+
+        if jobs:
+            yield env.all_of([j.guard for j in jobs])
+        self._settle_jobs(jobs, results, errors)
+
+        for req in batch:
+            if id(req) in errors:
+                req.event.fail(errors[id(req)])
+            elif req.kind == "read":
+                delivered = results[id(req)]
+                self.read_requested_bytes += req.payload_bytes
+                self.read_delivered_bytes += sum(len(a) for a in delivered)
+                req.event.succeed(delivered)
+            else:
+                req.event.succeed(req.payload_bytes)
+
+    # -- batch planning ----------------------------------------------------------
+
+    def _plan_batch_writes(self, batch: list[NodeRequest], jobs: list[_Job]) -> None:
+        """Coalesce the batch's write items per device and issue them."""
+        per_device: dict[int, list[tuple[int, np.ndarray, NodeRequest]]] = {}
+        for req in batch:
+            if req.kind != "write":
+                continue
+            for (dev, offset, _), data in zip(req.items, req.data):
+                per_device.setdefault(dev, []).append((offset, data, req))
+        for dev, triples in per_device.items():
+            ops = plan_writes([(off, data) for off, data, _ in triples])
+            for op in ops:
+                consumers = [
+                    req
+                    for off, data, req in triples
+                    if off >= op.offset and off + len(data) <= op.offset + len(op.data)
+                ]
+                ev = self._issue(self.devices[dev].write(op.offset, op.data))
+                self.device_writes += 1
+                self.device_bytes_written += len(op.data)
+                jobs.append(
+                    _Job(
+                        kind="write",
+                        device=dev,
+                        offset=op.offset,
+                        nbytes=len(op.data),
+                        guard=self.env.process(self._guard(ev)),
+                        consumers=consumers,
+                        data=op.data,
+                    )
+                )
+
+    def _plan_batch_reads(
+        self, batch: list[NodeRequest], results: dict[int, list], jobs: list[_Job]
+    ) -> None:
+        """Serve cache hits, then coalesce/sieve the misses per device."""
+        per_device: dict[int, list[_ReadWant]] = {}
+        for req in batch:
+            if req.kind != "read":
+                continue
+            for slot, (dev, offset, nbytes) in enumerate(req.items):
+                if nbytes == 0:
+                    results[id(req)][slot] = np.empty(0, dtype=np.uint8)
+                    continue
+                if self.cache is not None:
+                    hit = self.cache.lookup(dev, offset, nbytes)
+                    if hit is not None:
+                        results[id(req)][slot] = hit
+                        continue
+                per_device.setdefault(dev, []).append(
+                    _ReadWant(offset, nbytes, req, slot)
+                )
+        for dev, wants in per_device.items():
+            plan = plan_reads(
+                [(w.offset, w.nbytes) for w in wants],
+                sieve=self.sieve,
+                sieve_factor=self.sieve_factor,
+                sieve_window=self.sieve_window,
+            )
+            self.device_reads += len(plan.reads)
+            self.device_bytes_read += plan.device_bytes
+            self.read_payload_bytes += plan.payload_bytes
+            self.sieve_waste_bytes += plan.waste_bytes
+            if plan.sieved:
+                self.sieved_batches += 1
+            for run in plan.reads:
+                consumers = [
+                    w
+                    for w in wants
+                    if w.offset >= run.offset and w.offset + w.nbytes <= run.end
+                ]
+                ev = self._issue(self.devices[dev].read(run.offset, run.nbytes))
+                jobs.append(
+                    _Job(
+                        kind="read",
+                        device=dev,
+                        offset=run.offset,
+                        nbytes=run.nbytes,
+                        guard=self.env.process(self._guard(ev)),
+                        consumers=consumers,
+                    )
+                )
+
+    def _settle_jobs(
+        self,
+        jobs: list[_Job],
+        results: dict[int, list],
+        errors: dict[int, BaseException],
+    ) -> None:
+        """Scatter device results to requests; record failures and coherence."""
+        for job in jobs:
+            ok, value = job.guard.value
+            if job.kind == "read":
+                if ok:
+                    for w in job.consumers:
+                        lo = w.offset - job.offset
+                        results[id(w.req)][w.slot] = value[lo : lo + w.nbytes].copy()
+                    if self.cache is not None:
+                        self.cache.install(job.device, job.offset, value)
+                else:
+                    for w in job.consumers:
+                        errors.setdefault(id(w.req), value)
+            else:
+                if ok:
+                    if self.cache is not None:
+                        self.cache.note_write(job.device, job.offset, job.data)
+                else:
+                    if self.cache is not None:
+                        self.cache.invalidate_device(job.device)
+                    for req in job.consumers:
+                        errors.setdefault(id(req), value)
+
+    def _issue(self, ev: Event) -> Event:
+        """Defuse a device event that failed at issue time (dead device).
+
+        Such an event is scheduled *before* its guard process starts, so
+        without defusing the scheduler would raise it as an unhandled
+        failure; the guard still observes and reports it.
+        """
+        if ev.triggered and not ev.ok:
+            ev.defuse()
+        return ev
+
+    def _guard(self, ev: Event):
+        """Wrap one device event so a failure cannot kill the service loop."""
+        try:
+            value = yield ev
+            return True, value
+        except Exception as exc:
+            return False, exc

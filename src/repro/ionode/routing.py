@@ -1,0 +1,272 @@
+"""Routing: mapping an organization's device set onto I/O nodes.
+
+The cluster layer binds everything together: a :class:`DeviceRouter`
+assigns each device of a volume to exactly one :class:`~repro.ionode.
+node.IONode`; a :class:`MediatedVolume` presents the standard
+``Volume`` read/write surface, so :class:`~repro.fs.pfs.ParallelFile`
+can run server-mediated without any change to the organizations above it
+(the opt-in ``io_nodes=`` path of :class:`~repro.fs.pfs.
+ParallelFileSystem`).
+
+A file-level transfer maps to device segments exactly as in the direct
+path; segments are then grouped per owning node and shipped as one
+request message per node over the :class:`~repro.ionode.interconnect.
+Interconnect` — so a strided access arrives at the node as a *batch* of
+byte ranges, the shape the aggregator needs for coalescing and sieving.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ..sim.engine import Environment, Process
+from .interconnect import Interconnect
+from .node import IONode
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..storage.layout import DataLayout
+    from ..storage.volume import Extent, Volume
+
+__all__ = ["DeviceRouter", "IONodeCluster", "MediatedVolume"]
+
+
+class DeviceRouter:
+    """Static assignment of device indices to node indices."""
+
+    def __init__(self, n_devices: int, n_nodes: int, policy: str = "contiguous"):
+        if not 1 <= n_nodes <= n_devices:
+            raise ValueError(
+                f"need 1 <= n_nodes <= n_devices, got {n_nodes} nodes for "
+                f"{n_devices} devices"
+            )
+        self.n_devices = n_devices
+        self.n_nodes = n_nodes
+        self.policy = policy
+        if policy == "contiguous":
+            # node i serves a contiguous band of devices (PS-friendly:
+            # a partition's device neighbourhood shares one server)
+            q, r = divmod(n_devices, n_nodes)
+            self._map = []
+            for node in range(n_nodes):
+                self._map.extend([node] * (q + (1 if node < r else 0)))
+        elif policy == "round-robin":
+            # striping-friendly: consecutive devices hit different servers
+            self._map = [d % n_nodes for d in range(n_devices)]
+        else:
+            raise ValueError(f"unknown routing policy {policy!r}")
+
+    def node_of(self, device: int) -> int:
+        """Index of the node serving ``device``."""
+        return self._map[device]
+
+    def devices_of(self, node: int) -> list[int]:
+        """The device indices assigned to ``node``."""
+        return [d for d, n in enumerate(self._map) if n == node]
+
+
+class IONodeCluster:
+    """A set of I/O nodes jointly serving one volume's devices."""
+
+    def __init__(
+        self,
+        env: Environment,
+        nodes: list[IONode],
+        router: DeviceRouter,
+        interconnect: Interconnect | None = None,
+    ):
+        if len(nodes) != router.n_nodes:
+            raise ValueError("router/node count mismatch")
+        self.env = env
+        self.nodes = list(nodes)
+        self.router = router
+        self.interconnect = interconnect or Interconnect()
+
+    @classmethod
+    def build(
+        cls,
+        env: Environment,
+        devices: list[Any],
+        n_nodes: int,
+        *,
+        interconnect: Interconnect | None = None,
+        policy: str = "contiguous",
+        **node_kwargs: Any,
+    ) -> "IONodeCluster":
+        """Build ``n_nodes`` nodes over ``devices`` (a volume's controllers).
+
+        ``node_kwargs`` (``queue_depth``, ``batch_limit``, ``sieve``,
+        ``cache_blocks``, ...) are forwarded to every :class:`IONode`.
+        """
+        router = DeviceRouter(len(devices), n_nodes, policy)
+        nodes = [
+            IONode(
+                env,
+                f"ion{i}",
+                {d: devices[d] for d in router.devices_of(i)},
+                **node_kwargs,
+            )
+            for i in range(n_nodes)
+        ]
+        return cls(env, nodes, router, interconnect)
+
+    def node_of(self, device: int) -> IONode:
+        """The node serving ``device``."""
+        return self.nodes[self.router.node_of(device)]
+
+    def invalidate_device(self, device: int) -> None:
+        """Drop any cached blocks of ``device`` (out-of-band mutation)."""
+        node = self.node_of(device)
+        if node.cache is not None:
+            node.cache.invalidate_device(device)
+
+    def assert_drained(self) -> None:
+        """Raise unless every node has serviced everything it accepted."""
+        for node in self.nodes:
+            node.assert_drained()
+
+    @property
+    def total_device_requests(self) -> int:
+        """Device operations issued by all nodes (reads + writes)."""
+        return sum(n.device_reads + n.device_writes for n in self.nodes)
+
+
+class MediatedVolume:
+    """The ``Volume`` surface, with data traffic routed through I/O nodes.
+
+    Allocation, freeing, and zero-time ``peek``/``poke`` stay on the
+    underlying volume (they are management-plane); ``read``/``write``
+    become client/server interactions: one request message per touched
+    node, admission control at the node inbox, reply payload over the
+    interconnect.
+    """
+
+    def __init__(self, volume: "Volume", cluster: IONodeCluster):
+        if cluster.router.n_devices != volume.n_devices:
+            raise ValueError(
+                f"cluster routes {cluster.router.n_devices} devices, volume "
+                f"has {volume.n_devices}"
+            )
+        self.volume = volume
+        self.cluster = cluster
+
+    # -- delegated management plane ---------------------------------------
+
+    @property
+    def env(self) -> Environment:
+        """The simulation environment."""
+        return self.volume.env
+
+    @property
+    def devices(self) -> list[Any]:
+        """The underlying device controllers."""
+        return self.volume.devices
+
+    @property
+    def n_devices(self) -> int:
+        """Number of devices in the underlying volume."""
+        return self.volume.n_devices
+
+    def allocate(self, layout: "DataLayout", file_bytes: int) -> "Extent":
+        """Reserve space on the underlying volume."""
+        return self.volume.allocate(layout, file_bytes)
+
+    def free(self, extent: "Extent") -> None:
+        """Release an extent on the underlying volume."""
+        return self.volume.free(extent)
+
+    def peek(self, extent: "Extent", layout: "DataLayout", offset: int, nbytes: int) -> np.ndarray:
+        """Zero-time read, straight from the devices (bypasses nodes)."""
+        return self.volume.peek(extent, layout, offset, nbytes)
+
+    def poke(self, extent: "Extent", layout: "DataLayout", offset: int, data: Any) -> None:
+        """Zero-time write; invalidates node caches over the touched devices."""
+        arr = (
+            np.frombuffer(data, dtype=np.uint8)
+            if isinstance(data, (bytes, bytearray))
+            else np.asarray(data, dtype=np.uint8)
+        )
+        self.volume.poke(extent, layout, offset, arr)
+        for seg in layout.map_range(offset, len(arr)):
+            self.cluster.invalidate_device(seg.device)
+
+    # -- server-mediated data plane ------------------------------------------
+
+    def read(self, extent: "Extent", layout: "DataLayout", offset: int, nbytes: int) -> Process:
+        """Read file bytes ``[offset, offset+nbytes)`` via the I/O nodes."""
+        segments = layout.map_range(offset, nbytes)
+        return self.env.process(
+            self._do_read(extent, segments, nbytes), name="ionode.read"
+        )
+
+    def write(self, extent: "Extent", layout: "DataLayout", offset: int, data: Any) -> Process:
+        """Write ``data`` at file byte ``offset`` via the I/O nodes."""
+        arr = (
+            np.frombuffer(data, dtype=np.uint8)
+            if isinstance(data, (bytes, bytearray))
+            else np.asarray(data, dtype=np.uint8)
+        )
+        segments = layout.map_range(offset, len(arr))
+        return self.env.process(self._do_write(extent, segments, arr), name="ionode.write")
+
+    def _do_read(self, extent: "Extent", segments: list, nbytes: int):
+        env = self.env
+        per_node: dict[int, list[tuple[int, int, int, int]]] = {}
+        for idx, seg in enumerate(segments):
+            node_idx = self.cluster.router.node_of(seg.device)
+            per_node.setdefault(node_idx, []).append(
+                (idx, seg.device, extent.base(seg.device) + seg.offset, seg.length)
+            )
+        procs = [
+            env.process(self._client_read(self.cluster.nodes[n], entries))
+            for n, entries in per_node.items()
+        ]
+        if procs:
+            yield env.all_of(procs)
+        out = np.empty(nbytes, dtype=np.uint8)
+        starts = np.zeros(len(segments) + 1, dtype=np.int64)
+        for i, seg in enumerate(segments):
+            starts[i + 1] = starts[i] + seg.length
+        for proc in procs:
+            for idx, arr in proc.value:
+                out[starts[idx] : starts[idx + 1]] = arr
+        return out
+
+    def _do_write(self, extent: "Extent", segments: list, arr: np.ndarray):
+        env = self.env
+        per_node: dict[int, tuple[list, list]] = {}
+        pos = 0
+        for seg in segments:
+            node_idx = self.cluster.router.node_of(seg.device)
+            items, chunks = per_node.setdefault(node_idx, ([], []))
+            items.append((seg.device, extent.base(seg.device) + seg.offset, seg.length))
+            chunks.append(arr[pos : pos + seg.length])
+            pos += seg.length
+        procs = [
+            env.process(self._client_write(self.cluster.nodes[n], items, chunks))
+            for n, (items, chunks) in per_node.items()
+        ]
+        if procs:
+            yield env.all_of(procs)
+        return int(arr.size)
+
+    def _client_read(self, node: IONode, entries: list):
+        ic = self.cluster.interconnect
+        yield self.env.timeout(ic.request_cost())
+        req = node.submit("read", [(dev, off, n) for _, dev, off, n in entries])
+        yield req.admitted
+        arrays = yield req.event
+        payload = sum(n for *_, n in entries)
+        yield self.env.timeout(ic.transfer_cost(payload))
+        return [(idx, arr) for (idx, _, _, _), arr in zip(entries, arrays)]
+
+    def _client_write(self, node: IONode, items: list, chunks: list):
+        ic = self.cluster.interconnect
+        payload = sum(n for _, _, n in items)
+        yield self.env.timeout(ic.transfer_cost(payload))
+        req = node.submit("write", items, data=chunks)
+        yield req.admitted
+        yield req.event
+        yield self.env.timeout(ic.request_cost())
+        return payload

@@ -14,7 +14,12 @@ experiment built on top of it. The checked invariants:
 * :class:`~repro.sim.resources.Store` / ``Container`` dispatch leaves no
   satisfiable put/get untriggered (lost wakeup);
 * :class:`~repro.buffering.pool.BufferPool` acquire/release stays inside
-  ``[0, n_buffers]`` and balances to zero by :meth:`check_balanced`.
+  ``[0, n_buffers]`` and balances to zero by :meth:`check_balanced`;
+* :class:`~repro.ionode.IONode` request queues never lose a request,
+  never exceed the admission bound, and conserve bytes through request
+  aggregation (coalescing / data sieving) — checked after every service
+  batch via :meth:`EngineSanitizer.on_ionode` and at end of run by
+  :meth:`EngineSanitizer.check_nodes_drained`.
 
 Attach with :func:`attach` (collecting mode) or construct the environment
 with ``Environment(strict=True)`` (raise on first violation). Hooks are a
@@ -30,6 +35,7 @@ from ..sim.engine import Environment, Event, SimulationError
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..buffering.pool import BufferPool
+    from ..ionode.node import IONode
     from ..sim.resources import Container, Resource, Store
 
 __all__ = ["SanitizerError", "Violation", "EngineSanitizer", "attach"]
@@ -62,6 +68,7 @@ class EngineSanitizer:
         #: number of invariant checks performed (sanity that hooks fired)
         self.checks = 0
         self._pools: list["BufferPool"] = []
+        self._nodes: list["IONode"] = []
 
     # -- bookkeeping ---------------------------------------------------------
 
@@ -206,6 +213,70 @@ class EngineSanitizer:
                     "pool-unreleased",
                     f"BufferPool ended with {pool._in_use} of "
                     f"{pool.n_buffers} buffers still held",
+                )
+
+    # -- I/O nodes --------------------------------------------------------------
+
+    def register_node(self, node: "IONode") -> None:
+        """Track an I/O node for per-batch and end-of-run queue checks."""
+        if node not in self._nodes:
+            self._nodes.append(node)
+
+    def on_ionode(self, node: "IONode") -> None:
+        """Called by a node's service loop after every completed batch.
+
+        Checks the node-queue invariants: bounded occupancy, no lost
+        request (every accepted request is accounted for somewhere in the
+        pipeline), byte conservation through aggregation (a read client
+        receives exactly the bytes it asked for, even when the node
+        serviced it through a sieved covering extent), and sieve
+        accounting (device traffic splits exactly into payload + waste).
+        """
+        self.checks += 1
+        if not 0 <= node.queued <= node.queue_depth:
+            self._violate(
+                "ionode-queue-bound",
+                f"node {node.name} holds {node.queued} queued requests "
+                f"outside [0, {node.queue_depth}]",
+            )
+        accounted = (
+            node.completed + node.in_service + node.queued + node.pending_admission
+        )
+        if node.accepted != accounted:
+            self._violate(
+                "ionode-lost-request",
+                f"node {node.name} accepted {node.accepted} requests but "
+                f"accounts for {accounted} "
+                f"(completed={node.completed}, in_service={node.in_service}, "
+                f"queued={node.queued}, pending={node.pending_admission})",
+            )
+        if node.read_delivered_bytes != node.read_requested_bytes:
+            self._violate(
+                "ionode-byte-conservation",
+                f"node {node.name} delivered {node.read_delivered_bytes} "
+                f"read bytes for {node.read_requested_bytes} requested",
+            )
+        if node.sieve_waste_bytes < 0 or (
+            node.device_bytes_read
+            != node.read_payload_bytes + node.sieve_waste_bytes
+        ):
+            self._violate(
+                "ionode-sieve-accounting",
+                f"node {node.name} read {node.device_bytes_read} device "
+                f"bytes != payload {node.read_payload_bytes} + waste "
+                f"{node.sieve_waste_bytes}",
+            )
+
+    def check_nodes_drained(self) -> None:
+        """Record a violation for every node with requests still in flight."""
+        for node in self._nodes:
+            backlog = node.queued + node.in_service + node.pending_admission
+            if backlog or node.accepted != node.completed:
+                self._violate(
+                    "ionode-undrained",
+                    f"node {node.name} ended with {backlog} request(s) in "
+                    f"flight ({node.accepted} accepted, "
+                    f"{node.completed} completed)",
                 )
 
 

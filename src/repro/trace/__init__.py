@@ -7,7 +7,9 @@ from .report import (
     RunReport,
     conflict_report,
     device_report,
+    device_table,
     invariant_report,
+    ionode_report,
     throughput_mb_s,
 )
 
@@ -22,6 +24,8 @@ __all__ = [
     "RunReport",
     "conflict_report",
     "device_report",
+    "device_table",
     "invariant_report",
+    "ionode_report",
     "throughput_mb_s",
 ]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
@@ -9,6 +10,7 @@ from ..devices.controller import DeviceController
 from ..sim.engine import Environment
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..ionode.routing import IONodeCluster
     from ..sanitize.access import AccessConflictDetector
     from ..sanitize.engine_hooks import EngineSanitizer
 
@@ -16,6 +18,8 @@ __all__ = [
     "RunReport",
     "throughput_mb_s",
     "device_report",
+    "device_table",
+    "ionode_report",
     "conflict_report",
     "invariant_report",
 ]
@@ -85,5 +89,64 @@ def device_report(env: Environment, devices: list[DeviceController]) -> list[str
             f"seek_cyls={d.disk.total_seek_distance:>8d} "
             f"reqs={d.disk.total_requests:>6d} "
             f"lat_mean={d.latency.mean * 1e3 if d.latency.count else 0:8.2f} ms"
+        )
+    return rows
+
+
+def device_table(env: Environment, devices: list[DeviceController]) -> list[str]:
+    """The full per-device statistics table (header + one row per device).
+
+    Surfaces everything a :class:`~repro.devices.controller.
+    DeviceController` tallies during a run: the request-latency
+    distribution (mean / max over submit-to-complete times), busy-fraction
+    utilization, and the time-weighted queue length with its peak.
+    """
+    header = (
+        f"{'device':<10s} {'reqs':>6s} {'util':>7s} "
+        f"{'lat_mean':>10s} {'lat_max':>10s} {'q_mean':>7s} {'q_max':>5s}"
+    )
+    rows = [header]
+    for d in devices:
+        util = d.utilization.utilization(env.now)
+        lat_mean = d.latency.mean * 1e3 if d.latency.count else 0.0
+        lat_max = d.latency.max * 1e3 if d.latency.count else 0.0
+        q_mean = d.queue_stat.mean(env.now)
+        q_mean = 0.0 if math.isnan(q_mean) else q_mean
+        rows.append(
+            f"{d.name:<10s} {d.disk.total_requests:>6d} {util:>7.1%} "
+            f"{lat_mean:>8.2f}ms {lat_max:>8.2f}ms "
+            f"{q_mean:>7.2f} {d.queue_stat.max:>5.0f}"
+        )
+    return rows
+
+
+def ionode_report(env: Environment, cluster: "IONodeCluster") -> list[str]:
+    """The per-I/O-node statistics table (header + one row per node).
+
+    One row per :class:`~repro.ionode.IONode`: requests serviced, busy
+    utilization, time-weighted queue depth (mean and peak), the
+    coalescing ratio (client byte-range items per device request — above
+    1 means aggregation or caching removed device traffic), sieved
+    batches, and the server-cache hit rate where a cache is configured.
+    """
+    header = (
+        f"{'node':<8s} {'devs':>4s} {'reqs':>6s} {'util':>7s} "
+        f"{'q_mean':>7s} {'q_max':>5s} {'coalesce':>8s} {'sieved':>6s} "
+        f"{'cache_hit':>9s}"
+    )
+    rows = [header]
+    for node in cluster.nodes:
+        q_mean = node.queue_stat.mean(env.now)
+        q_mean = 0.0 if math.isnan(q_mean) else q_mean
+        ratio = node.coalescing_ratio
+        coalesce = f"{ratio:>8.2f}" if not math.isnan(ratio) else f"{'-':>8s}"
+        hit = (
+            f"{node.cache.hit_rate:>9.1%}" if node.cache is not None else f"{'-':>9s}"
+        )
+        rows.append(
+            f"{node.name:<8s} {len(node.devices):>4d} {node.completed:>6d} "
+            f"{node.utilization.utilization(env.now):>7.1%} "
+            f"{q_mean:>7.2f} {node.queue_stat.max:>5.0f} {coalesce} "
+            f"{node.sieved_batches:>6d} {hit}"
         )
     return rows

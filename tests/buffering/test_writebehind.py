@@ -114,3 +114,107 @@ def test_drain_with_nothing_outstanding():
         return "ok"
 
     assert env.run(env.process(proc())) == "ok"
+
+
+def make_failing_write(env, fail_on, io_time=IO_TIME):
+    def write(index, data):
+        def transfer():
+            yield env.timeout(io_time)
+            if index in fail_on:
+                raise IOError(f"write {index} failed")
+            return len(data)
+
+        return env.process(transfer())
+
+    return write
+
+
+def test_background_failure_surfaces_on_drain_once():
+    env = Environment()
+    pool = make_pool(env)
+    ws = WriteStream(env, make_failing_write(env, {1}), pool, depth=2)
+    caught = []
+
+    def proc():
+        yield from ws.put(0, b"a" * 64)
+        yield from ws.put(1, b"b" * 64)  # this one dies in the background
+        try:
+            yield from ws.drain()
+        except IOError as exc:
+            caught.append(str(exc))
+        yield from ws.drain()  # raised exactly once: second drain is clean
+
+    env.run(env.process(proc()))
+    assert caught == ["write 1 failed"]
+    assert pool.in_use == 0
+
+
+def test_background_failure_on_later_put_does_not_leak_buffer():
+    """Regression: a put that raises a *previous* write's error must release
+    its own just-acquired buffer (the pool stays balanced)."""
+    env = Environment()
+    pool = make_pool(env, n=2)
+    ws = WriteStream(env, make_failing_write(env, {0}), pool, depth=1)
+    caught = []
+
+    def proc():
+        yield from ws.put(0, b"a" * 64)
+        yield env.timeout(IO_TIME * 2)  # let the background write fail
+        try:
+            yield from ws.put(1, b"b" * 64)
+        except IOError as exc:
+            caught.append(str(exc))
+        yield from ws.drain()
+
+    env.run(env.process(proc()))
+    assert caught == ["write 0 failed"]
+    assert pool.in_use == 0  # neither write 0's nor put 1's buffer leaked
+    assert ws.issued == 1
+
+
+def test_background_failure_does_not_crash_unrelated_run():
+    """A failed deferred write with nobody waiting must not take down the
+    whole simulation; it surfaces at the next reap point only."""
+    env = Environment()
+    pool = make_pool(env)
+    ws = WriteStream(env, make_failing_write(env, {0}), pool, depth=1)
+    ticks = []
+
+    def bystander():
+        for _ in range(4):
+            yield env.timeout(1.0)
+            ticks.append(env.now)
+
+    def proc():
+        yield from ws.put(0, b"x" * 16)
+
+    env.process(proc())
+    env.process(bystander())
+    env.run()  # the failure is defused; unrelated processes keep running
+    assert len(ticks) == 4
+    assert pool.in_use == 0
+    with pytest.raises(IOError):
+        next(ws.drain(), None)
+
+
+def test_failure_while_waiting_for_depth_slot_releases_buffer():
+    """The backpressure wait itself observing a failure must not leak the
+    waiting put's buffer either."""
+    env = Environment()
+    pool = make_pool(env, n=4)
+    ws = WriteStream(env, make_failing_write(env, {0}), pool, depth=1)
+    caught = []
+
+    def proc():
+        yield from ws.put(0, b"a" * 64)
+        try:
+            # issued immediately after: blocks on the depth bound while
+            # write 0 is still in flight, then sees it fail
+            yield from ws.put(1, b"b" * 64)
+        except IOError as exc:
+            caught.append(str(exc))
+        yield from ws.drain()
+
+    env.run(env.process(proc()))
+    assert caught == ["write 0 failed"]
+    assert pool.in_use == 0

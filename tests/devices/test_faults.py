@@ -85,3 +85,35 @@ def test_invalid_mtbf_rejected():
 def test_no_failures_first_failure_none():
     inj = FailureInjector(Environment(), RngStreams(0))
     assert inj.first_failure_time is None
+
+
+def test_injector_fires_mid_queue_fails_pending_requests():
+    """A failure while requests sit in the device queue fails every pending
+    request with DeviceFailedError; requests completed beforehand keep
+    their results."""
+    env = Environment()
+    (dev,) = make_devices(env, 1)
+    inj = FailureInjector(env, RngStreams(0))
+    outcomes = []
+
+    def client(i):
+        try:
+            yield dev.read(i * 512, 512)
+            outcomes.append(("ok", i, env.now))
+        except Exception as exc:  # noqa: BLE001 - recording the outcome
+            outcomes.append(("err", i, type(exc).__name__))
+
+    for i in range(10):
+        env.process(client(i))
+    # one request takes ~1ms of service; kill while the queue is deep
+    inj.kill_at(dev, 0.004)
+    env.run()
+
+    oks = [o for o in outcomes if o[0] == "ok"]
+    errs = [o for o in outcomes if o[0] == "err"]
+    assert len(outcomes) == 10
+    assert oks, "some requests should complete before the failure"
+    assert errs, "requests queued at failure time must fail"
+    assert all(name == "DeviceFailedError" for _, _, name in errs)
+    assert all(t <= 0.004 for _, _, t in oks)
+    assert dev.failed and inj.failures[0].time == 0.004

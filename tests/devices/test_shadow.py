@@ -173,3 +173,64 @@ def test_resilver_timed_no_survivor():
     s.fail()
     with pytest.raises(DeviceFailedError):
         next(pair.resilver_timed())
+
+
+def test_concurrent_reads_with_one_member_failed():
+    """Many clients reading at once while one member is dead: every read
+    is served (by the survivor) and returns the mirrored data."""
+    env = Environment()
+    pair, p, s = make_pair(env)
+    results = {}
+
+    def seed_then_fail():
+        for i in range(8):
+            yield pair.write(i * 512, bytes([i]) * 512)
+        p.fail()
+
+    env.run(env.process(seed_then_fail()))
+
+    def reader(i):
+        data = yield pair.read(i * 512, 512)
+        results[i] = bytes(data)
+
+    for i in range(8):
+        env.process(reader(i))
+    env.run()
+
+    assert len(results) == 8
+    for i in range(8):
+        assert results[i] == bytes([i]) * 512
+    assert not pair.failed
+
+
+def test_concurrent_mixed_load_mid_run_failure_retry_succeeds():
+    """A member dying under concurrent load fails only the operations in
+    flight on it; a client retry through the (degraded) pair succeeds."""
+    env = Environment()
+    pair, p, s = make_pair(env)
+    done = []
+
+    def seed():
+        yield pair.write(0, b"\xAA" * 4096)
+
+    env.run(env.process(seed()))
+
+    def client(i):
+        try:
+            data = yield pair.read(i * 512, 512)
+        except DeviceFailedError:
+            data = yield pair.read(i * 512, 512)  # retry on the survivor
+        assert bytes(data) == b"\xAA" * 512
+        done.append(i)
+
+    def killer():
+        yield env.timeout(0.0015)  # while the queues are busy
+        s.fail()
+
+    for i in range(6):
+        env.process(client(i))
+    env.process(killer())
+    env.run()
+
+    assert sorted(done) == list(range(6))
+    assert s.failed and not p.failed and not pair.failed

@@ -1,0 +1,1 @@
+"""Tests for the dedicated I/O-node subsystem (`repro.ionode`)."""

@@ -1,0 +1,99 @@
+"""Unit tests for the server-side shared block cache."""
+
+import numpy as np
+import pytest
+
+from repro.ionode import ServerCache
+
+
+def block(fill, n=64):
+    return np.full(n, fill, dtype=np.uint8)
+
+
+@pytest.fixture
+def cache():
+    return ServerCache(capacity_blocks=4, block_bytes=64)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ServerCache(0)
+    with pytest.raises(ValueError):
+        ServerCache(4, block_bytes=0)
+
+
+def test_miss_then_hit(cache):
+    assert cache.lookup(0, 0, 64) is None
+    cache.install(0, 0, block(7))
+    got = cache.lookup(0, 0, 64)
+    assert got is not None and np.array_equal(got, block(7))
+    assert cache.hits == 1 and cache.misses == 1
+    assert cache.hit_rate == 0.5
+
+
+def test_lookup_sub_range_of_cached_block(cache):
+    cache.install(0, 0, np.arange(64, dtype=np.uint8))
+    got = cache.lookup(0, 10, 20)
+    assert np.array_equal(got, np.arange(10, 30, dtype=np.uint8))
+
+
+def test_lookup_spanning_blocks_needs_all(cache):
+    cache.install(0, 0, block(1))
+    assert cache.lookup(0, 32, 64) is None  # second half in uncached block 1
+    cache.install(0, 64, block(2))
+    got = cache.lookup(0, 32, 64)
+    assert got is not None
+    assert np.array_equal(got[:32], block(1, 32))
+    assert np.array_equal(got[32:], block(2, 32))
+
+
+def test_install_skips_partial_edge_blocks(cache):
+    # bytes [10, 74): covers no full 64-byte block entirely
+    cache.install(0, 10, np.zeros(64, dtype=np.uint8))
+    assert len(cache) == 0
+    # bytes [0, 100): only block 0 is fully covered
+    cache.install(0, 0, np.zeros(100, dtype=np.uint8))
+    assert len(cache) == 1
+
+
+def test_devices_are_distinct(cache):
+    cache.install(0, 0, block(1))
+    assert cache.lookup(1, 0, 64) is None
+
+
+def test_lru_eviction(cache):
+    for b in range(4):
+        cache.install(0, b * 64, block(b))
+    cache.lookup(0, 0, 64)  # touch block 0: now most-recent
+    cache.install(0, 4 * 64, block(9))  # evicts block 1 (least recent)
+    assert cache.evictions == 1
+    assert cache.lookup(0, 0, 64) is not None
+    assert cache.lookup(0, 64, 64) is None
+
+
+def test_note_write_updates_fully_covered_block(cache):
+    cache.install(0, 0, block(1))
+    cache.note_write(0, 0, block(9))
+    got = cache.lookup(0, 0, 64)
+    assert np.array_equal(got, block(9))
+
+
+def test_note_write_invalidates_partially_covered_block(cache):
+    cache.install(0, 0, block(1))
+    cache.note_write(0, 10, block(9, 8))
+    assert cache.invalidations == 1
+    assert cache.lookup(0, 0, 64) is None
+
+
+def test_note_write_empty_is_noop(cache):
+    cache.install(0, 0, block(1))
+    cache.note_write(0, 0, np.empty(0, dtype=np.uint8))
+    assert cache.lookup(0, 0, 64) is not None
+
+
+def test_invalidate_device(cache):
+    cache.install(0, 0, block(1))
+    cache.install(1, 0, block(2))
+    assert cache.invalidate_device(0) == 1
+    assert cache.lookup(0, 0, 64) is None
+    assert cache.lookup(1, 0, 64) is not None
