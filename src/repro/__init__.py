@@ -50,6 +50,13 @@ from .fs import (
 )
 from .ionode import Interconnect, IONode, IONodeCluster, MediatedVolume, ServerCache
 from .live import LiveParallelFileSystem
+from .resilience import (
+    FailoverManager,
+    HotSpareRebuilder,
+    ResilienceConfig,
+    ResilientVolume,
+    RetryPolicy,
+)
 from .sanitize import AccessConflictDetector, EngineSanitizer
 from .sim import Environment, RngStreams
 from .storage import Volume
@@ -81,6 +88,11 @@ __all__ = [
     "MediatedVolume",
     "ServerCache",
     "LiveParallelFileSystem",
+    "FailoverManager",
+    "HotSpareRebuilder",
+    "ResilienceConfig",
+    "ResilientVolume",
+    "RetryPolicy",
     "AccessConflictDetector",
     "EngineSanitizer",
     "Environment",

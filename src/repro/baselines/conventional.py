@@ -7,12 +7,17 @@ systems without parallel I/O offered.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..devices.controller import DeviceController
 from ..devices.disk import WREN_1989, DiskGeometry, DiskModel, DiskTiming
 from ..fs.pfs import ParallelFileSystem
 from ..sim.engine import Environment
 from ..storage.volume import Volume
 from ..trace.events import TraceRecorder
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..resilience.config import ResilienceConfig
 
 __all__ = ["build_parallel_fs", "single_device_fs"]
 
@@ -25,27 +30,59 @@ def build_parallel_fs(
     recorder: TraceRecorder | None = None,
     scheduling: str | None = None,
     io_nodes: int | None = None,
+    resilience: "ResilienceConfig | None" = None,
 ) -> ParallelFileSystem:
     """A file system over ``n_devices`` identical drives.
 
     ``io_nodes`` (a node count) opts the file system into the
     server-mediated data plane of :mod:`repro.ionode`.
+
+    ``resilience`` (a :class:`~repro.resilience.ResilienceConfig`) opts
+    into the online resilience layer: ``protection="parity"`` adds one
+    check drive and a :class:`~repro.storage.parity.ParityGroup` over the
+    data drives, ``protection="shadow"`` mirrors every drive into a
+    :class:`~repro.devices.ShadowPair`; ``spares`` idle drives are built
+    for the hot-spare rebuilder either way. The layer wraps whatever data
+    plane is active (direct or server-mediated), and the file system's
+    ``resilience`` attribute exposes its stats/journal/rebuilder.
     """
     from ..devices.scheduling import make_policy
 
     geo = geometry or DiskGeometry()
-    devices = [
-        DeviceController(
+
+    def make_disk(name: str) -> DeviceController:
+        return DeviceController(
             env,
             DiskModel(geo, timing),
-            name=f"disk{i}",
+            name=name,
             policy=make_policy(scheduling) if scheduling else None,
         )
-        for i in range(n_devices)
-    ]
-    return ParallelFileSystem(
+
+    devices: list = [make_disk(f"disk{i}") for i in range(n_devices)]
+    group = None
+    if resilience is not None and resilience.protection == "shadow":
+        from ..devices.shadow import ShadowPair
+
+        devices = [
+            ShadowPair(env, dev, make_disk(f"{dev.name}s")) for dev in devices
+        ]
+    pfs = ParallelFileSystem(
         env, Volume(env, devices), recorder=recorder, io_nodes=io_nodes
     )
+    if resilience is not None:
+        if resilience.protection == "parity":
+            from ..storage.parity import ParityGroup
+
+            group = ParityGroup(
+                env,
+                devices,
+                make_disk("parity"),
+                mode=resilience.parity_mode,
+                parity_unit=resilience.parity_unit,
+            )
+        spares = [make_disk(f"spare{k}") for k in range(resilience.spares)]
+        pfs.attach_resilience(resilience, group=group, spares=spares)
+    return pfs
 
 
 def single_device_fs(

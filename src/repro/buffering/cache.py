@@ -107,17 +107,22 @@ class BufferCache:
             yield  # pragma: no cover
 
     def flush(self):
-        """Generator: write back every dirty block (cache stays warm)."""
+        """Generator: write back every dirty block (cache stays warm).
+
+        Blocks stay marked dirty until the joined write-back completes, so
+        a failed device write leaves them queued for the next flush (or
+        eviction) instead of silently dropping the only copy's dirty bit.
+        """
         dirty = sorted(self._dirty)
         events = []
         for block in dirty:
             if self.writeback is None:
                 raise RuntimeError("cache has no writeback function")
             events.append(self.writeback(block, self._blocks[block]))
-            self.writebacks += 1
-        self._dirty.clear()
         if events:
             yield self.env.all_of(events)
+        self._dirty.clear()
+        self.writebacks += len(dirty)
 
     def invalidate(self) -> None:
         """Drop all clean blocks (dirty blocks must be flushed first)."""
@@ -132,13 +137,24 @@ class BufferCache:
     def _install(self, block: int, data: Any):
         while len(self._blocks) >= self.capacity:
             victim, victim_data = self._blocks.popitem(last=False)
-            self.evictions += 1
             if victim in self._dirty:
-                self._dirty.discard(victim)
                 if self.writeback is None:
+                    # put the victim back before raising: its bytes are the
+                    # only copy and must not vanish with the error
+                    self._blocks[victim] = victim_data
+                    self._blocks.move_to_end(victim, last=False)
                     raise RuntimeError(
                         "evicting a dirty block but cache has no writeback"
                     )
+                try:
+                    yield self.writeback(victim, victim_data)
+                except BaseException:
+                    # failed write-back: restore the victim (still dirty, at
+                    # the LRU end) so the data survives for a later retry
+                    self._blocks[victim] = victim_data
+                    self._blocks.move_to_end(victim, last=False)
+                    raise
+                self._dirty.discard(victim)
                 self.writebacks += 1
-                yield self.writeback(victim, victim_data)
+            self.evictions += 1
         self._blocks[block] = data

@@ -29,6 +29,16 @@ from .pool import BufferPool
 __all__ = ["ReadStream"]
 
 
+class _FetchFailure:
+    """Queue sentinel: the producer's fetch of ``index`` raised ``error``."""
+
+    __slots__ = ("index", "error")
+
+    def __init__(self, index: int, error: BaseException):
+        self.index = index
+        self.error = error
+
+
 class ReadStream:
     """Sequential consumption of a known block sequence with read-ahead."""
 
@@ -62,7 +72,16 @@ class ReadStream:
     def _produce(self):
         for index in self.sequence:
             yield self.pool.acquire()
-            data = yield self.fetch(index)
+            try:
+                data = yield self.fetch(index)
+            except BaseException as exc:  # noqa: BLE001 - relayed to consumer
+                # The fetch failed mid-flight: the staging buffer must go
+                # back to the pool, and the error must reach the consumer
+                # in-band (this process is unwaited, so letting it die would
+                # both leak the buffer and strand the consumer on the queue).
+                self.pool.release()
+                yield self._queue.put(_FetchFailure(index, exc))
+                return
             yield from self.pool.charge(_nbytes(data))
             yield self._queue.put((index, data))
 
@@ -86,11 +105,22 @@ class ReadStream:
         if self._queue is None:
             # single buffering: fetch synchronously, pay the copy
             yield self.pool.acquire()
-            data = yield self.fetch(index)
+            try:
+                data = yield self.fetch(index)
+            except BaseException:
+                # return the buffer and rewind so a retry refetches this block
+                self.pool.release()
+                self._cursor -= 1
+                raise
             yield from self.pool.charge(_nbytes(data))
             self._holding = True
             return index, data
-        got_index, data = yield self._queue.get()
+        item = yield self._queue.get()
+        if isinstance(item, _FetchFailure):
+            # producer died on this fetch; the stream cannot continue
+            self._cursor = len(self.sequence)
+            raise item.error
+        got_index, data = item
         self._holding = True
         assert got_index == index, "producer/consumer sequence mismatch"
         return index, data

@@ -5,6 +5,7 @@ from .controller import (
     DeviceFailedError,
     IORequest,
     ServiceInterval,
+    TransientIOError,
 )
 from .disk import (
     FAST_1989,
@@ -14,13 +15,14 @@ from .disk import (
     DiskModel,
     DiskTiming,
 )
-from .faults import FailureInjector, FailureRecord
+from .faults import FailureInjector, FailureRecord, TransientFaultInjector
 from .scheduling import CSCAN, FCFS, SCAN, SSTF, SchedulingPolicy, make_policy
 from .shadow import ShadowPair
 
 __all__ = [
     "DeviceController",
     "DeviceFailedError",
+    "TransientIOError",
     "IORequest",
     "ServiceInterval",
     "DiskGeometry",
@@ -31,6 +33,7 @@ __all__ = [
     "RAM_DEVICE",
     "FailureInjector",
     "FailureRecord",
+    "TransientFaultInjector",
     "SchedulingPolicy",
     "FCFS",
     "SSTF",

@@ -24,7 +24,13 @@ from ..sim.stats import Tally, TimeWeighted, UtilizationTracker
 from .disk import DiskModel
 from .scheduling import FCFS, SchedulingPolicy
 
-__all__ = ["DeviceController", "DeviceFailedError", "IORequest"]
+__all__ = [
+    "DeviceController",
+    "DeviceFailedError",
+    "TransientIOError",
+    "IORequest",
+    "ServiceInterval",
+]
 
 
 class DeviceFailedError(Exception):
@@ -32,6 +38,20 @@ class DeviceFailedError(Exception):
 
     def __init__(self, device: str):
         super().__init__(f"device {device!r} has failed")
+        self.device = device
+
+
+class TransientIOError(Exception):
+    """One request failed, but the device itself survives.
+
+    The intermittent-error half of the §5 failure model: a request is
+    rejected (bus glitch, recoverable read error) without applying any
+    data, so a retry of the same request is safe and applies exactly
+    once. Injected via :class:`~repro.devices.faults.TransientFaultInjector`.
+    """
+
+    def __init__(self, device: str):
+        super().__init__(f"transient I/O error on device {device!r}")
         self.device = device
 
 
@@ -86,6 +106,19 @@ class DeviceController:
         self._pending: list[IORequest] = []
         self._wakeup: Event | None = None
         self._failed = False
+        #: transient-fault state (set by TransientFaultInjector): the next
+        #: ``transient_error_budget`` served requests fail with
+        #: :class:`TransientIOError` without touching the contents, and
+        #: while ``now < slow_until`` service times are multiplied by
+        #: ``slow_factor`` (a "limping" drive).
+        self.transient_error_budget = 0
+        self.slow_factor = 1.0
+        self.slow_until = 0.0
+        #: requests failed transiently / served while limping (stats)
+        self.transient_errors = 0
+        self.limped_requests = 0
+        #: successful write applications (exactly-once accounting)
+        self.writes_applied = 0
         #: per-request latency (submit -> complete), seconds
         self.latency = Tally()
         #: arm utilization over the run
@@ -216,7 +249,20 @@ class DeviceController:
             self.queue_stat.record(env.now, len(self._pending))
             if req.event.triggered:  # failed while queued
                 continue
+            if self.transient_error_budget > 0:
+                # the request is rejected before any media transfer: the
+                # contents are untouched, so a caller retry is exactly-once
+                self.transient_error_budget -= 1
+                self.transient_errors += 1
+                yield env.timeout(self.per_request_overhead)
+                if not req.event.triggered:
+                    req.event.defuse()
+                    req.event.fail(TransientIOError(self.name))
+                continue
             service = self.disk.service(req.start_block, req.nbytes)
+            if env.now < self.slow_until and self.slow_factor > 1.0:
+                service *= self.slow_factor
+                self.limped_requests += 1
             service_start = env.now
             yield env.timeout(self.per_request_overhead + service)
             if self.service_log is not None:
@@ -243,4 +289,5 @@ class DeviceController:
                 if self._store_data:
                     self._ensure_contents()
                     self._contents[req.offset : req.offset + req.nbytes] = req.data
+                self.writes_applied += 1
                 req.event.succeed(req.nbytes)

@@ -16,17 +16,23 @@ from ..sim.engine import Environment
 from ..sim.rng import RngStreams
 from .controller import DeviceController
 
-__all__ = ["FailureInjector", "FailureRecord"]
+__all__ = ["FailureInjector", "FailureRecord", "TransientFaultInjector"]
 
 SECONDS_PER_HOUR = 3600.0
 
 
 @dataclass
 class FailureRecord:
-    """One observed device failure."""
+    """One observed device fault.
+
+    ``kind`` distinguishes permanent deaths (the exponential-MTBF model of
+    §5) from transient episodes: ``"transient"`` for intermittent request
+    errors, ``"limp"`` for a duration-bounded slow-drive episode.
+    """
 
     device: str
     time: float  # simulated seconds
+    kind: str = "permanent"
 
 
 @dataclass
@@ -76,3 +82,126 @@ class FailureInjector:
         if not self.failures:
             return None
         return min(f.time for f in self.failures)
+
+
+@dataclass
+class TransientFaultInjector:
+    """Injects *recoverable* faults: intermittent errors and limping drives.
+
+    Permanent death (:class:`FailureInjector`) is only half of the §5
+    failure model; real drives also glitch — a request fails but the
+    next one succeeds — and degrade, serving traffic at a fraction of
+    rated speed. Both modes leave the device contents untouched, so a
+    bounded-retry policy (``repro.resilience.RetryPolicy``) recovers
+    without any reconstruction. Shares :class:`FailureRecord` bookkeeping
+    with the permanent injector (``kind="transient"`` / ``kind="limp"``).
+    """
+
+    env: Environment
+    rng: RngStreams
+    failures: list[FailureRecord] = field(default_factory=list)
+
+    def inject_errors(
+        self, device: DeviceController, count: int = 1, at: float | None = None
+    ) -> None:
+        """Make the next ``count`` served requests fail transiently.
+
+        With ``at`` the budget is granted at that absolute simulated time;
+        otherwise immediately.
+        """
+        if count <= 0:
+            raise ValueError("count must be positive")
+        if at is None:
+            self._grant(device, count)
+        else:
+            if at < self.env.now:
+                raise ValueError("cannot schedule a fault in the past")
+            self.env.process(
+                self._grant_later(device, count, at - self.env.now),
+                name=f"transient.{device.name}",
+            )
+
+    def limp(
+        self,
+        device: DeviceController,
+        factor: float,
+        duration: float,
+        at: float | None = None,
+    ) -> None:
+        """Slow ``device`` by ``factor``x for ``duration`` simulated seconds."""
+        if factor <= 1.0:
+            raise ValueError("limp factor must exceed 1.0")
+        if duration <= 0:
+            raise ValueError("limp duration must be positive")
+        if at is None:
+            self._start_limp(device, factor, duration)
+        else:
+            if at < self.env.now:
+                raise ValueError("cannot schedule a fault in the past")
+            self.env.process(
+                self._limp_later(device, factor, duration, at - self.env.now),
+                name=f"limp.{device.name}",
+            )
+
+    def arm_intermittent(
+        self,
+        device: DeviceController,
+        mean_interval: float,
+        horizon: float,
+        burst: int = 1,
+    ) -> None:
+        """Poisson stream of transient-error bursts until ``horizon``.
+
+        Inter-arrival times are exponential with ``mean_interval`` seconds
+        (drawn from the ``glitch.<device>`` substream for determinism).
+        """
+        if mean_interval <= 0 or horizon <= self.env.now:
+            raise ValueError("need positive mean_interval and a future horizon")
+        self.env.process(
+            self._poisson_glitches(device, mean_interval, horizon, burst),
+            name=f"glitch.{device.name}",
+        )
+
+    # -- internals --------------------------------------------------------
+
+    def _grant(self, device: DeviceController, count: int) -> None:
+        device.transient_error_budget += count
+        self.failures.append(
+            FailureRecord(device.name, self.env.now, kind="transient")
+        )
+
+    def _grant_later(self, device: DeviceController, count: int, delay: float):
+        yield self.env.timeout(delay)
+        if not device.failed:
+            self._grant(device, count)
+
+    def _start_limp(
+        self, device: DeviceController, factor: float, duration: float
+    ) -> None:
+        device.slow_factor = factor
+        device.slow_until = self.env.now + duration
+        self.failures.append(FailureRecord(device.name, self.env.now, kind="limp"))
+
+    def _limp_later(
+        self, device: DeviceController, factor: float, duration: float, delay: float
+    ):
+        yield self.env.timeout(delay)
+        if not device.failed:
+            self._start_limp(device, factor, duration)
+
+    def _poisson_glitches(
+        self,
+        device: DeviceController,
+        mean_interval: float,
+        horizon: float,
+        burst: int,
+    ):
+        stream = f"glitch.{device.name}"
+        while True:
+            gap = self.rng.exponential(stream, mean_interval)
+            if self.env.now + gap >= horizon:
+                return
+            yield self.env.timeout(gap)
+            if device.failed:
+                return
+            self._grant(device, burst)

@@ -238,6 +238,8 @@ class ParallelFileSystem:
         self.io_cluster: "IONodeCluster | None" = None
         #: where file data traffic goes: the volume, or a MediatedVolume
         self.data_plane: "Volume | MediatedVolume" = volume
+        #: the resilience layer, when attached (see :meth:`attach_resilience`)
+        self.resilience = None
         if io_nodes is not None:
             self.attach_io_nodes(io_nodes)
 
@@ -270,6 +272,68 @@ class ParallelFileSystem:
         """Return to direct-attached device access (the default)."""
         self.io_cluster = None
         self.data_plane = self.volume
+
+    # -- resilience opt-in -----------------------------------------------------
+
+    def attach_resilience(
+        self,
+        config: Any = None,
+        *,
+        group: Any = None,
+        spares: list[Any] | None = None,
+        rng: Any = None,
+    ) -> Any:
+        """Wrap the data plane in the online resilience layer.
+
+        ``config`` is a :class:`~repro.resilience.ResilienceConfig` (a
+        default one is built when omitted); ``group`` an optional
+        :class:`~repro.storage.parity.ParityGroup` over the volume's
+        devices (the degraded-read reconstruction source); ``spares`` idle
+        :class:`~repro.devices.DeviceController` drives for the hot-spare
+        rebuilder. Attach I/O nodes *before* calling this, so the layer
+        wraps the server-mediated plane and can manage node failover.
+        Returns the :class:`~repro.resilience.ResilientVolume` now serving
+        as the data plane (also at ``self.resilience``).
+        """
+        from ..devices.shadow import ShadowPair
+        from ..resilience import (
+            FailoverManager,
+            HotSpareRebuilder,
+            ResilienceConfig,
+            ResilientVolume,
+        )
+
+        config = config or ResilienceConfig()
+        rv = ResilientVolume(self.data_plane, group=group, config=config, rng=rng)
+        if spares:
+            rv.rebuilder = HotSpareRebuilder(
+                rv,
+                spares,
+                chunk_bytes=config.rebuild_chunk,
+                throttle=config.rebuild_throttle,
+            )
+        if self.io_cluster is not None and config.failover:
+            rv.failover = FailoverManager(
+                self.env,
+                self.io_cluster,
+                rv.stats,
+                breaker_threshold=config.breaker_threshold,
+                breaker_cooldown=config.breaker_cooldown,
+            )
+        # shadow pairs report their first degradation so auto-rebuild can
+        # kick in even though the pair never surfaces a DeviceFailedError
+        for idx, dev in enumerate(self.volume.devices):
+            if isinstance(dev, ShadowPair):
+                dev.on_degraded = (lambda i=idx: rv._note_failure(i))
+        self.resilience = rv
+        self.data_plane = rv
+        return rv
+
+    def detach_resilience(self) -> None:
+        """Drop the resilience layer, keeping the plane it wrapped."""
+        if self.resilience is not None:
+            self.data_plane = self.resilience.inner
+            self.resilience = None
 
     # -- lifecycle ------------------------------------------------------------
 

@@ -31,7 +31,7 @@ from typing import Any
 
 import numpy as np
 
-from ..sim.engine import Environment, Event
+from ..sim.engine import Environment, Event, Interrupt
 from ..sim.resources import Store
 from ..sim.stats import TimeWeighted, UtilizationTracker
 from .aggregator import plan_reads, plan_writes
@@ -128,6 +128,15 @@ class IONode:
         self.accepted = 0
         self.completed = 0
         self.in_service = 0
+        #: requests salvaged to other nodes when this node crashed
+        self.migrated = 0
+        #: set by :meth:`crash`; a crashed node accepts no new requests
+        self.crashed = False
+        self._current_batch: list[NodeRequest] = []
+        # the service loop's outstanding inbox.get(): a request a put handed
+        # straight to the loop lives only in this event until the loop
+        # resumes, and a crash in that window must still salvage it
+        self._pending_get: Event | None = None
         # -- aggregation / device counters --
         self.batches = 0
         self.items_in = 0
@@ -173,6 +182,11 @@ class IONode:
         """
         if kind not in ("read", "write"):
             raise ValueError(f"unknown request kind {kind!r}")
+        if self.crashed:
+            raise RuntimeError(
+                f"node {self.name} has crashed; reroute through the "
+                "cluster's failover manager"
+            )
         if kind == "write" and (data is None or len(data) != len(items)):
             raise ValueError("write requests need one data payload per item")
         for dev, offset, nbytes in items:
@@ -197,13 +211,59 @@ class IONode:
         return req
 
     def assert_drained(self) -> None:
-        """Raise unless every accepted request has been serviced."""
+        """Raise unless every accepted request was serviced or migrated."""
         backlog = self.queued + self.in_service + self.pending_admission
-        if backlog or self.accepted != self.completed:
+        if backlog or self.accepted != self.completed + self.migrated:
             raise RuntimeError(
                 f"node {self.name}: {backlog} request(s) still in flight "
-                f"({self.accepted} accepted, {self.completed} completed)"
+                f"({self.accepted} accepted, {self.completed} completed, "
+                f"{self.migrated} migrated)"
             )
+
+    def crash(self) -> list[NodeRequest]:
+        """Kill the node, salvaging every request it has not yet settled.
+
+        Returns the salvaged requests — the batch in service, the queued
+        inbox, and submissions still blocked at admission control — in
+        arrival order, for a failover manager to replay on survivors.
+        Clients blocked on ``req.admitted`` are unblocked (their request
+        is carried over), and the service loop is torn down. Device
+        operations already issued by the dying batch run to completion on
+        the devices; replaying their requests re-applies the same bytes
+        to the same offsets, so salvage is idempotent.
+        """
+        if self.crashed:
+            return []
+        self.crashed = True
+        salvaged: list[NodeRequest] = []
+        for req in self._current_batch:
+            if not req.event.triggered:
+                salvaged.append(req)
+        self._current_batch = []
+        self.in_service = 0
+        if (
+            self._pending_get is not None
+            and self._pending_get.triggered
+            and self._pending_get.ok
+        ):
+            # a put handed this request to the loop's get, but the loop
+            # never resumed to take it — it is in neither the batch nor
+            # the inbox, and would be lost without this
+            salvaged.append(self._pending_get.value)
+        self._pending_get = None
+        salvaged.extend(self.inbox.items)
+        self.inbox.items.clear()
+        for put in list(self.inbox._puts):
+            if not put.triggered:
+                put.succeed()  # unblock the client; its request migrates
+                salvaged.append(put.item)
+        self.inbox._puts.clear()
+        self.migrated += len(salvaged)
+        self.queue_stat.record(self.env.now, 0)
+        self.utilization.idle(self.env.now)
+        if self._proc.is_alive:
+            self._proc.interrupt("crash")
+        return salvaged
 
     @property
     def coalescing_ratio(self) -> float:
@@ -217,19 +277,31 @@ class IONode:
     # -- service loop -----------------------------------------------------------
 
     def _serve(self):
+        try:
+            yield from self._serve_loop()
+        except Interrupt:
+            return  # crashed: the salvage already happened in crash()
+
+    def _serve_loop(self):
         env = self.env
         while True:
             self.utilization.idle(env.now)
-            first = yield self.inbox.get()
+            self._pending_get = self.inbox.get()
+            first = yield self._pending_get
+            self._pending_get = None
             self.utilization.busy(env.now)
             batch = [first]
+            self._current_batch = batch
             self.in_service = 1
             while len(batch) < self.batch_limit and self.inbox.items:
-                batch.append((yield self.inbox.get()))
+                self._pending_get = self.inbox.get()
+                batch.append((yield self._pending_get))
+                self._pending_get = None
                 self.in_service = len(batch)
             self.queue_stat.record(env.now, self.queued)
             yield from self._service_batch(batch)
             self.completed += len(batch)
+            self._current_batch = []
             self.in_service = 0
             self.batches += 1
             sanitizer = env._sanitizer

@@ -65,6 +65,18 @@ class DeviceRouter:
         """The device indices assigned to ``node``."""
         return [d for d, n in enumerate(self._map) if n == node]
 
+    def reassign(self, device: int, node: int) -> None:
+        """Move ``device`` to ``node`` (failover re-routing).
+
+        Takes effect for every request submitted after the call; requests
+        already inside a node are the failover manager's to salvage.
+        """
+        if not 0 <= device < self.n_devices:
+            raise ValueError(f"no such device {device}")
+        if not 0 <= node < self.n_nodes:
+            raise ValueError(f"no such node {node}")
+        self._map[device] = node
+
 
 class IONodeCluster:
     """A set of I/O nodes jointly serving one volume's devices."""

@@ -1,0 +1,550 @@
+"""Degraded-mode I/O: the volume keeps serving through a device failure.
+
+:class:`ResilientVolume` wraps a data plane — a raw
+:class:`~repro.storage.volume.Volume` or the server-mediated
+:class:`~repro.ionode.routing.MediatedVolume` — and presents the same
+read/write surface, with three behavioural changes:
+
+* **retry** — every operation runs under a :class:`~repro.resilience.
+  retry.RetryPolicy`: transient device errors (bus glitches, limping
+  episodes) are retried with exponential backoff + jitter instead of
+  surfacing to the application. Transient errors never touch media, so a
+  retried write applies exactly once (checked by the sanitizer).
+* **degraded reads** — a read that hits a permanently failed device is
+  re-served segment by segment: live segments go down the normal path,
+  segments on the dead device are reconstructed on the fly from the
+  attached :class:`~repro.storage.parity.ParityGroup` (XOR of survivors
+  + check device), with journaled writes overlaid on top. Degraded-read
+  latency is tallied separately.
+* **degraded writes** — under parity protection, writes route through
+  the parity discipline (full-stripe rows written with fresh parity,
+  independent segments read-modify-write in ``"rmw"`` mode or left stale
+  in ``"synchronized"`` mode — the §5 gap); writes addressed to a failed
+  member are journaled for replay by the hot-spare rebuild.
+
+Parity consistency under concurrency is guarded by per-parity-unit locks
+(:class:`~repro.sim.resources.Resource`): a read-modify-write and an
+on-the-fly reconstruction over the same unit serialize, so neither ever
+observes a half-updated data/parity pair.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+import numpy as np
+
+from ..devices.controller import DeviceFailedError, TransientIOError
+from ..sim.engine import Environment, Event, Process
+from ..sim.resources import Resource
+from ..sim.rng import RngStreams
+from ..storage.parity import ParityGroup, StaleParityError
+from .config import ResilienceConfig
+from .journal import WriteJournal
+from .retry import RetryPolicy, retrying
+from .stats import ResilienceStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..ionode.routing import IONodeCluster
+    from ..storage.layout import DataLayout, Segment
+    from ..storage.volume import Extent, Volume
+    from .failover import FailoverManager
+    from .rebuild import HotSpareRebuilder
+
+__all__ = ["ResilientVolume"]
+
+
+class ResilientVolume:
+    """The ``Volume`` surface with degraded-mode service and retries."""
+
+    def __init__(
+        self,
+        inner: Any,
+        *,
+        group: ParityGroup | None = None,
+        config: ResilienceConfig | None = None,
+        rng: RngStreams | None = None,
+    ):
+        self.inner = inner
+        #: the raw volume under the plane (identical for a direct plane)
+        self.volume: "Volume" = getattr(inner, "volume", inner)
+        #: the I/O-node cluster when the plane is server-mediated
+        self.cluster: "IONodeCluster | None" = getattr(inner, "cluster", None)
+        self.config = config or ResilienceConfig()
+        self.policy: RetryPolicy | None = self.config.retry
+        self.group = group
+        if group is not None:
+            if len(group.data_devices) != self.volume.n_devices or any(
+                group.data_devices[i] is not self.volume.devices[i]
+                for i in range(self.volume.n_devices)
+            ):
+                raise ValueError(
+                    "parity group must be built over the volume's devices, "
+                    "in volume order"
+                )
+        self.rng = rng or RngStreams(self.config.seed)
+        self.stats = ResilienceStats()
+        self.journal = WriteJournal()
+        #: device index -> time the layer first observed it failed
+        self.failed_at: dict[int, float] = {}
+        #: attached background rebuilder (set by ``attach_resilience``)
+        self.rebuilder: "HotSpareRebuilder | None" = None
+        #: attached node-failover manager (set by ``attach_resilience``)
+        self.failover: "FailoverManager | None" = None
+        #: per-parity-unit serialization (absolute unit index -> lock)
+        self._unit_locks: dict[int, Resource] = {}
+
+    # -- delegated management plane ----------------------------------------
+
+    @property
+    def env(self) -> Environment:
+        return self.volume.env
+
+    @property
+    def devices(self) -> list[Any]:
+        return self.volume.devices
+
+    @property
+    def n_devices(self) -> int:
+        return self.volume.n_devices
+
+    def allocate(self, layout: "DataLayout", file_bytes: int) -> "Extent":
+        """Reserve space on the wrapped plane."""
+        return self.inner.allocate(layout, file_bytes)
+
+    def free(self, extent: "Extent") -> None:
+        """Release an extent on the wrapped plane."""
+        return self.inner.free(extent)
+
+    def peek(self, extent: "Extent", layout: "DataLayout", offset: int, nbytes: int) -> np.ndarray:
+        """Zero-time inspection via the wrapped plane."""
+        return self.inner.peek(extent, layout, offset, nbytes)
+
+    def poke(self, extent: "Extent", layout: "DataLayout", offset: int, data: Any) -> None:
+        """Zero-time mutation via the wrapped plane."""
+        return self.inner.poke(extent, layout, offset, data)
+
+    # -- reads ---------------------------------------------------------------
+
+    def read(self, extent: "Extent", layout: "DataLayout", offset: int, nbytes: int) -> Process:
+        """Read file bytes, degrading to reconstruction on device failure."""
+        return self.env.process(
+            self._do_read(extent, layout, offset, nbytes), name="resilient.read"
+        )
+
+    def _do_read(self, extent: "Extent", layout: "DataLayout", offset: int, nbytes: int):
+        try:
+            # fast path: the whole range down the normal plane (keeps the
+            # I/O-node batch view intact), transient errors retried
+            value = yield from self._with_retry(
+                lambda: self.inner.read(extent, layout, offset, nbytes),
+                kind="read",
+                target="plane",
+            )
+            return value
+        except DeviceFailedError:
+            pass  # a member is permanently down: degrade to per-segment
+        t0 = self.env.now
+        segments = layout.map_range(offset, nbytes)
+        procs = [
+            self.env.process(self._read_segment(extent, seg)) for seg in segments
+        ]
+        if procs:
+            yield self.env.all_of(procs)
+        out = np.empty(nbytes, dtype=np.uint8)
+        pos = 0
+        for seg, proc in zip(segments, procs):
+            out[pos : pos + seg.length] = proc.value
+            pos += seg.length
+        self.stats.degraded_reads += 1
+        self.stats.degraded_read_latency.observe(self.env.now - t0)
+        return out
+
+    def _read_segment(self, extent: "Extent", seg: "Segment"):
+        dev_i = seg.device
+        abs_off = extent.base(dev_i) + seg.offset
+        if not self.volume.devices[dev_i].failed:
+            try:
+                value = yield from self._with_retry(
+                    lambda: self._plane_read(dev_i, abs_off, seg.length),
+                    kind="read",
+                    target=f"dev{dev_i}",
+                )
+                return value
+            except DeviceFailedError:
+                pass  # died between the check and the read
+        return (yield from self._reconstruct_read(dev_i, abs_off, seg.length))
+
+    def _reconstruct_read(self, dev_i: int, abs_off: int, nbytes: int):
+        """Serve a dead device's bytes from parity + survivors + journal."""
+        self._note_failure(dev_i)
+        if self.group is None:
+            # shadow pairs recover internally; reaching here means the
+            # device (or the whole pair) is gone with no reconstruction path
+            raise DeviceFailedError(self._device_name(dev_i))
+        if not self.group.reconstruct_safe(abs_off, nbytes):
+            raise StaleParityError(
+                f"degraded read of device {dev_i} range "
+                f"[{abs_off}, {abs_off + nbytes}): parity has stale units "
+                "(independent writes without synchronized maintenance)"
+            )
+        locks = yield from self._lock_units(abs_off, nbytes)
+        try:
+            # reconstruction is pure reads, so a transient survivor error
+            # retries the whole XOR pass (idempotent)
+            data = yield from self._with_retry(
+                lambda: self.env.process(
+                    self.group.reconstruct_gen(dev_i, abs_off, nbytes),
+                    name="resilient.reconstruct",
+                ),
+                kind="reconstruct",
+                target=f"dev{dev_i}",
+            )
+        finally:
+            self._unlock(locks)
+        self.journal.overlay(dev_i, abs_off, nbytes, data)
+        self.stats.reconstructed_bytes += nbytes
+        return data
+
+    # -- writes -----------------------------------------------------------------
+
+    def write(self, extent: "Extent", layout: "DataLayout", offset: int, data: Any) -> Process:
+        """Write file bytes under the active protection discipline."""
+        arr = (
+            np.frombuffer(data, dtype=np.uint8)
+            if isinstance(data, (bytes, bytearray))
+            else np.asarray(data, dtype=np.uint8)
+        )
+        return self.env.process(
+            self._do_write(extent, layout, offset, arr), name="resilient.write"
+        )
+
+    def _do_write(self, extent: "Extent", layout: "DataLayout", offset: int, arr: np.ndarray):
+        segments = layout.map_range(offset, len(arr))
+        triples: list[tuple[int, int, np.ndarray]] = []
+        pos = 0
+        for seg in segments:
+            triples.append(
+                (seg.device, extent.base(seg.device) + seg.offset, arr[pos : pos + seg.length])
+            )
+            pos += seg.length
+        if self.group is not None:
+            procs = self._plan_parity_write(triples)
+        else:
+            # shadow / unprotected: per-segment so a retried segment is its
+            # own op — a segment that applied is never re-issued
+            procs = [
+                self.env.process(self._write_segment(dev, off, chunk))
+                for dev, off, chunk in triples
+                if len(chunk)
+            ]
+        if procs:
+            yield self.env.all_of(procs)
+        return int(arr.size)
+
+    def _write_segment(self, dev_i: int, abs_off: int, chunk: np.ndarray):
+        """One plain (non-parity) segment write with retry."""
+        yield from self._with_retry(
+            lambda: self._plane_write(dev_i, abs_off, chunk),
+            kind="write",
+            target=f"dev{dev_i}",
+        )
+        return len(chunk)
+
+    # -- parity write planning ---------------------------------------------------
+
+    def _plan_parity_write(self, triples: list[tuple[int, int, np.ndarray]]) -> list[Process]:
+        """Split a write into full-stripe rows and independent segments.
+
+        A *row* is a set of equal-length segments at the same absolute
+        offset on every data device: parity is the XOR of the new chunks,
+        no old data needs reading. Anything else goes down the
+        independent-write path (read-modify-write in ``rmw`` mode, stale
+        marking in ``synchronized`` mode). Rows require all members live;
+        with a member down they fall back to independent writes.
+        """
+        group = self.group
+        by_span: dict[tuple[int, int], dict[int, np.ndarray]] = {}
+        for dev, off, chunk in triples:
+            if len(chunk):
+                by_span.setdefault((off, len(chunk)), {})[dev] = chunk
+        procs: list[Process] = []
+        all_alive = not any(d.failed for d in group.data_devices) and (
+            not group.parity_device.failed
+        )
+        for (off, length), chunks in by_span.items():
+            if all_alive and len(chunks) == group.n_data:
+                procs.append(
+                    self.env.process(self._write_row(off, length, chunks))
+                )
+            else:
+                for dev, chunk in chunks.items():
+                    procs.append(
+                        self.env.process(self._write_independent(dev, off, chunk))
+                    )
+        return procs
+
+    def _write_row(self, abs_off: int, length: int, chunks: dict[int, np.ndarray]):
+        """Full-stripe write: data on every member + XOR parity, in parallel.
+
+        A data member dying mid-row is absorbed: parity is the XOR of all
+        *new* chunks, so once it lands, reconstruction of the dead member
+        yields its intended chunk even though the media never got it —
+        the chunk is journaled anyway so the rebuild replay is uniform.
+        """
+        group = self.group
+        parity = np.zeros(length, dtype=np.uint8)
+        for chunk in chunks.values():
+            np.bitwise_xor(parity, chunk, out=parity)
+        locks = yield from self._lock_units(abs_off, length)
+        try:
+            guards = {
+                dev: self.env.process(
+                    self._guard(
+                        self.env.process(
+                            self._device_write(group.data_devices[dev], dev, abs_off, chunk)
+                        )
+                    )
+                )
+                for dev, chunk in chunks.items()
+            }
+            parity_guard = self.env.process(
+                self._guard(
+                    self.env.process(
+                        self._device_write(group.parity_device, "parity", abs_off, parity)
+                    )
+                )
+            )
+            yield self.env.all_of(list(guards.values()) + [parity_guard])
+            pok, pval = parity_guard.value
+            if not pok:
+                raise pval  # check device gone: protection lost, surface it
+            for dev, guard in guards.items():
+                ok, val = guard.value
+                if not ok:
+                    if not isinstance(val, DeviceFailedError):
+                        raise val
+                    yield from self._degraded_write(dev, abs_off, chunks[dev])
+                group.mark_fresh(dev, abs_off, length)
+        finally:
+            self._unlock(locks)
+        self._invalidate_nodes(list(chunks))
+        return length * len(chunks)
+
+    def _write_independent(self, dev_i: int, abs_off: int, chunk: np.ndarray):
+        """Independent single-device write under parity protection."""
+        group = self.group
+        target = group.data_devices[dev_i]
+        if target.failed:
+            yield from self._degraded_write(dev_i, abs_off, chunk)
+            return len(chunk)
+        if self.config.parity_mode == "rmw" and not group.parity_device.failed:
+            yield from self._rmw_write(dev_i, abs_off, chunk)
+        else:
+            # synchronized mode: data lands, parity goes stale — §5
+            try:
+                yield from self._with_retry(
+                    lambda: target.write(abs_off, chunk),
+                    kind="write",
+                    target=f"dev{dev_i}",
+                )
+            except DeviceFailedError:
+                yield from self._degraded_write(dev_i, abs_off, chunk)
+                return len(chunk)
+            group.mark_stale(dev_i, abs_off, len(chunk))
+        self._invalidate_nodes([dev_i])
+        return len(chunk)
+
+    def _rmw_write(self, dev_i: int, abs_off: int, chunk: np.ndarray):
+        """Read-modify-write parity update, serialized per parity unit."""
+        group = self.group
+        target = group.data_devices[dev_i]
+        n = len(chunk)
+        locks = yield from self._lock_units(abs_off, n)
+        try:
+            try:
+                old_data = yield from self._with_retry(
+                    lambda: target.read(abs_off, n), kind="read", target=f"dev{dev_i}"
+                )
+            except DeviceFailedError:
+                yield from self._degraded_write(dev_i, abs_off, chunk, locked=True)
+                return
+            old_parity = yield from self._with_retry(
+                lambda: group.parity_device.read(abs_off, n),
+                kind="read",
+                target="parity",
+            )
+            new_parity = np.bitwise_xor(
+                np.bitwise_xor(old_parity, old_data), chunk
+            )
+            data_guard = self.env.process(
+                self._guard(
+                    self.env.process(self._device_write(target, dev_i, abs_off, chunk))
+                )
+            )
+            parity_guard = self.env.process(
+                self._guard(
+                    self.env.process(
+                        self._device_write(group.parity_device, "parity", abs_off, new_parity)
+                    )
+                )
+            )
+            # both guards settle before the unit locks release, so no
+            # reconstruction can observe a half-updated data/parity pair
+            yield self.env.all_of([data_guard, parity_guard])
+            pok, pval = parity_guard.value
+            if not pok:
+                raise pval  # check device died: protection lost, surface it
+            dok, dval = data_guard.value
+            if not dok:
+                if not isinstance(dval, DeviceFailedError):
+                    raise dval
+                # parity landed with the new chunk folded in, so recon-
+                # struction already yields it; journal for the rebuild
+                yield from self._degraded_write(dev_i, abs_off, chunk, locked=True)
+        finally:
+            self._unlock(locks)
+
+    def _degraded_write(
+        self, dev_i: int, abs_off: int, chunk: np.ndarray, locked: bool = False
+    ):
+        """A write addressed to a failed member: journal it for replay.
+
+        The media is untouched and parity still matches the dead drive's
+        on-media bytes, so reconstruction stays valid; degraded reads
+        overlay the journal, and the rebuild replays it onto the spare.
+        ``locked`` marks calls already holding the covering unit locks.
+        """
+        self._note_failure(dev_i)
+        self.journal.record(dev_i, abs_off, chunk, self.env.now)
+        self.stats.journaled_writes += 1
+        self.stats.degraded_writes += 1
+        self._invalidate_nodes([dev_i])
+        return len(chunk)
+        yield  # pragma: no cover - marks this function as a generator
+
+    def _device_write(self, device: Any, label: Any, abs_off: int, data: np.ndarray):
+        """Retry-wrapped raw device write used inside parity paths."""
+        yield from self._with_retry(
+            lambda: device.write(abs_off, data), kind="write", target=f"dev{label}"
+        )
+        return len(data)
+
+    def _guard(self, ev: Event):
+        """Absorb one event's failure into an ``(ok, value)`` pair."""
+        try:
+            value = yield ev
+            return True, value
+        except Exception as exc:
+            return False, exc
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _plane_read(self, dev_i: int, abs_off: int, nbytes: int) -> Event:
+        """One device-range read down the active plane (node or direct)."""
+        if self.cluster is not None:
+            return self.env.process(
+                self._node_op("read", dev_i, abs_off, nbytes, None),
+                name=f"resilient.nread{dev_i}",
+            )
+        return self.volume.devices[dev_i].read(abs_off, nbytes)
+
+    def _plane_write(self, dev_i: int, abs_off: int, chunk: np.ndarray) -> Event:
+        """One device-range write down the active plane (node or direct)."""
+        if self.cluster is not None:
+            return self.env.process(
+                self._node_op("write", dev_i, abs_off, len(chunk), chunk),
+                name=f"resilient.nwrite{dev_i}",
+            )
+        return self.volume.devices[dev_i].write(abs_off, chunk)
+
+    def _node_op(self, kind: str, dev_i: int, abs_off: int, nbytes: int, chunk):
+        """One single-item request through the owning I/O node.
+
+        This is the retried ionode client path: each attempt is a fresh
+        request message, and a failure is reported to the node's circuit
+        breaker (repeatedly failing nodes get quarantined).
+        """
+        cluster = self.cluster
+        node_idx = cluster.router.node_of(dev_i)
+        node = cluster.nodes[node_idx]
+        ic = cluster.interconnect
+        try:
+            if kind == "read":
+                yield self.env.timeout(ic.request_cost())
+                req = node.submit("read", [(dev_i, abs_off, nbytes)])
+                yield req.admitted
+                arrays = yield req.event
+                yield self.env.timeout(ic.transfer_cost(nbytes))
+                return arrays[0]
+            yield self.env.timeout(ic.transfer_cost(nbytes))
+            req = node.submit("write", [(dev_i, abs_off, nbytes)], data=[chunk])
+            yield req.admitted
+            yield req.event
+            yield self.env.timeout(ic.request_cost())
+            return nbytes
+        except TransientIOError:
+            if self.failover is not None:
+                self.failover.note_request_failure(node_idx)
+            raise
+
+    def _with_retry(self, make_event: Callable[[], Event], kind: str, target: str):
+        if self.policy is None:
+            value = yield make_event()
+            return value
+        value = yield from retrying(
+            self.env,
+            make_event,
+            self.policy,
+            rng=self.rng,
+            stream=f"retry.{target}",
+            kind=kind,
+            target=target,
+            on_report=self.stats.note_retry,
+        )
+        return value
+
+    def _lock_units(self, abs_off: int, nbytes: int):
+        """Acquire the parity-unit locks covering a range (sorted order)."""
+        unit = self.group.parity_unit if self.group is not None else None
+        if unit is None or nbytes == 0:
+            return []
+        first = abs_off // unit
+        last = (abs_off + nbytes - 1) // unit
+        held = []
+        for u in range(first, last + 1):
+            lock = self._unit_locks.get(u)
+            if lock is None:
+                lock = Resource(self.env, capacity=1)
+                self._unit_locks[u] = lock
+            req = lock.request()
+            yield req
+            held.append((lock, req))
+        return held
+
+    def _unlock(self, held) -> None:
+        for lock, req in reversed(held):
+            lock.release(req)
+
+    def _invalidate_nodes(self, dev_indices: list[int]) -> None:
+        """Keep node caches coherent with writes that bypassed the nodes."""
+        if self.cluster is None:
+            return
+        for dev_i in dev_indices:
+            if isinstance(dev_i, int):
+                self.cluster.invalidate_device(dev_i)
+
+    def _note_failure(self, dev_i: int) -> None:
+        """First sighting of a failed device: stamp it, kick auto-rebuild."""
+        if dev_i in self.failed_at:
+            return
+        self.failed_at[dev_i] = self.env.now
+        if (
+            self.config.auto_rebuild
+            and self.rebuilder is not None
+            and self.rebuilder.can_rebuild(dev_i)
+        ):
+            self.rebuilder.start(dev_i)
+
+    def _device_name(self, dev_i: int) -> str:
+        return getattr(self.volume.devices[dev_i], "name", f"device{dev_i}")

@@ -240,7 +240,11 @@ class EngineSanitizer:
                 f"outside [0, {node.queue_depth}]",
             )
         accounted = (
-            node.completed + node.in_service + node.queued + node.pending_admission
+            node.completed
+            + node.in_service
+            + node.queued
+            + node.pending_admission
+            + node.migrated
         )
         if node.accepted != accounted:
             self._violate(
@@ -248,7 +252,8 @@ class EngineSanitizer:
                 f"node {node.name} accepted {node.accepted} requests but "
                 f"accounts for {accounted} "
                 f"(completed={node.completed}, in_service={node.in_service}, "
-                f"queued={node.queued}, pending={node.pending_admission})",
+                f"queued={node.queued}, pending={node.pending_admission}, "
+                f"migrated={node.migrated})",
             )
         if node.read_delivered_bytes != node.read_requested_bytes:
             self._violate(
@@ -268,16 +273,68 @@ class EngineSanitizer:
             )
 
     def check_nodes_drained(self) -> None:
-        """Record a violation for every node with requests still in flight."""
+        """Record a violation for every node with requests still in flight.
+
+        A crashed node's salvaged requests count as ``migrated`` — they
+        were handed to surviving nodes by the failover manager, which
+        separately guarantees their client events settled
+        (:meth:`~repro.resilience.failover.FailoverManager.assert_settled`).
+        """
         for node in self._nodes:
             backlog = node.queued + node.in_service + node.pending_admission
-            if backlog or node.accepted != node.completed:
+            if backlog or node.accepted != node.completed + node.migrated:
                 self._violate(
                     "ionode-undrained",
                     f"node {node.name} ended with {backlog} request(s) in "
                     f"flight ({node.accepted} accepted, "
-                    f"{node.completed} completed)",
+                    f"{node.completed} completed, {node.migrated} migrated)",
                 )
+
+    # -- resilience --------------------------------------------------------------
+
+    def on_retried_op(self, op: Any) -> None:
+        """Called by :func:`repro.resilience.retry.retrying` per settled op.
+
+        Exactly-once invariants: every attempt either failed or succeeded,
+        at most one attempt succeeded (transient errors never apply data,
+        so a retry can never double-apply), and an acknowledged operation
+        succeeded exactly once while an abandoned one never did.
+        """
+        self.checks += 1
+        label = f"{op.kind} on {op.target}"
+        if op.attempts != op.failures + op.successes:
+            self._violate(
+                "retry-accounting",
+                f"{label}: {op.attempts} attempts != {op.failures} failures "
+                f"+ {op.successes} successes",
+            )
+        if op.successes > 1:
+            self._violate(
+                "retry-multi-apply",
+                f"{label}: {op.successes} attempts succeeded (applied more "
+                "than once)",
+            )
+        if op.acked and op.successes != 1:
+            self._violate(
+                "retry-acked-unapplied",
+                f"{label}: acknowledged to the caller with {op.successes} "
+                "successful attempts",
+            )
+        if op.gave_up and op.successes != 0:
+            self._violate(
+                "retry-gave-up-applied",
+                f"{label}: reported exhausted but {op.successes} attempt(s) "
+                "succeeded",
+            )
+
+    def on_rebuild(self, name: str, ok: bool, detail: str) -> None:
+        """Called by the hot-spare rebuilder after its verify step."""
+        self.checks += 1
+        if not ok:
+            self._violate(
+                "rebuild-mismatch",
+                f"{name}: rebuilt spare diverges from its oracle ({detail})",
+            )
 
 
 def attach(env: Environment, raise_on_violation: bool = False) -> EngineSanitizer:

@@ -81,6 +81,38 @@ class ParityGroup:
         """True iff parity covering this range of ``device`` is up to date."""
         return not any((device, u) in self._stale for u in self._units(offset, nbytes))
 
+    def reconstruct_safe(self, offset: int, nbytes: int) -> bool:
+        """True iff reconstruction of *any* device over this range is safe.
+
+        Stronger than :meth:`is_consistent`: a unit written independently
+        on device B poisons reconstruction of device A too — the check
+        data no longer XORs to any member's contents over that unit.
+        """
+        units = set(self._units(offset, nbytes))
+        return not any(u in units for _, u in self._stale)
+
+    def mark_stale(self, device: int, offset: int, nbytes: int) -> None:
+        """Record that parity no longer covers ``device`` over the range."""
+        for u in self._units(offset, nbytes):
+            self._stale.add((device, u))
+
+    def mark_fresh(self, device: int, offset: int, nbytes: int) -> None:
+        """Clear staleness for parity units *fully contained* in the range.
+
+        A partially-covered unit stays stale: bytes outside the freshly
+        written region are still unprotected.
+        """
+        unit = self.parity_unit
+        for u in self._units(offset, nbytes):
+            if u * unit >= offset and (u + 1) * unit <= offset + nbytes:
+                self._stale.discard((device, u))
+
+    def replace_data_device(self, index: int, controller: DeviceController) -> None:
+        """Swap a (rebuilt) controller in for data member ``index``."""
+        if controller.capacity_bytes != self.parity_device.capacity_bytes:
+            raise ValueError("replacement capacity must match the group")
+        self.data_devices[index] = controller
+
     @property
     def stale_units(self) -> int:
         return len(self._stale)
@@ -172,6 +204,11 @@ class ParityGroup:
         return self.env.process(
             self._do_reconstruct(device, offset, nbytes), name="parity.reconstruct"
         )
+
+    def reconstruct_gen(self, device: int, offset: int, nbytes: int):
+        """Generator form of :meth:`reconstruct` for use inside a process
+        (the degraded-read hot path of ``repro.resilience``)."""
+        return self._do_reconstruct(device, offset, nbytes)
 
     def _do_reconstruct(self, device: int, offset: int, nbytes: int):
         if not self.is_consistent(device, offset, nbytes):

@@ -10,6 +10,7 @@ from .report import (
     device_table,
     invariant_report,
     ionode_report,
+    resilience_report,
     throughput_mb_s,
 )
 
@@ -27,5 +28,6 @@ __all__ = [
     "device_table",
     "invariant_report",
     "ionode_report",
+    "resilience_report",
     "throughput_mb_s",
 ]

@@ -11,6 +11,7 @@ from ..sim.engine import Environment
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..ionode.routing import IONodeCluster
+    from ..resilience.volume import ResilientVolume
     from ..sanitize.access import AccessConflictDetector
     from ..sanitize.engine_hooks import EngineSanitizer
 
@@ -22,6 +23,7 @@ __all__ = [
     "ionode_report",
     "conflict_report",
     "invariant_report",
+    "resilience_report",
 ]
 
 
@@ -148,5 +150,42 @@ def ionode_report(env: Environment, cluster: "IONodeCluster") -> list[str]:
             f"{node.utilization.utilization(env.now):>7.1%} "
             f"{q_mean:>7.2f} {node.queue_stat.max:>5.0f} {coalesce} "
             f"{node.sieved_batches:>6d} {hit}"
+        )
+    return rows
+
+
+def resilience_report(resilience: "ResilientVolume") -> list[str]:
+    """Render one resilience layer's activity, one row per figure.
+
+    Shows what the layer absorbed during the run: degraded reads served
+    by reconstruction (with their latency), journaled degraded writes,
+    retry traffic, node failovers and migrated requests, and completed
+    rebuilds with the resulting MTTR sample.
+    """
+    s = resilience.stats
+    rows = [
+        f"{'degraded reads':<28s} {s.degraded_reads:>8d}",
+        f"{'  reconstructed bytes':<28s} {s.reconstructed_bytes:>8d}",
+        f"{'degraded writes':<28s} {s.degraded_writes:>8d}",
+        f"{'  journaled / replayed':<28s} {s.journaled_writes:>4d} / {s.replayed_writes:<4d}",
+        f"{'retried ops':<28s} {s.retried_ops:>8d}",
+        f"{'  extra attempts':<28s} {s.retry_attempts:>8d}",
+        f"{'  exhausted':<28s} {s.retries_exhausted:>8d}",
+        f"{'node failovers':<28s} {s.failovers:>8d}",
+        f"{'  migrated requests':<28s} {s.migrated_requests:>8d}",
+        f"{'  quarantined nodes':<28s} {s.quarantined_nodes:>8d}",
+        f"{'rebuilds':<28s} {s.rebuilds_completed:>4d} / {s.rebuilds_started:<4d}",
+        f"{'  rebuilt bytes':<28s} {s.rebuild_bytes:>8d}",
+    ]
+    lat = s.degraded_read_latency
+    if lat.count:
+        rows.append(
+            f"{'degraded read latency':<28s} {lat.mean * 1e3:>8.2f} ms mean "
+            f"(max {lat.max * 1e3:.2f} ms, n={lat.count})"
+        )
+    if s.rebuild_times:
+        rows.append(
+            f"{'MTTR':<28s} {s.mttr_seconds:>8.2f} s over "
+            f"{len(s.rebuild_times)} rebuild(s)"
         )
     return rows

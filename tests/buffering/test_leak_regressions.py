@@ -1,0 +1,218 @@
+"""Regression tests: buffer accounting when device operations fail mid-flight.
+
+Each test drives a failing fetch / writeback through the buffering layer
+and asserts that (a) the error surfaces to the caller, (b) no pool buffer
+is leaked, and (c) no cached data is silently dropped.
+"""
+
+import pytest
+
+from repro.buffering import BufferCache, BufferPool, ReadStream
+from repro.sanitize import EngineSanitizer
+from repro.sim import Environment
+
+IO_TIME = 1.0
+
+
+class FetchError(RuntimeError):
+    pass
+
+
+class FlakyBackend:
+    """Block backend whose fetch/writeback fail the first ``n`` times."""
+
+    def __init__(self, env, fail_fetches=0, fail_writebacks=0, io_time=IO_TIME):
+        self.env = env
+        self.io_time = io_time
+        self.fail_fetches = fail_fetches
+        self.fail_writebacks = fail_writebacks
+        self.store = {}
+
+    def fetch(self, block):
+        def transfer():
+            yield self.env.timeout(self.io_time)
+            if self.fail_fetches > 0:
+                self.fail_fetches -= 1
+                raise FetchError(f"fetch of block {block} failed")
+            return self.store.get(block, bytes([block % 251]) * 64)
+
+        return self.env.process(transfer())
+
+    def writeback(self, block, data):
+        def transfer():
+            yield self.env.timeout(self.io_time)
+            if self.fail_writebacks > 0:
+                self.fail_writebacks -= 1
+                raise FetchError(f"writeback of block {block} failed")
+            self.store[block] = data
+            return len(data)
+
+        return self.env.process(transfer())
+
+
+def make_pool(env, n=4):
+    return BufferPool(env, n, 4096, copy_cost_per_byte=0.0, per_buffer_overhead=0.0)
+
+
+# -- ReadStream ------------------------------------------------------------------
+
+
+def test_readahead_producer_failure_releases_buffer():
+    env = Environment()
+    san = EngineSanitizer(env)
+    be = FlakyBackend(env, fail_fetches=1)
+    pool = make_pool(env)
+    stream = ReadStream(env, be.fetch, [1, 2, 3], pool, depth=2)
+
+    def proc():
+        try:
+            yield from stream.get()
+        except FetchError:
+            return "raised"
+        return "no error"
+
+    assert env.run(env.process(proc())) == "raised"
+    assert pool.in_use == 0
+    assert stream.exhausted  # the stream cannot continue past the failure
+    san.check_balanced()
+    san.assert_clean()
+
+
+def test_readahead_failure_after_successes_stays_balanced():
+    env = Environment()
+    san = EngineSanitizer(env)
+    be = FlakyBackend(env)
+    pool = make_pool(env)
+    stream = ReadStream(env, be.fetch, [1, 2, 3], pool, depth=1)
+
+    def proc():
+        got = []
+        index, _ = yield from stream.get()
+        got.append(index)
+        be.fail_fetches = 1  # next producer fetch dies mid-flight
+        while True:
+            try:
+                item = yield from stream.get()
+            except FetchError:
+                break
+            got.append(item[0])
+        return got
+
+    got = env.run(env.process(proc()))
+    assert got[0] == 1  # at least the pre-failure block was delivered
+    assert pool.in_use == 0
+    san.check_balanced()
+    san.assert_clean()
+
+
+def test_single_buffering_failure_releases_and_allows_retry():
+    env = Environment()
+    san = EngineSanitizer(env)
+    be = FlakyBackend(env, fail_fetches=1)
+    pool = make_pool(env, n=1)
+    stream = ReadStream(env, be.fetch, [7], pool, depth=0)
+
+    def proc():
+        try:
+            yield from stream.get()
+        except FetchError:
+            pass
+        else:
+            raise AssertionError("expected the first fetch to fail")
+        in_use_after_failure = pool.in_use
+        # the cursor was rewound: a retry refetches the same block
+        index, data = yield from stream.get()
+        marker = data[0]
+        yield from stream.get()  # exhausted: releases the held buffer
+        return in_use_after_failure, index, marker
+
+    in_use, index, marker = env.run(env.process(proc()))
+    assert in_use == 0
+    assert (index, marker) == (7, 7)
+    san.check_balanced()
+    san.assert_clean()
+
+
+# -- BufferCache -----------------------------------------------------------------
+
+
+def test_dirty_victim_survives_writeback_failure():
+    env = Environment()
+    be = FlakyBackend(env, fail_writebacks=1)
+    cache = BufferCache(env, be.fetch, be.writeback, capacity_blocks=1)
+
+    def proc():
+        yield from cache.write(1, b"precious")
+        try:
+            yield from cache.read(2)  # eviction of dirty block 1 fails
+        except FetchError:
+            pass
+        else:
+            raise AssertionError("expected the eviction write-back to fail")
+        # the victim is back in the cache, still dirty — nothing was lost
+        first = cache.contains(1), cache.writebacks
+        data = yield from cache.read(2)  # healed: eviction now succeeds
+        return first, data
+
+    (survived, writebacks), data = env.run(env.process(proc()))
+    assert survived
+    assert writebacks == 0  # failed attempt is not a completed write-back
+    assert be.store[1] == b"precious"  # second eviction landed the bytes
+    assert data == bytes([2 % 251]) * 64
+
+
+def test_dirty_eviction_without_writeback_keeps_victim():
+    env = Environment()
+    be = FlakyBackend(env)
+    cache = BufferCache(env, be.fetch, None, capacity_blocks=1)
+
+    def proc():
+        yield from cache.write(1, b"only copy")
+        try:
+            yield from cache.read(2)
+        except RuntimeError:
+            return cache.contains(1)
+        raise AssertionError("expected RuntimeError: no writeback function")
+
+    assert env.run(env.process(proc())) is True
+
+
+def test_flush_failure_keeps_blocks_dirty():
+    env = Environment()
+    be = FlakyBackend(env, fail_writebacks=1)
+    cache = BufferCache(env, be.fetch, be.writeback, capacity_blocks=4)
+
+    def proc():
+        yield from cache.write(1, b"a")
+        yield from cache.write(2, b"b")
+        try:
+            yield from cache.flush()
+        except FetchError:
+            pass
+        else:
+            raise AssertionError("expected the flush to fail")
+        still_dirty = len(cache._dirty)
+        yield from cache.flush()  # healed: retry writes everything
+        return still_dirty
+
+    still_dirty = env.run(env.process(proc()))
+    assert still_dirty == 2  # nothing lost its dirty bit on the failed flush
+    assert be.store == {1: b"a", 2: b"b"}
+    assert cache.writebacks == 2
+    cache.invalidate()  # clean now — does not raise
+
+
+def test_flush_failure_then_invalidate_refuses():
+    env = Environment()
+    be = FlakyBackend(env, fail_writebacks=10)
+    cache = BufferCache(env, be.fetch, be.writeback, capacity_blocks=4)
+
+    def proc():
+        yield from cache.write(1, b"a")
+        with pytest.raises(FetchError):
+            yield from cache.flush()
+        return None
+
+    env.run(env.process(proc()))
+    with pytest.raises(RuntimeError):
+        cache.invalidate()  # block 1 is still dirty: refuse to drop it

@@ -1,0 +1,155 @@
+"""Unit tests for transient fault injection (intermittent errors, limping)."""
+
+import pytest
+
+from repro.devices import (
+    WREN_1989,
+    DeviceController,
+    DiskGeometry,
+    DiskModel,
+    TransientFaultInjector,
+    TransientIOError,
+)
+from repro.sim import Environment, RngStreams
+
+
+def make_device(env, name="d0"):
+    geo = DiskGeometry(block_size=512, blocks_per_cylinder=8, cylinders=64)
+    return DeviceController(env, DiskModel(geo, WREN_1989), name=name)
+
+
+def make_injector(env):
+    return TransientFaultInjector(env, RngStreams(7))
+
+
+def test_injected_error_fails_one_request_then_recovers():
+    env = Environment()
+    dev = make_device(env)
+    inj = make_injector(env)
+    inj.inject_errors(dev, count=1)
+    outcomes = []
+
+    def proc():
+        try:
+            yield dev.write(0, b"aaaa")
+        except TransientIOError as e:
+            outcomes.append(("error", e.device))
+        n = yield dev.write(0, b"bbbb")
+        outcomes.append(("ok", n))
+
+    env.run(env.process(proc()))
+    assert outcomes == [("error", "d0"), ("ok", 4)]
+    # the failed attempt never touched the media
+    assert bytes(dev.peek(0, 4)) == b"bbbb"
+    assert dev.transient_errors == 1
+    assert dev.writes_applied == 1
+    assert not dev.failed
+
+
+def test_error_budget_consumed_in_order():
+    env = Environment()
+    dev = make_device(env)
+    inj = make_injector(env)
+    inj.inject_errors(dev, count=2)
+    results = []
+
+    def client(i):
+        try:
+            yield dev.read(0, 4)
+            results.append((i, "ok"))
+        except TransientIOError:
+            results.append((i, "err"))
+
+    for i in range(3):
+        env.process(client(i))
+    env.run()
+    assert sorted(results) == [(0, "err"), (1, "err"), (2, "ok")]
+    assert dev.transient_error_budget == 0
+
+
+def test_scheduled_error_applies_at_time():
+    env = Environment()
+    dev = make_device(env)
+    inj = make_injector(env)
+    inj.inject_errors(dev, count=1, at=1.0)
+
+    def early():
+        yield dev.write(0, b"x")  # before the fault window: fine
+
+    env.run(env.process(early()))
+    assert dev.transient_error_budget == 0
+    env.run(until=2.0)
+    assert dev.transient_error_budget == 1
+    assert [f.kind for f in inj.failures] == ["transient"]
+
+
+def test_limp_slows_service_then_expires():
+    env = Environment()
+    dev = make_device(env)
+    inj = make_injector(env)
+
+    def timed_read():
+        t0 = env.now
+        yield dev.read(0, 512)
+        return env.now - t0
+
+    healthy = env.run(env.process(timed_read()))
+    inj.limp(dev, factor=8.0, duration=100.0)
+    limping = env.run(env.process(timed_read()))
+    assert limping > healthy * 2
+    assert dev.limped_requests == 1
+
+    def wait_out():
+        yield env.timeout(200.0)
+
+    env.run(env.process(wait_out()))
+    recovered = env.run(env.process(timed_read()))
+    assert recovered == pytest.approx(healthy, rel=0.5)
+    assert dev.limped_requests == 1
+    assert [f.kind for f in inj.failures] == ["limp"]
+
+
+def test_limp_rejects_bad_parameters():
+    env = Environment()
+    dev = make_device(env)
+    inj = make_injector(env)
+    with pytest.raises(ValueError):
+        inj.limp(dev, factor=1.0, duration=10.0)
+    with pytest.raises(ValueError):
+        inj.limp(dev, factor=2.0, duration=0.0)
+    with pytest.raises(ValueError):
+        inj.inject_errors(dev, count=0)
+
+
+def test_poisson_glitch_stream_is_deterministic_and_bounded():
+    def run(seed):
+        env = Environment()
+        dev = make_device(env)
+        inj = TransientFaultInjector(env, RngStreams(seed))
+        inj.arm_intermittent(dev, mean_interval=5.0, horizon=200.0)
+        env.run(until=300.0)
+        return [f.time for f in inj.failures]
+
+    a, b = run(3), run(3)
+    assert a == b
+    assert len(a) > 0
+    assert all(t < 200.0 for t in a)
+    assert run(3) != run(4) or len(run(4)) == 0
+
+
+def test_transient_error_is_not_a_device_failure():
+    """A transient error must leave the controller alive: subsequent
+    requests are served and the pair-level fail() path never engages."""
+    env = Environment()
+    dev = make_device(env)
+    inj = make_injector(env)
+    inj.inject_errors(dev, count=1)
+
+    def proc():
+        with pytest.raises(TransientIOError):
+            yield dev.read(0, 4)
+        data = yield dev.read(0, 4)
+        return len(data)
+
+    assert env.run(env.process(proc())) == 4
+    assert not dev.failed

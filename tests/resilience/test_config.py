@@ -1,0 +1,35 @@
+"""Unit tests for ResilienceConfig validation."""
+
+import pytest
+
+from repro.resilience import ResilienceConfig, RetryPolicy
+
+
+def test_defaults_are_valid():
+    cfg = ResilienceConfig()
+    assert cfg.protection == "parity"
+    assert isinstance(cfg.retry, RetryPolicy)
+    assert cfg.spares == 1
+
+
+def test_protection_none_disables_reconstruction():
+    cfg = ResilienceConfig(protection=None, spares=0)
+    assert cfg.protection is None
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"protection": "raid6"},
+        {"parity_mode": "mirrored"},
+        {"parity_unit": 0},
+        {"spares": -1},
+        {"rebuild_chunk": 0},
+        {"rebuild_throttle": -0.5},
+        {"breaker_threshold": 0},
+        {"breaker_cooldown": -1.0},
+    ],
+)
+def test_invalid_values_rejected(kwargs):
+    with pytest.raises(ValueError):
+        ResilienceConfig(**kwargs)

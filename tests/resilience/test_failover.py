@@ -1,0 +1,214 @@
+"""Unit tests for node failover: breaker, crash/re-route/replay, injector."""
+
+import numpy as np
+import pytest
+
+from repro.resilience import CircuitBreaker, FailoverManager, NodeFaultInjector
+from repro.resilience.stats import ResilienceStats
+from repro.sim import Environment
+
+from ..fs.conftest import build_pfs
+
+
+def advance(env, dt):
+    def wait():
+        yield env.timeout(dt)
+
+    env.run(env.process(wait()))
+
+
+def make_cluster(env, n_nodes=2, **kw):
+    pfs = build_pfs(env)
+    cluster = pfs.attach_io_nodes(n_nodes, **kw)
+    return pfs, cluster
+
+
+# -- circuit breaker --------------------------------------------------------
+
+
+def test_breaker_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        CircuitBreaker(env, threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(env, cooldown=-1)
+
+
+def test_breaker_trips_at_threshold():
+    env = Environment()
+    br = CircuitBreaker(env, threshold=3, cooldown=1.0)
+    assert br.state == "closed" and br.allow()
+    assert br.record_failure() is False
+    assert br.record_failure() is False
+    assert br.state == "closed"
+    assert br.record_failure() is True  # the trip
+    assert br.state == "open" and not br.allow()
+    assert br.trips == 1
+    assert br.record_failure() is False  # already open: no second trip
+
+
+def test_breaker_half_open_probe_outcomes():
+    env = Environment()
+    br = CircuitBreaker(env, threshold=1, cooldown=0.5)
+    br.record_failure()
+    assert br.state == "open"
+    advance(env, 0.5)
+    assert br.state == "half-open" and br.allow()
+    assert br.record_failure() is True  # failed probe re-opens (a new trip)
+    assert br.state == "open" and br.trips == 2
+    advance(env, 0.5)
+    assert br.state == "half-open"
+    br.record_success()
+    assert br.state == "closed" and br.allow()
+
+
+# -- failover manager -------------------------------------------------------
+
+
+def test_fail_node_reroutes_devices_to_survivors():
+    env = Environment()
+    pfs, cluster = make_cluster(env, n_nodes=2)
+    stats = ResilienceStats()
+    mgr = FailoverManager(env, cluster, stats)
+    moved = cluster.router.devices_of(0)
+    assert moved  # contiguous policy: node 0 owns some devices
+    salvaged = mgr.fail_node(0)
+    assert salvaged == []  # nothing was in flight
+    for dev in moved:
+        assert cluster.router.node_of(dev) == 1
+        assert dev in cluster.nodes[1].devices
+    assert cluster.nodes[0].crashed
+    assert stats.failovers == 1
+    assert mgr.fail_node(0) == []  # idempotent on an already-dead node
+
+
+def test_fail_node_with_no_survivor_raises():
+    env = Environment()
+    pfs, cluster = make_cluster(env, n_nodes=1)
+    mgr = FailoverManager(env, cluster)
+    with pytest.raises(RuntimeError):
+        mgr.fail_node(0)
+
+
+def test_in_flight_requests_replay_on_survivors():
+    env = Environment()
+    pfs, cluster = make_cluster(env, n_nodes=2, queue_depth=1)
+    stats = ResilienceStats()
+    mgr = FailoverManager(env, cluster, stats)
+    node0 = cluster.nodes[0]
+    dev0 = pfs.volume.devices[0]
+    dev0.poke(0, bytes(range(64)))
+    outcomes = {}
+
+    def client(tag, kind, items, data=None):
+        req = node0.submit(kind, items, data=data)
+        yield req.admitted
+        value = yield req.event
+        outcomes[tag] = value
+
+    def scenario():
+        # r1 is picked up by the service loop; r2 sits queued; r3 blocks
+        # at admission (queue_depth=1) — the crash must salvage all three
+        env.process(client("r1", "read", [(0, 0, 64)]))
+        yield env.timeout(1e-4)
+        env.process(client("r2", "read", [(1, 0, 32)]))
+        env.process(
+            client("w3", "write", [(1, 64, 16)], data=[np.full(16, 9, np.uint8)])
+        )
+        yield env.timeout(1e-5)
+        mgr.fail_node(0)
+
+    env.run(env.process(scenario()))
+    env.run()
+    assert bytes(outcomes["r1"][0]) == bytes(range(64))
+    assert len(outcomes["r2"][0]) == 32
+    assert outcomes["w3"] == 16
+    assert bytes(pfs.volume.devices[1].peek(64, 16)) == bytes([9] * 16)
+    assert node0.migrated == 3
+    assert stats.migrated_requests == 3
+    mgr.assert_settled()
+    for node in cluster.nodes:
+        node.assert_drained()
+
+
+def test_crash_in_submit_handoff_window_salvages_the_request():
+    """A request handed to the loop's pending get (but not yet resumed)
+    must not be lost by a crash in the same zero-time instant."""
+    env = Environment()
+    pfs, cluster = make_cluster(env, n_nodes=2)
+    mgr = FailoverManager(env, cluster)
+    node0 = cluster.nodes[0]
+    pfs.volume.devices[0].poke(0, b"\x5a" * 32)
+    got = []
+
+    def scenario():
+        req = node0.submit("read", [(0, 0, 32)])
+        mgr.fail_node(0)  # same instant: the loop never resumed its get
+        yield req.admitted
+        arrays = yield req.event
+        got.append(bytes(arrays[0]))
+
+    env.run(env.process(scenario()))
+    env.run()
+    assert got == [b"\x5a" * 32]
+    assert node0.migrated == 1
+    mgr.assert_settled()
+    node0.assert_drained()
+
+
+def test_breaker_trip_quarantines_the_node():
+    env = Environment()
+    pfs, cluster = make_cluster(env, n_nodes=2)
+    stats = ResilienceStats()
+    mgr = FailoverManager(env, cluster, stats, breaker_threshold=2)
+    mgr.note_request_failure(1)
+    assert not cluster.nodes[1].crashed
+    mgr.note_request_failure(1)  # trip
+    assert cluster.nodes[1].crashed
+    assert stats.quarantined_nodes == 1
+    for dev in cluster.nodes[1].devices:
+        assert cluster.router.node_of(dev) == 0
+
+
+def test_last_node_standing_is_never_quarantined():
+    env = Environment()
+    pfs, cluster = make_cluster(env, n_nodes=1)
+    mgr = FailoverManager(env, cluster, breaker_threshold=1)
+    mgr.note_request_failure(0)
+    assert not cluster.nodes[0].crashed  # keep limping rather than go dark
+
+
+def test_request_success_resets_the_breaker():
+    env = Environment()
+    pfs, cluster = make_cluster(env, n_nodes=2)
+    mgr = FailoverManager(env, cluster, breaker_threshold=2)
+    mgr.note_request_failure(0)
+    mgr.note_request_success(0)
+    mgr.note_request_failure(0)  # would have tripped without the reset
+    assert not cluster.nodes[0].crashed
+
+
+# -- fault injector ---------------------------------------------------------
+
+
+def test_injector_validation():
+    env = Environment()
+    pfs, cluster = make_cluster(env)
+    inj = NodeFaultInjector(env, FailoverManager(env, cluster))
+    with pytest.raises(ValueError):
+        inj.crash_at(9, 1.0)
+    advance(env, 1.0)
+    with pytest.raises(ValueError):
+        inj.crash_at(0, 0.5)  # in the past
+
+
+def test_injector_crashes_at_the_scheduled_time():
+    env = Environment()
+    pfs, cluster = make_cluster(env)
+    mgr = FailoverManager(env, cluster)
+    inj = NodeFaultInjector(env, mgr)
+    inj.crash_at(0, 0.25)
+    inj.crash_at(0, 0.5)  # second crash of a dead node: skipped
+    env.run()
+    assert inj.crashes == [(0, pytest.approx(0.25))]
+    assert cluster.nodes[0].crashed

@@ -1,0 +1,69 @@
+"""Unit tests for the degraded-write journal."""
+
+import numpy as np
+import pytest
+
+from repro.resilience import WriteJournal
+
+
+def test_record_copies_the_payload():
+    j = WriteJournal()
+    src = np.full(4, 7, dtype=np.uint8)
+    j.record(0, 10, src, time=1.0)
+    src[:] = 0  # caller reuses its buffer
+    out = np.zeros(4, dtype=np.uint8)
+    j.overlay(0, 10, 4, out)
+    assert list(out) == [7, 7, 7, 7]
+
+
+def test_pending_and_clear_are_per_device():
+    j = WriteJournal()
+    j.record(0, 0, np.zeros(2, dtype=np.uint8), 0.0)
+    j.record(0, 8, np.zeros(2, dtype=np.uint8), 0.0)
+    j.record(3, 0, np.zeros(2, dtype=np.uint8), 0.0)
+    assert (j.pending(0), j.pending(3), j.pending(9)) == (2, 1, 0)
+    assert j.total_pending == 3
+    assert j.clear(0) == 2
+    assert j.total_pending == 1
+    assert j.recorded == 3
+
+
+def test_overlay_applies_oldest_first_so_newest_wins():
+    j = WriteJournal()
+    j.record(0, 0, np.full(4, 1, dtype=np.uint8), 0.0)
+    j.record(0, 2, np.full(4, 2, dtype=np.uint8), 1.0)
+    out = np.zeros(8, dtype=np.uint8)
+    applied = j.overlay(0, 0, 8, out)
+    assert applied == 2
+    assert list(out) == [1, 1, 2, 2, 2, 2, 0, 0]
+
+
+def test_overlay_clips_partial_overlaps():
+    j = WriteJournal()
+    j.record(0, 0, np.full(8, 9, dtype=np.uint8), 0.0)
+    out = np.zeros(4, dtype=np.uint8)
+    # window [6, 10) overlaps only entry bytes [6, 8)
+    assert j.overlay(0, 6, 4, out) == 1
+    assert list(out) == [9, 9, 0, 0]
+    # disjoint window: untouched
+    out2 = np.full(2, 5, dtype=np.uint8)
+    assert j.overlay(0, 100, 2, out2) == 0
+    assert list(out2) == [5, 5]
+
+
+def test_entries_for_is_a_snapshot_in_record_order():
+    j = WriteJournal()
+    a = j.record(1, 0, np.zeros(1, dtype=np.uint8), 0.0)
+    b = j.record(1, 5, np.zeros(1, dtype=np.uint8), 1.0)
+    snap = j.entries_for(1)
+    assert snap == [a, b]
+    j.record(1, 9, np.zeros(1, dtype=np.uint8), 2.0)
+    assert len(snap) == 2  # the snapshot did not grow
+    assert (b.offset, b.end, b.time) == (5, 6, 1.0)
+
+
+def test_note_replayed_accumulates():
+    j = WriteJournal()
+    j.note_replayed(2)
+    j.note_replayed(3)
+    assert j.replayed == 5

@@ -1,0 +1,208 @@
+"""Unit tests for bounded retry with backoff, jitter, and deadlines."""
+
+import pytest
+
+from repro.devices import DeviceFailedError, TransientIOError
+from repro.resilience import RetriedOp, RetryError, RetryPolicy, retrying
+from repro.sanitize import EngineSanitizer, attach
+from repro.sim import Environment, RngStreams
+
+
+def flaky(env, fails, delay=0.01, value="ok"):
+    """An event factory whose first ``fails[0]`` attempts glitch."""
+
+    def op():
+        yield env.timeout(delay)
+        if fails[0] > 0:
+            fails[0] -= 1
+            raise TransientIOError("glitch")
+        return value
+
+    return lambda: env.process(op())
+
+
+def run_retry(env, make_event, policy, **kw):
+    reports = []
+
+    def proc():
+        value = yield from retrying(
+            env, make_event, policy, on_report=reports.append, **kw
+        )
+        return value
+
+    return env.run(env.process(proc())), reports
+
+
+# -- policy -----------------------------------------------------------------
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(base_delay=-1)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff=0.5)
+    with pytest.raises(ValueError):
+        RetryPolicy(jitter=1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(deadline=0.0)
+
+
+def test_backoff_grows_exponentially_without_jitter():
+    p = RetryPolicy(base_delay=0.001, backoff=2.0, jitter=0.0)
+    assert p.delay(0) == pytest.approx(0.001)
+    assert p.delay(1) == pytest.approx(0.002)
+    assert p.delay(3) == pytest.approx(0.008)
+
+
+def test_jitter_stays_within_band_and_is_deterministic():
+    p = RetryPolicy(base_delay=0.001, backoff=2.0, jitter=0.25)
+    rng = RngStreams(3)
+    delays = [p.delay(0, rng, "retry") for _ in range(50)]
+    assert all(0.00075 <= d <= 0.00125 for d in delays)
+    rng2 = RngStreams(3)
+    assert delays == [p.delay(0, rng2, "retry") for _ in range(50)]
+
+
+# -- the retry loop ---------------------------------------------------------
+
+
+def test_first_try_success_reports_single_attempt():
+    env = Environment()
+    (value), reports = run_retry(env, flaky(env, [0]), RetryPolicy())
+    assert value == "ok"
+    (op,) = reports
+    assert (op.attempts, op.failures, op.successes) == (1, 0, 1)
+    assert op.acked and not op.gave_up
+
+
+def test_transient_errors_retried_with_backoff():
+    env = Environment()
+    policy = RetryPolicy(max_attempts=4, base_delay=0.5, backoff=2.0, jitter=0.0)
+    value, reports = run_retry(env, flaky(env, [2], delay=0.01), policy)
+    assert value == "ok"
+    (op,) = reports
+    assert (op.attempts, op.failures, op.successes) == (3, 2, 1)
+    assert op.errors == ["TransientIOError", "TransientIOError"]
+    # 3 attempts of 0.01s each + backoffs of 0.5 and 1.0
+    assert env.now == pytest.approx(0.03 + 0.5 + 1.0)
+
+
+def test_exhaustion_raises_retry_error_with_accounting():
+    env = Environment()
+    policy = RetryPolicy(max_attempts=3, base_delay=0.001, jitter=0.0)
+    outcome = []
+
+    def proc():
+        try:
+            yield from retrying(env, flaky(env, [99]), policy)
+        except RetryError as exc:
+            outcome.append(exc.op)
+
+    env.run(env.process(proc()))
+    (op,) = outcome
+    assert op.gave_up and not op.acked
+    assert (op.attempts, op.failures, op.successes) == (3, 3, 0)
+
+
+def test_deadline_stops_before_the_backoff_overruns():
+    env = Environment()
+    policy = RetryPolicy(
+        max_attempts=10, base_delay=1.0, backoff=2.0, jitter=0.0, deadline=2.0
+    )
+    outcome = []
+
+    def proc():
+        try:
+            yield from retrying(env, flaky(env, [99], delay=0.1), policy)
+        except RetryError as exc:
+            outcome.append(exc.op)
+
+    env.run(env.process(proc()))
+    (op,) = outcome
+    assert op.gave_up
+    # attempt 1 (0.1s) + backoff 1.0 + attempt 2 (0.1s); the next backoff
+    # of 2.0s would overrun the 2.0s deadline, so no third attempt
+    assert op.attempts == 2
+    assert env.now < 2.0
+
+
+def test_non_retryable_error_propagates_immediately():
+    env = Environment()
+
+    def op():
+        yield env.timeout(0.01)
+        raise DeviceFailedError("d0")
+
+    outcome = []
+
+    def proc():
+        try:
+            yield from retrying(env, lambda: env.process(op()), RetryPolicy())
+        except DeviceFailedError:
+            outcome.append("dead")
+
+    env.run(env.process(proc()))
+    assert outcome == ["dead"]
+    assert env.now == pytest.approx(0.01)  # one attempt, no backoff
+
+
+def test_each_attempt_issues_a_fresh_event():
+    env = Environment()
+    issued = []
+
+    def op(n):
+        yield env.timeout(0.001)
+        if n < 2:
+            raise TransientIOError("glitch")
+        return n
+
+    def make():
+        ev = env.process(op(len(issued)))
+        issued.append(ev)
+        return ev
+
+    def proc():
+        value = yield from retrying(
+            env, make, RetryPolicy(max_attempts=5, base_delay=0.0, jitter=0.0)
+        )
+        return value
+
+    assert env.run(env.process(proc())) == 2
+    assert len(issued) == 3
+    assert len(set(map(id, issued))) == 3
+
+
+# -- sanitizer hooks --------------------------------------------------------
+
+
+def test_sanitizer_clean_for_lawful_ops():
+    env = Environment()
+    san = attach(env)
+    run_retry(env, flaky(env, [2]), RetryPolicy(max_attempts=4))
+    san.assert_clean()
+
+
+@pytest.mark.parametrize(
+    "op, kind",
+    [
+        (RetriedOp("w", "d", attempts=2, failures=0, successes=1), "retry-accounting"),
+        (RetriedOp("w", "d", attempts=2, failures=0, successes=2), "retry-multi-apply"),
+        (
+            RetriedOp("w", "d", attempts=1, failures=1, successes=0, acked=True),
+            "retry-acked-unapplied",
+        ),
+        (
+            RetriedOp("w", "d", attempts=2, failures=1, successes=1, gave_up=True),
+            "retry-gave-up-applied",
+        ),
+    ],
+)
+def test_sanitizer_flags_unlawful_ops(op, kind):
+    # standalone sanitizer (not attach): the seeded violation must stay
+    # invisible to the suite-wide --sanitize harness
+    env = Environment()
+    san = EngineSanitizer(env)
+    san.on_retried_op(op)
+    assert kind in [v.kind for v in san.violations]

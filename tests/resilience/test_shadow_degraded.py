@@ -1,0 +1,159 @@
+"""Regression tests for ShadowPair degraded-mode semantics.
+
+The two §5 scenarios the resilience layer depends on: a read whose member
+dies *mid-request* fails over inside the request, and a write completes
+even when one member dies between the two mirrored writes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.devices import (
+    WREN_1989,
+    DeviceController,
+    DeviceFailedError,
+    DiskGeometry,
+    DiskModel,
+    ShadowPair,
+)
+from repro.sim import Environment
+
+
+def make_pair(env):
+    geo = DiskGeometry(block_size=512, blocks_per_cylinder=8, cylinders=64)
+    p = DeviceController(env, DiskModel(geo, WREN_1989), name="p")
+    s = DeviceController(env, DiskModel(geo, WREN_1989), name="s")
+    return ShadowPair(env, p, s), p, s
+
+
+def test_read_fails_over_mid_request_when_its_member_dies():
+    env = Environment()
+    pair, p, s = make_pair(env)
+    p.poke(0, b"\xab" * 512)
+    s.poke(0, b"\xab" * 512)
+    got = []
+
+    def reader():
+        data = yield pair.read(0, 512)  # both idle: primary serves first
+        got.append(bytes(data))
+
+    def killer():
+        yield env.timeout(0.0005)  # while the read is in flight
+        p.fail()
+
+    env.process(reader())
+    env.process(killer())
+    env.run()
+    assert got == [b"\xab" * 512]  # the client saw a completed read
+    assert pair.failover_reads == 1
+    assert pair.degraded and not pair.failed
+
+
+def test_write_completes_when_a_member_dies_between_the_two_writes():
+    env = Environment()
+    pair, p, s = make_pair(env)
+    fired = []
+    pair.on_degraded = lambda: fired.append(env.now)
+    done = []
+
+    def writer():
+        n = yield pair.write(0, b"\xcd" * 512)
+        done.append(n)
+
+    def killer():
+        yield env.timeout(0.0005)  # between issue and completion
+        s.fail()
+
+    env.process(writer())
+    env.process(killer())
+    env.run()
+    assert done == [512]  # the client's write completed
+    assert pair.degraded_writes == 1
+    assert pair.dirty_ranges() == [(0, 512)]  # survivor-only bytes logged
+    assert bytes(p.peek(0, 512)) == b"\xcd" * 512
+    assert len(fired) == 1  # on_degraded fired exactly once
+
+
+def test_degraded_at_issue_write_is_logged_and_fires_hook_once():
+    env = Environment()
+    pair, p, s = make_pair(env)
+    fired = []
+    pair.on_degraded = lambda: fired.append(True)
+    s.fail()
+
+    def writer():
+        yield pair.write(100, b"\x11" * 64)
+        yield pair.write(300, b"\x22" * 32)
+
+    env.run(env.process(writer()))
+    assert pair.degraded_writes == 2
+    assert pair.dirty_ranges() == [(100, 64), (300, 32)]
+    assert len(fired) == 1
+
+
+def test_write_with_both_members_dead_fails():
+    env = Environment()
+    pair, p, s = make_pair(env)
+    p.fail()
+    s.fail()
+    outcome = []
+
+    def writer():
+        try:
+            yield pair.write(0, b"x")
+        except DeviceFailedError:
+            outcome.append("failed")
+
+    env.run(env.process(writer()))
+    assert outcome == ["failed"]
+
+
+def test_quiesce_event_waits_out_in_flight_writes():
+    env = Environment()
+    pair, p, s = make_pair(env)
+    quiet_at = []
+
+    def writer(off):
+        yield pair.write(off, b"z" * 512)
+
+    def watcher():
+        yield env.timeout(0.0001)  # writes are now in flight
+        assert pair.writes_in_progress == 2
+        ev = pair.quiesce_event()
+        assert ev is pair.quiesce_event()  # shared between waiters
+        yield ev
+        assert pair.writes_in_progress == 0
+        quiet_at.append(env.now)
+
+    env.process(writer(0))
+    env.process(writer(4096))
+    env.process(watcher())
+    env.run()
+    assert quiet_at and quiet_at[0] > 0
+    # quiet now: a fresh quiesce event is already triggered
+    assert pair.quiesce_event().triggered
+
+
+def test_replace_failed_validations():
+    env = Environment()
+    pair, p, s = make_pair(env)
+    geo = DiskGeometry(block_size=512, blocks_per_cylinder=8, cylinders=64)
+    spare = DeviceController(env, DiskModel(geo, WREN_1989), name="spare")
+    with pytest.raises(RuntimeError):
+        pair.replace_failed(spare)  # nothing failed
+    p.fail()
+    small = DeviceController(
+        env,
+        DiskModel(DiskGeometry(block_size=512, blocks_per_cylinder=8, cylinders=8), WREN_1989),
+        name="small",
+    )
+    with pytest.raises(ValueError):
+        pair.replace_failed(small)
+    dead_spare = DeviceController(env, DiskModel(geo, WREN_1989), name="ds")
+    dead_spare.fail()
+    with pytest.raises(ValueError):
+        pair.replace_failed(dead_spare)
+    dead = pair.replace_failed(spare)
+    assert dead is p
+    assert pair.primary is spare
+    assert not pair.degraded
