@@ -320,6 +320,12 @@ class ParallelFileSystem:
                 breaker_threshold=config.breaker_threshold,
                 breaker_cooldown=config.breaker_cooldown,
             )
+            from ..ionode.routing import MediatedVolume
+
+            if isinstance(rv.inner, MediatedVolume):
+                # batched client requests also feed the breakers (and
+                # reset them on success) — not just the per-device path
+                rv.inner.failover = rv.failover
         # shadow pairs report their first degradation so auto-rebuild can
         # kick in even though the pair never surfaces a DeviceFailedError
         for idx, dev in enumerate(self.volume.devices):
@@ -332,7 +338,12 @@ class ParallelFileSystem:
     def detach_resilience(self) -> None:
         """Drop the resilience layer, keeping the plane it wrapped."""
         if self.resilience is not None:
-            self.data_plane = self.resilience.inner
+            from ..ionode.routing import MediatedVolume
+
+            inner = self.resilience.inner
+            if isinstance(inner, MediatedVolume):
+                inner.failover = None
+            self.data_plane = inner
             self.resilience = None
 
     # -- lifecycle ------------------------------------------------------------

@@ -423,28 +423,41 @@ class IONode:
         results: dict[int, list],
         errors: dict[int, BaseException],
     ) -> None:
-        """Scatter device results to requests; record failures and coherence."""
+        """Scatter device results to requests; record failures and coherence.
+
+        Write jobs' cache effects are applied strictly *after* read
+        installs: when a batch holds an overlapping read and write (an
+        application race the sanitizer flags), a read job may have
+        captured the pre-write bytes, and installing them last would
+        leave a stale cached block served to every later client. With
+        writes settled last, ``note_write`` overwrites (or invalidates)
+        any block the write touched.
+        """
         for job in jobs:
+            if job.kind != "read":
+                continue
             ok, value = job.guard.value
-            if job.kind == "read":
-                if ok:
-                    for w in job.consumers:
-                        lo = w.offset - job.offset
-                        results[id(w.req)][w.slot] = value[lo : lo + w.nbytes].copy()
-                    if self.cache is not None:
-                        self.cache.install(job.device, job.offset, value)
-                else:
-                    for w in job.consumers:
-                        errors.setdefault(id(w.req), value)
+            if ok:
+                for w in job.consumers:
+                    lo = w.offset - job.offset
+                    results[id(w.req)][w.slot] = value[lo : lo + w.nbytes].copy()
+                if self.cache is not None:
+                    self.cache.install(job.device, job.offset, value)
             else:
-                if ok:
-                    if self.cache is not None:
-                        self.cache.note_write(job.device, job.offset, job.data)
-                else:
-                    if self.cache is not None:
-                        self.cache.invalidate_device(job.device)
-                    for req in job.consumers:
-                        errors.setdefault(id(req), value)
+                for w in job.consumers:
+                    errors.setdefault(id(w.req), value)
+        for job in jobs:
+            if job.kind != "write":
+                continue
+            ok, value = job.guard.value
+            if ok:
+                if self.cache is not None:
+                    self.cache.note_write(job.device, job.offset, job.data)
+            else:
+                if self.cache is not None:
+                    self.cache.invalidate_device(job.device)
+                for req in job.consumers:
+                    errors.setdefault(id(req), value)
 
     def _issue(self, ev: Event) -> Event:
         """Defuse a device event that failed at issue time (dead device).

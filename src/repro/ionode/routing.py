@@ -21,11 +21,13 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from ..devices.controller import TransientIOError
 from ..sim.engine import Environment, Process
 from .interconnect import Interconnect
 from .node import IONode
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..resilience.failover import FailoverManager
     from ..storage.layout import DataLayout
     from ..storage.volume import Extent, Volume
 
@@ -162,6 +164,9 @@ class MediatedVolume:
             )
         self.volume = volume
         self.cluster = cluster
+        #: node-failover manager feeding the per-node circuit breakers
+        #: (set by ``ParallelFileSystem.attach_resilience``; optional)
+        self.failover: "FailoverManager | None" = None
 
     # -- delegated management plane ---------------------------------------
 
@@ -231,8 +236,8 @@ class MediatedVolume:
                 (idx, seg.device, extent.base(seg.device) + seg.offset, seg.length)
             )
         procs = [
-            env.process(self._client_read(self.cluster.nodes[n], entries))
-            for n, entries in per_node.items()
+            env.process(self._client_read(entries))
+            for entries in per_node.values()
         ]
         if procs:
             yield env.all_of(procs)
@@ -256,29 +261,106 @@ class MediatedVolume:
             chunks.append(arr[pos : pos + seg.length])
             pos += seg.length
         procs = [
-            env.process(self._client_write(self.cluster.nodes[n], items, chunks))
-            for n, (items, chunks) in per_node.items()
+            env.process(self._client_write(items, chunks))
+            for items, chunks in per_node.values()
         ]
         if procs:
             yield env.all_of(procs)
         return int(arr.size)
 
-    def _client_read(self, node: IONode, entries: list):
+    def _client_read(self, entries: list):
+        """One read message's worth of items, submitted to current owners.
+
+        Owners are resolved only *after* the request-message flight: a
+        node crash (or breaker quarantine) during that window re-routes
+        its devices, and the items must land at each device's current
+        owner — possibly split across several survivors — instead of
+        hitting the corpse and failing the client I/O.
+        """
         ic = self.cluster.interconnect
         yield self.env.timeout(ic.request_cost())
-        req = node.submit("read", [(dev, off, n) for _, dev, off, n in entries])
-        yield req.admitted
-        arrays = yield req.event
+        subs = [
+            (
+                node_idx,
+                ents,
+                self.cluster.nodes[node_idx].submit(
+                    "read", [(dev, off, n) for _, dev, off, n in ents]
+                ),
+            )
+            for node_idx, ents in self._by_owner(entries, lambda e: e[1]).items()
+        ]
+        out = []
+        error: BaseException | None = None
+        for node_idx, ents, req in subs:
+            try:
+                yield req.admitted
+                arrays = yield req.event
+            except Exception as exc:  # drain every sub so none goes unobserved
+                self._note_outcome(node_idx, exc)
+                if error is None:
+                    error = exc
+                continue
+            self._note_outcome(node_idx, None)
+            out.extend((idx, arr) for (idx, _, _, _), arr in zip(ents, arrays))
+        if error is not None:
+            raise error
         payload = sum(n for *_, n in entries)
         yield self.env.timeout(ic.transfer_cost(payload))
-        return [(idx, arr) for (idx, _, _, _), arr in zip(entries, arrays)]
+        return out
 
-    def _client_write(self, node: IONode, items: list, chunks: list):
+    def _client_write(self, items: list, chunks: list):
+        """One write message's worth of items (see :meth:`_client_read`)."""
         ic = self.cluster.interconnect
         payload = sum(n for _, _, n in items)
         yield self.env.timeout(ic.transfer_cost(payload))
-        req = node.submit("write", items, data=chunks)
-        yield req.admitted
-        yield req.event
+        subs = []
+        for node_idx, pairs in self._by_owner(
+            list(zip(items, chunks)), lambda p: p[0][0]
+        ).items():
+            subs.append(
+                (
+                    node_idx,
+                    self.cluster.nodes[node_idx].submit(
+                        "write",
+                        [item for item, _ in pairs],
+                        data=[chunk for _, chunk in pairs],
+                    ),
+                )
+            )
+        error: BaseException | None = None
+        for node_idx, req in subs:
+            try:
+                yield req.admitted
+                yield req.event
+            except Exception as exc:  # drain every sub so none goes unobserved
+                self._note_outcome(node_idx, exc)
+                if error is None:
+                    error = exc
+                continue
+            self._note_outcome(node_idx, None)
+        if error is not None:
+            raise error
         yield self.env.timeout(ic.request_cost())
         return payload
+
+    def _by_owner(self, seq: list, device_of) -> dict[int, list]:
+        """Group items by the *current* owning node of their device."""
+        per_node: dict[int, list] = {}
+        for item in seq:
+            per_node.setdefault(
+                self.cluster.router.node_of(device_of(item)), []
+            ).append(item)
+        return per_node
+
+    def _note_outcome(self, node_idx: int, exc: BaseException | None) -> None:
+        """Feed one sub-request's outcome to the node's circuit breaker.
+
+        Successes close the breaker again; only *transient* errors count
+        as breaker failures (a dead device is not the node's fault).
+        """
+        if self.failover is None:
+            return
+        if exc is None:
+            self.failover.note_request_success(node_idx)
+        elif isinstance(exc, TransientIOError):
+            self.failover.note_request_failure(node_idx)

@@ -318,11 +318,21 @@ class ResilientVolume:
             yield self.env.all_of(list(guards.values()) + [parity_guard])
             pok, pval = parity_guard.value
             if not pok:
+                if not isinstance(pval, DeviceFailedError) and any(
+                    g.value[0] for g in guards.values()
+                ):
+                    # parity retries exhausted (media untouched) while some
+                    # data chunk landed: the row no longer XORs on media —
+                    # poison it so reconstruction surfaces StaleParityError
+                    self._mark_all_stale(abs_off, length)
                 raise pval  # check device gone: protection lost, surface it
             for dev, guard in guards.items():
                 ok, val = guard.value
                 if not ok:
                     if not isinstance(val, DeviceFailedError):
+                        # this chunk never landed but parity (the XOR of the
+                        # *new* chunks) did: poison the row before surfacing
+                        self._mark_all_stale(abs_off, length)
                         raise val
                     yield from self._degraded_write(dev, abs_off, chunks[dev])
                 group.mark_fresh(dev, abs_off, length)
@@ -393,11 +403,19 @@ class ResilientVolume:
             # reconstruction can observe a half-updated data/parity pair
             yield self.env.all_of([data_guard, parity_guard])
             pok, pval = parity_guard.value
-            if not pok:
-                raise pval  # check device died: protection lost, surface it
             dok, dval = data_guard.value
+            if not pok:
+                if not isinstance(pval, DeviceFailedError) and dok:
+                    # new data landed but the parity update never touched
+                    # media (transient retries exhausted): the pair no
+                    # longer XORs — poison the range before surfacing
+                    self._mark_all_stale(abs_off, n)
+                raise pval  # check device died: protection lost, surface it
             if not dok:
                 if not isinstance(dval, DeviceFailedError):
+                    # new parity landed but the data write never touched
+                    # media: poison the range before surfacing
+                    self._mark_all_stale(abs_off, n)
                     raise dval
                 # parity landed with the new chunk folded in, so recon-
                 # struction already yields it; journal for the rebuild
@@ -422,6 +440,20 @@ class ResilientVolume:
         self._invalidate_nodes([dev_i])
         return len(chunk)
         yield  # pragma: no cover - marks this function as a generator
+
+    def _mark_all_stale(self, abs_off: int, nbytes: int) -> None:
+        """One leg of a data/parity pair landed without its counterpart.
+
+        Parity over the range no longer XORs to on-media data, and
+        ``reconstruct_safe`` is cross-device — a mismatch introduced
+        through any member poisons reconstruction of every member — so
+        the whole range is marked stale for all of them. Subsequent
+        degraded reads and rebuilds surface :class:`StaleParityError`
+        instead of fabricating bytes.
+        """
+        group = self.group
+        for dev in range(group.n_data):
+            group.mark_stale(dev, abs_off, nbytes)
 
     def _device_write(self, device: Any, label: Any, abs_off: int, data: np.ndarray):
         """Retry-wrapped raw device write used inside parity paths."""
@@ -462,31 +494,41 @@ class ResilientVolume:
         """One single-item request through the owning I/O node.
 
         This is the retried ionode client path: each attempt is a fresh
-        request message, and a failure is reported to the node's circuit
-        breaker (repeatedly failing nodes get quarantined).
+        request message, and its outcome feeds the node's circuit breaker
+        (repeatedly failing nodes get quarantined, a success closes the
+        breaker again). The owner is resolved only *after* the message
+        flight over the interconnect: a node crash or breaker quarantine
+        during that window re-routes the device, and the request must
+        land at its current owner — callers never learn their server
+        changed.
         """
         cluster = self.cluster
+        ic = cluster.interconnect
+        yield self.env.timeout(
+            ic.request_cost() if kind == "read" else ic.transfer_cost(nbytes)
+        )
         node_idx = cluster.router.node_of(dev_i)
         node = cluster.nodes[node_idx]
-        ic = cluster.interconnect
         try:
             if kind == "read":
-                yield self.env.timeout(ic.request_cost())
                 req = node.submit("read", [(dev_i, abs_off, nbytes)])
                 yield req.admitted
                 arrays = yield req.event
                 yield self.env.timeout(ic.transfer_cost(nbytes))
-                return arrays[0]
-            yield self.env.timeout(ic.transfer_cost(nbytes))
-            req = node.submit("write", [(dev_i, abs_off, nbytes)], data=[chunk])
-            yield req.admitted
-            yield req.event
-            yield self.env.timeout(ic.request_cost())
-            return nbytes
+                result = arrays[0]
+            else:
+                req = node.submit("write", [(dev_i, abs_off, nbytes)], data=[chunk])
+                yield req.admitted
+                yield req.event
+                yield self.env.timeout(ic.request_cost())
+                result = nbytes
         except TransientIOError:
             if self.failover is not None:
                 self.failover.note_request_failure(node_idx)
             raise
+        if self.failover is not None:
+            self.failover.note_request_success(node_idx)
+        return result
 
     def _with_retry(self, make_event: Callable[[], Event], kind: str, target: str):
         if self.policy is None:

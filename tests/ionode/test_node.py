@@ -189,6 +189,44 @@ def test_server_cache_absorbs_repeat_reads():
     node.assert_drained()
 
 
+def test_batch_overlapping_read_and_write_never_caches_stale_bytes():
+    """A batch holding an overlapping read and write (an app-level race
+    the access sanitizer flags): seek scheduling may serve the read
+    first, capturing pre-write bytes — the write's cache effect must
+    still win, or every later client is served a stale block."""
+    from repro.devices import SSTF
+
+    env = Environment()
+    geo = DiskGeometry(block_size=512, blocks_per_cylinder=1, cylinders=64)
+    dev = DeviceController(env, DiskModel(geo, WREN_1989), name="d0", policy=SSTF())
+    dev.poke(0, np.full(1024, 0xAA, np.uint8))
+    node = IONode(
+        env, "ion0", {0: dev}, cache_blocks=8, cache_block_bytes=512, sieve=False
+    )
+    arrays = []
+
+    def scenario():
+        # same batch: write block 1 (cylinder 1) + a read coalescing into
+        # blocks 0-1 (starting at cylinder 0, where the head is) — SSTF
+        # serves the read first, so it captures the pre-write bytes
+        wreq = node.submit(
+            "write", [(0, 512, 512)], data=[np.full(512, 0xBB, np.uint8)]
+        )
+        rreq = node.submit("read", [(0, 0, 512), (0, 512, 512)])
+        yield wreq.admitted
+        yield rreq.admitted
+        yield wreq.event
+        arrays.extend((yield rreq.event))
+
+    env.run(env.process(scenario()))
+    env.run()
+    assert bytes(arrays[1]) == b"\xaa" * 512  # the read did race the write
+    assert bytes(dev.peek(512, 512)) == b"\xbb" * 512  # the write landed
+    cached = node.cache.lookup(0, 512, 512)
+    assert cached is not None and bytes(cached) == b"\xbb" * 512
+    node.assert_drained()
+
+
 def test_assert_drained_flags_unserviced_requests():
     env = Environment()
     node = make_node(env)

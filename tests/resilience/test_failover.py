@@ -188,6 +188,94 @@ def test_request_success_resets_the_breaker():
     assert not cluster.nodes[0].crashed
 
 
+# -- breaker wiring through the client I/O paths ----------------------------
+
+
+def test_glitches_interleaved_with_successes_never_quarantine():
+    """The real client I/O path feeds the breaker in BOTH directions:
+    transient request failures count toward the threshold, and a
+    completed request resets the count — so failures accumulated over a
+    whole run, interleaved with successes, never quarantine a healthy
+    node."""
+    from repro.resilience import ResilienceConfig, RetryError, RetryPolicy
+    from repro.storage import StripedLayout
+
+    env = Environment()
+    pfs, cluster = make_cluster(env, n_nodes=2)
+    rv = pfs.attach_resilience(
+        ResilienceConfig(breaker_threshold=2, retry=RetryPolicy(max_attempts=1))
+    )
+    layout = StripedLayout(4, 512)
+    extent = rv.allocate(layout, 2048)
+    dev0 = pfs.volume.devices[0]
+    br = rv.failover.breaker(cluster.router.node_of(0))
+
+    dev0.transient_error_budget += 1
+    with pytest.raises(RetryError):
+        env.run(rv.read(extent, layout, 0, 512))
+    assert br._failures == 1  # the client path fed the breaker
+    env.run(rv.read(extent, layout, 0, 512))  # clean request
+    assert br._failures == 0  # ...and the success reset it
+    dev0.transient_error_budget += 1
+    with pytest.raises(RetryError):
+        env.run(rv.read(extent, layout, 0, 512))
+    assert br._failures == 1  # no trip: the failures never accumulated
+    assert not any(n.crashed for n in cluster.nodes)
+    assert rv.stats.quarantined_nodes == 0
+
+
+# -- owner resolution across the message flight ------------------------------
+
+
+def test_client_request_crossing_a_failover_lands_at_the_new_owner():
+    """A node crash during the request-message flight re-routes the
+    request to the device's current owner instead of failing it — the
+    caller never learns its server changed."""
+    from repro.resilience import ResilienceConfig
+
+    env = Environment()
+    pfs, cluster = make_cluster(env, n_nodes=2)
+    rv = pfs.attach_resilience(ResilienceConfig())
+    mv = rv.inner
+    pfs.volume.devices[0].poke(0, b"\x7e" * 64)
+    got = []
+
+    def scenario():
+        proc = env.process(mv._client_read([(0, 0, 0, 64)]))
+        yield env.timeout(cluster.interconnect.request_cost() / 2)
+        rv.failover.fail_node(0)  # mid-flight: device 0 moves to node 1
+        pairs = yield proc
+        got.append(bytes(pairs[0][1]))
+
+    env.run(env.process(scenario()))
+    env.run()
+    assert got == [b"\x7e" * 64]
+    assert cluster.router.node_of(0) == 1
+    rv.failover.assert_settled()
+
+
+def test_node_op_crossing_a_failover_lands_at_the_new_owner():
+    """Same window through the per-device resilient path (_node_op)."""
+    from repro.resilience import ResilienceConfig
+
+    env = Environment()
+    pfs, cluster = make_cluster(env, n_nodes=2)
+    rv = pfs.attach_resilience(ResilienceConfig())
+    pfs.volume.devices[0].poke(0, b"\x5c" * 32)
+    got = []
+
+    def scenario():
+        proc = env.process(rv._node_op("read", 0, 0, 32, None))
+        yield env.timeout(cluster.interconnect.request_cost() / 2)
+        rv.failover.fail_node(0)
+        data = yield proc
+        got.append(bytes(data))
+
+    env.run(env.process(scenario()))
+    env.run()
+    assert got == [b"\x5c" * 32]
+
+
 # -- fault injector ---------------------------------------------------------
 
 
