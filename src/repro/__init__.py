@@ -50,6 +50,14 @@ from .fs import (
 )
 from .ionode import Interconnect, IONode, IONodeCluster, MediatedVolume, ServerCache
 from .live import LiveParallelFileSystem
+from .qos import (
+    QoSClass,
+    QoSConfig,
+    QoSManager,
+    Tenant,
+    TokenBucket,
+    WeightedFairQueue,
+)
 from .resilience import (
     FailoverManager,
     HotSpareRebuilder,
@@ -88,6 +96,12 @@ __all__ = [
     "MediatedVolume",
     "ServerCache",
     "LiveParallelFileSystem",
+    "QoSClass",
+    "QoSConfig",
+    "QoSManager",
+    "Tenant",
+    "TokenBucket",
+    "WeightedFairQueue",
     "FailoverManager",
     "HotSpareRebuilder",
     "ResilienceConfig",

@@ -17,6 +17,7 @@ from ..storage.volume import Volume
 from ..trace.events import TraceRecorder
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..qos.config import QoSConfig
     from ..resilience.config import ResilienceConfig
 
 __all__ = ["build_parallel_fs", "single_device_fs"]
@@ -31,11 +32,18 @@ def build_parallel_fs(
     scheduling: str | None = None,
     io_nodes: int | None = None,
     resilience: "ResilienceConfig | None" = None,
+    qos: "QoSConfig | None" = None,
 ) -> ParallelFileSystem:
     """A file system over ``n_devices`` identical drives.
 
     ``io_nodes`` (a node count) opts the file system into the
     server-mediated data plane of :mod:`repro.ionode`.
+
+    ``qos`` (a :class:`~repro.qos.QoSConfig`) opts into the multi-tenant
+    QoS layer: tenant-aware scheduling on every device and I/O-node
+    inbox, token-bucket admission throttling, and per-tenant
+    backpressure accounting. It is attached last, after the I/O-node and
+    resilience layers, so it schedules whatever queue points exist.
 
     ``resilience`` (a :class:`~repro.resilience.ResilienceConfig`) opts
     into the online resilience layer: ``protection="parity"`` adds one
@@ -82,6 +90,8 @@ def build_parallel_fs(
             )
         spares = [make_disk(f"spare{k}") for k in range(resilience.spares)]
         pfs.attach_resilience(resilience, group=group, spares=spares)
+    if qos is not None:
+        pfs.attach_qos(qos)
     return pfs
 
 

@@ -15,12 +15,12 @@ parity, switch to shadow — lives above, in ``repro.fs.recovery``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Literal
+from typing import Any, Literal
 
 import numpy as np
 
 from ..sim.engine import Environment, Event
-from ..sim.stats import Tally, TimeWeighted, UtilizationTracker
+from ..sim.stats import PercentileTally, Tally, TimeWeighted, UtilizationTracker
 from .disk import DiskModel
 from .scheduling import FCFS, SchedulingPolicy
 
@@ -57,7 +57,14 @@ class TransientIOError(Exception):
 
 @dataclass
 class IORequest:
-    """One queued transfer. ``cylinder`` is what arm schedulers look at."""
+    """One queued transfer. ``cylinder`` is what arm schedulers look at.
+
+    ``tenant`` is the QoS principal the request is billed to (captured
+    from the submitting process's ambient context; ``None`` for untagged
+    work) and ``deadline`` its absolute completion target; tenant-aware
+    policies additionally stamp a ``qos_tag`` scheduling tag on it (see
+    :mod:`repro.qos`).
+    """
 
     kind: Literal["read", "write"]
     offset: int
@@ -67,6 +74,8 @@ class IORequest:
     start_block: int
     cylinder: int
     submit_time: float
+    tenant: Any = None
+    deadline: float | None = None
 
 
 @dataclass(frozen=True)
@@ -121,6 +130,8 @@ class DeviceController:
         self.writes_applied = 0
         #: per-request latency (submit -> complete), seconds
         self.latency = Tally()
+        #: per-request queue wait (submit -> dispatch), with percentiles
+        self.wait_stat = PercentileTally()
         #: arm utilization over the run
         self.utilization = UtilizationTracker(env.now)
         #: optional per-request busy intervals (for Gantt rendering)
@@ -162,6 +173,7 @@ class DeviceController:
                 req.event.defuse()
                 req.event.fail(DeviceFailedError(self.name))
         self._pending.clear()
+        self.policy.on_clear()
 
     def repair(self, contents: np.ndarray | None = None) -> None:
         """Bring the device back, optionally with restored ``contents``.
@@ -219,6 +231,8 @@ class DeviceController:
         self._check_range(offset, nbytes)
         geometry = self.disk.geometry
         start_block = min(offset // geometry.block_size, geometry.capacity_blocks - 1)
+        tenant = getattr(self.env.active_process, "qos_tenant", None)
+        rel_deadline = getattr(tenant, "deadline", None)
         req = IORequest(
             kind=kind,  # type: ignore[arg-type]
             offset=offset,
@@ -228,6 +242,10 @@ class DeviceController:
             start_block=start_block,
             cylinder=geometry.cylinder_of(start_block),
             submit_time=self.env.now,
+            tenant=tenant,
+            deadline=(
+                self.env.now + rel_deadline if rel_deadline is not None else None
+            ),
         )
         self._pending.append(req)
         self.queue_stat.record(self.env.now, len(self._pending))
@@ -246,9 +264,15 @@ class DeviceController:
             self.utilization.busy(env.now)
             idx = self.policy.select(self._pending, self.disk.head_cylinder)
             req = self._pending.pop(idx)
+            self.policy.on_dispatch(req)
             self.queue_stat.record(env.now, len(self._pending))
             if req.event.triggered:  # failed while queued
                 continue
+            wait = env.now - req.submit_time
+            self.wait_stat.observe(wait)
+            if req.tenant is not None and hasattr(req.tenant, "note_queued"):
+                req.tenant.note_queued(wait)
+            dispatched = env.now
             if self.transient_error_budget > 0:
                 # the request is rejected before any media transfer: the
                 # contents are untouched, so a caller retry is exactly-once
@@ -278,6 +302,10 @@ class DeviceController:
                 req.event.fail(DeviceFailedError(self.name))
                 continue
             self.latency.observe(env.now - req.submit_time)
+            if req.tenant is not None and hasattr(req.tenant, "note_service"):
+                req.tenant.note_service(env.now - dispatched, req.nbytes)
+                if req.deadline is not None and env.now > req.deadline:
+                    req.tenant.note_deadline_miss()
             if req.kind == "read":
                 if self._store_data:
                     self._ensure_contents()

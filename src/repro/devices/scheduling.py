@@ -22,13 +22,25 @@ class _HasCylinder(Protocol):
 
 
 class SchedulingPolicy:
-    """Base class; subclasses override :meth:`select`."""
+    """Base class; subclasses override :meth:`select`.
+
+    Stateful policies (e.g. :class:`~repro.qos.QoSDevicePolicy`, which
+    tracks a virtual clock) additionally override the dispatch
+    notifications :meth:`on_dispatch` / :meth:`on_clear`; for the
+    classical arm schedulers they are no-ops.
+    """
 
     name = "base"
 
     def select(self, pending: Sequence[_HasCylinder], head: int) -> int:
         """Index into ``pending`` of the request to serve next."""
         raise NotImplementedError
+
+    def on_dispatch(self, request: object) -> None:
+        """The controller took ``request`` (a selected entry) into service."""
+
+    def on_clear(self) -> None:
+        """The controller dropped its whole pending queue (device failure)."""
 
 
 class FCFS(SchedulingPolicy):

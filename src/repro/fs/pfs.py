@@ -41,6 +41,7 @@ from .metadata import FileAttributes
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..ionode.routing import IONodeCluster, MediatedVolume
+    from ..qos import QoSConfig, QoSManager
     from ..sanitize.access import AccessConflictDetector
 
 __all__ = ["ParallelFileSystem", "ParallelFile"]
@@ -138,6 +139,11 @@ class ParallelFile:
         spec = self.attrs.record_spec
         self._check_span(start, count)
         offset, nbytes = spec.span(start, count)
+        if self.pfs.qos is not None:
+            return self.env.process(
+                self._admit_then("read", offset, nbytes, None, decode=True),
+                name=f"{self.name}.read",
+            )
         return self.env.process(
             self._decode_after(self.data_plane.read(self.entry.extent, self.layout, offset, nbytes)),
             name=f"{self.name}.read",
@@ -150,12 +156,22 @@ class ParallelFile:
         count = raw.size // spec.record_size
         self._check_span(start, count)
         offset = start * spec.record_size
+        if self.pfs.qos is not None:
+            return self.env.process(
+                self._admit_then("write", offset, raw.size, raw, decode=False),
+                name=f"{self.name}.write",
+            )
         return self.data_plane.write(self.entry.extent, self.layout, offset, raw)
 
     def read_block(self, block: int) -> Process:
         """Read one logical block (decoded records)."""
         bs = self.attrs.block_spec
         offset, nbytes = bs.block_byte_range(block, self.n_records)
+        if self.pfs.qos is not None:
+            return self.env.process(
+                self._admit_then("read", offset, nbytes, None, decode=True),
+                name=f"{self.name}.readblk",
+            )
         return self.env.process(
             self._decode_after(self.data_plane.read(self.entry.extent, self.layout, offset, nbytes)),
             name=f"{self.name}.readblk",
@@ -172,7 +188,31 @@ class ParallelFile:
                 f"{raw.size // self.attrs.record_size}"
             )
         offset, _ = bs.block_byte_range(block, self.n_records)
+        if self.pfs.qos is not None:
+            return self.env.process(
+                self._admit_then("write", offset, raw.size, raw, decode=False),
+                name=f"{self.name}.writeblk",
+            )
         return self.data_plane.write(self.entry.extent, self.layout, offset, raw)
+
+    def _admit_then(self, kind: str, offset: int, nbytes: int, raw, decode: bool):
+        """QoS path: token-bucket admission, then the data-plane op.
+
+        The device/node operation is only *created* after the submitting
+        tenant's bucket covers ``nbytes`` — a throttled tenant's traffic
+        never occupies queue slots while it waits. The admission wait is
+        billed to the tenant as blocked time.
+        """
+        yield from self.pfs.qos.admit_active(nbytes)
+        if kind == "read":
+            result = yield self.data_plane.read(
+                self.entry.extent, self.layout, offset, nbytes
+            )
+        else:
+            result = yield self.data_plane.write(
+                self.entry.extent, self.layout, offset, raw
+            )
+        return self.attrs.record_spec.decode(result) if decode else result
 
     def _decode_after(self, read_proc: Process):
         raw = yield read_proc
@@ -227,6 +267,7 @@ class ParallelFileSystem:
         recorder: TraceRecorder | None = None,
         sanitizer: "AccessConflictDetector | None" = None,
         io_nodes: "IONodeCluster | int | None" = None,
+        qos: "QoSConfig | QoSManager | None" = None,
     ):
         self.env = env
         self.volume = volume
@@ -240,8 +281,13 @@ class ParallelFileSystem:
         self.data_plane: "Volume | MediatedVolume" = volume
         #: the resilience layer, when attached (see :meth:`attach_resilience`)
         self.resilience = None
+        #: the QoS manager, when attached (see :meth:`attach_qos`)
+        self.qos: "QoSManager | None" = None
+        self._qos_saved_policies: list = []
         if io_nodes is not None:
             self.attach_io_nodes(io_nodes)
+        if qos is not None:
+            self.attach_qos(qos)
 
     # -- I/O-node opt-in -------------------------------------------------------
 
@@ -345,6 +391,63 @@ class ParallelFileSystem:
                 inner.failover = None
             self.data_plane = inner
             self.resilience = None
+
+    # -- QoS opt-in -------------------------------------------------------------
+
+    def attach_qos(self, config: "QoSConfig | QoSManager | None" = None) -> "QoSManager":
+        """Thread the multi-tenant QoS layer through every queue point.
+
+        ``config`` is a :class:`~repro.qos.QoSConfig` (a default one is
+        built when omitted) or an existing :class:`~repro.qos.QoSManager`
+        to share across file systems. Installs a tenant-aware scheduler
+        on every device controller (both members of a
+        :class:`~repro.devices.ShadowPair`) and on every I/O-node inbox,
+        and gates client operations through per-tenant token buckets.
+        Attach *after* ``attach_io_nodes`` / ``attach_resilience`` so the
+        nodes exist to be scheduled; failover replay preserves tenant
+        tags either way. Returns the manager (also at ``self.qos``).
+        """
+        from ..devices.shadow import ShadowPair
+        from ..qos import QoSDevicePolicy, QoSManager
+
+        manager = (
+            config
+            if isinstance(config, QoSManager)
+            else QoSManager(self.env, config)
+        )
+        if manager.env is not self.env:
+            raise ValueError("QoS manager belongs to a different Environment")
+        cfg = manager.config
+        if cfg.device_scheduling:
+            for dev in self.volume.devices:
+                members = (
+                    [dev.primary, dev.shadow]
+                    if isinstance(dev, ShadowPair)
+                    else [dev]
+                )
+                for ctrl in members:
+                    self._qos_saved_policies.append((ctrl, ctrl.policy))
+                    ctrl.policy = QoSDevicePolicy(
+                        manager.make_scheduler(ctrl.name), manager.resolve
+                    )
+        if cfg.node_scheduling and self.io_cluster is not None:
+            for node in self.io_cluster.nodes:
+                node.enable_qos(manager)
+        self.qos = manager
+        return manager
+
+    def detach_qos(self) -> None:
+        """Drop the QoS layer: restore device policies and FIFO inboxes."""
+        if self.qos is None:
+            return
+        for ctrl, policy in self._qos_saved_policies:
+            ctrl.policy = policy
+        self._qos_saved_policies = []
+        if self.io_cluster is not None:
+            for node in self.io_cluster.nodes:
+                if hasattr(node.inbox, "scheduler"):
+                    node.disable_qos()
+        self.qos = None
 
     # -- lifecycle ------------------------------------------------------------
 

@@ -33,7 +33,7 @@ import numpy as np
 
 from ..sim.engine import Environment, Event, Interrupt
 from ..sim.resources import Store
-from ..sim.stats import TimeWeighted, UtilizationTracker
+from ..sim.stats import PercentileTally, TimeWeighted, UtilizationTracker
 from .aggregator import plan_reads, plan_writes
 from .cache import ServerCache
 
@@ -49,6 +49,11 @@ class NodeRequest:
     ``admitted`` triggers when the request clears admission control;
     ``event`` triggers when the node has serviced it — with a list of
     per-item arrays for reads, or the byte count for writes.
+
+    ``tenant`` is the QoS principal the request is billed to (``None``
+    for untagged work) and ``admitted_at`` when it cleared admission
+    control; a QoS-scheduled inbox additionally stamps a ``qos_tag``
+    scheduling tag (see :mod:`repro.qos`).
     """
 
     kind: str
@@ -57,11 +62,25 @@ class NodeRequest:
     event: Event
     admitted: Event | None
     submit_time: float
+    tenant: Any = None
+    admitted_at: float | None = None
 
     @property
     def payload_bytes(self) -> int:
         """Total bytes this request moves (requested or supplied)."""
         return sum(n for _, _, n in self.items)
+
+
+class _Inbox(Store):
+    """The node's default FIFO inbox; reports admissions to the node."""
+
+    def __init__(self, env: Environment, capacity: float, node: "IONode"):
+        super().__init__(env, capacity)
+        self._node = node
+
+    def on_admit(self, item: Any) -> None:
+        """One request cleared admission control."""
+        self._node._note_admit(item)
 
 
 @dataclass
@@ -123,7 +142,7 @@ class IONode:
         self.cache: ServerCache | None = (
             ServerCache(cache_blocks, cache_block_bytes) if cache_blocks > 0 else None
         )
-        self.inbox = Store(env, capacity=queue_depth)
+        self.inbox: Store = _Inbox(env, queue_depth, self)
         # -- lifecycle counters (sanitizer invariants) --
         self.accepted = 0
         self.completed = 0
@@ -152,6 +171,10 @@ class IONode:
         # -- time-weighted stats --
         self.queue_stat = TimeWeighted(env.now)
         self.utilization = UtilizationTracker(env.now)
+        #: per-request admission-blocked time (submit -> admit)
+        self.admission_stat = PercentileTally()
+        #: per-request inbox wait (admit -> drained into a batch)
+        self.wait_stat = PercentileTally()
         self._proc = env.process(self._serve(), name=f"{name}.serve")
         sanitizer = env._sanitizer
         if sanitizer is not None and hasattr(sanitizer, "register_node"):
@@ -174,11 +197,17 @@ class IONode:
         kind: str,
         items: list[tuple[int, int, int]],
         data: list[np.ndarray] | None = None,
+        tenant: Any = None,
     ) -> NodeRequest:
         """Enqueue one request; returns it with ``admitted`` to wait on.
 
         Clients must ``yield req.admitted`` (backpressure: it blocks while
         the inbox is full) and then ``yield req.event`` for the result.
+
+        ``tenant`` overrides the QoS principal the request is billed to;
+        by default it is captured from the submitting process's ambient
+        context (failover replay passes it explicitly, since replay runs
+        outside the original client's process).
         """
         if kind not in ("read", "write"):
             raise ValueError(f"unknown request kind {kind!r}")
@@ -194,6 +223,8 @@ class IONode:
                 raise ValueError(f"device {dev} is not owned by node {self.name}")
             if offset < 0 or nbytes < 0:
                 raise ValueError(f"invalid range ({offset}, {nbytes})")
+        if tenant is None:
+            tenant = getattr(self.env.active_process, "qos_tenant", None)
         req = NodeRequest(
             kind=kind,
             items=list(items),
@@ -201,6 +232,7 @@ class IONode:
             event=Event(self.env),
             admitted=None,
             submit_time=self.env.now,
+            tenant=tenant,
         )
         self.accepted += 1
         req.admitted = self.inbox.put(req)
@@ -209,6 +241,63 @@ class IONode:
         if sanitizer is not None and hasattr(sanitizer, "register_node"):
             sanitizer.register_node(self)
         return req
+
+    def _note_admit(self, req: NodeRequest) -> None:
+        """Stamp and account one request clearing admission control."""
+        req.admitted_at = self.env.now
+        blocked = self.env.now - req.submit_time
+        self.admission_stat.observe(blocked)
+        if req.tenant is not None and hasattr(req.tenant, "note_blocked"):
+            req.tenant.note_blocked(blocked)
+
+    def _note_drain(self, req: NodeRequest) -> None:
+        """Account one request leaving the inbox for a service batch."""
+        admitted = (
+            req.admitted_at if req.admitted_at is not None else req.submit_time
+        )
+        wait = self.env.now - admitted
+        self.wait_stat.observe(wait)
+        if req.tenant is not None and hasattr(req.tenant, "note_queued"):
+            req.tenant.note_queued(wait)
+
+    def enable_qos(self, manager: Any) -> None:
+        """Swap the FIFO inbox for a tenant-scheduled one (see repro.qos).
+
+        Admission control (bounded capacity, blocking put) is unchanged;
+        only the order in which admitted requests are drained follows the
+        manager's scheduler. Must be called while the node is idle (no
+        queued items, no blocked submissions); the service loop's
+        outstanding ``get`` is carried over to the new inbox.
+        """
+        from ..qos.scheduler import TenantStore
+
+        old = self.inbox
+        if old.items or any(not p.triggered for p in old._puts):
+            raise RuntimeError(
+                f"node {self.name}: enable_qos requires an idle inbox"
+            )
+        new = TenantStore(
+            self.env,
+            self.queue_depth,
+            manager.make_scheduler(self.name),
+            manager.resolve,
+            on_admitted=self._note_admit,
+        )
+        new._gets.extend(old._gets)
+        old._gets.clear()
+        self.inbox = new
+
+    def disable_qos(self) -> None:
+        """Return to the plain FIFO inbox (idle node only)."""
+        old = self.inbox
+        if old.items or any(not p.triggered for p in old._puts):
+            raise RuntimeError(
+                f"node {self.name}: disable_qos requires an idle inbox"
+            )
+        new = _Inbox(self.env, self.queue_depth, self)
+        new._gets.extend(old._gets)
+        old._gets.clear()
+        self.inbox = new
 
     def assert_drained(self) -> None:
         """Raise unless every accepted request was serviced or migrated."""
@@ -251,6 +340,12 @@ class IONode:
             # the inbox, and would be lost without this
             salvaged.append(self._pending_get.value)
         self._pending_get = None
+        forget = getattr(self.inbox, "forget", None)
+        if forget is not None:
+            # unschedule queued items so the dead node's scheduler does
+            # not keep counting bypasses against requests replayed elsewhere
+            for item in self.inbox.items:
+                forget(item)
         salvaged.extend(self.inbox.items)
         self.inbox.items.clear()
         for put in list(self.inbox._puts):
@@ -290,13 +385,16 @@ class IONode:
             first = yield self._pending_get
             self._pending_get = None
             self.utilization.busy(env.now)
+            self._note_drain(first)
             batch = [first]
             self._current_batch = batch
             self.in_service = 1
             while len(batch) < self.batch_limit and self.inbox.items:
                 self._pending_get = self.inbox.get()
-                batch.append((yield self._pending_get))
+                nxt = yield self._pending_get
                 self._pending_get = None
+                self._note_drain(nxt)
+                batch.append(nxt)
                 self.in_service = len(batch)
             self.queue_stat.record(env.now, self.queued)
             yield from self._service_batch(batch)
@@ -310,6 +408,7 @@ class IONode:
 
     def _service_batch(self, batch: list[NodeRequest]):
         env = self.env
+        began = env.now
         self.items_in += sum(len(r.items) for r in batch)
         results: dict[int, list] = {id(r): [None] * len(r.items) for r in batch}
         errors: dict[int, BaseException] = {}
@@ -325,7 +424,10 @@ class IONode:
         for req in batch:
             if id(req) in errors:
                 req.event.fail(errors[id(req)])
-            elif req.kind == "read":
+                continue
+            if req.tenant is not None and hasattr(req.tenant, "note_service"):
+                req.tenant.note_service(env.now - began, req.payload_bytes)
+            if req.kind == "read":
                 delivered = results[id(req)]
                 self.read_requested_bytes += req.payload_bytes
                 self.read_delivered_bytes += sum(len(a) for a in delivered)

@@ -169,7 +169,11 @@ class FailoverManager:
             node = self.cluster.nodes[node_index]
             items = [req.items[s] for s in slots]
             data = [req.data[s] for s in slots] if req.kind == "write" else None
-            subs.append((slots, node.submit(req.kind, items, data=data)))
+            # replay runs outside the original client's process, so the
+            # tenant tag must be carried over explicitly for QoS billing
+            subs.append(
+                (slots, node.submit(req.kind, items, data=data, tenant=req.tenant))
+            )
         results: list = [None] * len(req.items)
         error: BaseException | None = None
         for slots, sub in subs:

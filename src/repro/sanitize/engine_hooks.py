@@ -336,6 +336,32 @@ class EngineSanitizer:
                 f"{name}: rebuilt spare diverges from its oracle ({detail})",
             )
 
+    # -- QoS ----------------------------------------------------------------------
+
+    def on_qos_starvation(self, detail: str) -> None:
+        """Called by :class:`~repro.qos.QoSManager` when one request was
+        bypassed by later arrivals more than the configured threshold —
+        the "no tenant waits unboundedly while others are served"
+        invariant."""
+        self.checks += 1
+        self._violate("qos-starvation", detail)
+
+    def on_qos_deadline_miss(self, detail: str) -> None:
+        """Called (under ``strict_deadlines``) when a tenant's request
+        completes past its absolute deadline."""
+        self.checks += 1
+        self._violate("qos-deadline-miss", detail)
+
+    def on_qos_bucket(self, tenant: str, conformant: bool, detail: str) -> None:
+        """Called by :meth:`~repro.qos.QoSManager.check_buckets` per
+        rate-limited tenant — the "rate-limited tenants never exceed
+        their bucket" invariant."""
+        self.checks += 1
+        if not conformant:
+            self._violate(
+                "qos-bucket-overrate", f"tenant {tenant!r}: {detail}"
+            )
+
 
 def attach(env: Environment, raise_on_violation: bool = False) -> EngineSanitizer:
     """Attach an :class:`EngineSanitizer` to ``env`` and return it.

@@ -17,7 +17,7 @@ from .engine import (
 )
 from .resources import Container, PriorityResource, Resource, Store
 from .rng import RngStreams
-from .stats import Tally, TimeWeighted, UtilizationTracker
+from .stats import PercentileTally, Tally, TimeWeighted, UtilizationTracker
 from .sync import SimBarrier, SimLock, SimSemaphore, TicketCounter
 
 __all__ = [
@@ -34,6 +34,7 @@ __all__ = [
     "Resource",
     "Store",
     "RngStreams",
+    "PercentileTally",
     "Tally",
     "TimeWeighted",
     "UtilizationTracker",

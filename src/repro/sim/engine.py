@@ -166,7 +166,7 @@ class Process(Event):
     it by yielding it, which is how fork/join is expressed.
     """
 
-    __slots__ = ("_generator", "_target", "name")
+    __slots__ = ("_generator", "_target", "name", "qos_tenant")
 
     def __init__(
         self,
@@ -179,6 +179,11 @@ class Process(Event):
         super().__init__(env)
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
+        # Ambient QoS context: child processes are always created from
+        # within their parent's generator body, so inheriting from the
+        # active process propagates the tenant down the whole call chain
+        # (see ``repro.qos``). None means "untagged" (system work).
+        self.qos_tenant: Any = getattr(env._active, "qos_tenant", None)
         #: the event this process is currently waiting on
         self._target: Event | None = Initialize(env, self)
 

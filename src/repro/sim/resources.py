@@ -51,6 +51,10 @@ class Request(Event):
         self.resource.release(self)
 
     def __lt__(self, other: "Request") -> bool:
+        # The ``_order`` component is load-bearing: it is a per-resource
+        # monotonic sequence number that guarantees FIFO service among
+        # equal-priority requests, including after cancellations re-heapify
+        # the PriorityResource queue. Do not drop it.
         return (self.priority, self._order) < (other.priority, other._order)
 
 
@@ -202,6 +206,15 @@ class Store:
     def __len__(self) -> int:
         return len(self.items)
 
+    # -- subclass hooks (see repro.qos.scheduler.TenantStore) ----------------
+
+    def _take(self) -> Any:
+        """Remove and return the next item to hand to a getter (FIFO)."""
+        return self.items.popleft()
+
+    def on_admit(self, item: Any) -> None:
+        """Called after ``item`` is admitted into the store (put granted)."""
+
     def _dispatch(self) -> None:
         progressed = True
         while progressed:
@@ -212,12 +225,13 @@ class Store:
                     continue
                 self.items.append(put.item)
                 put.succeed()
+                self.on_admit(put.item)
                 progressed = True
             while self._gets and self.items:
                 get = self._gets.popleft()
                 if get.triggered:
                     continue
-                get.succeed(self.items.popleft())
+                get.succeed(self._take())
                 progressed = True
         sanitizer = self.env._sanitizer
         if sanitizer is not None:

@@ -11,7 +11,13 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-__all__ = ["Tally", "TimeWeighted", "UtilizationTracker", "summary"]
+__all__ = [
+    "Tally",
+    "PercentileTally",
+    "TimeWeighted",
+    "UtilizationTracker",
+    "summary",
+]
 
 
 class Tally:
@@ -79,6 +85,47 @@ class Tally:
         out.max = max(self.max, other.max)
         out.total = self.total + other.total
         return out
+
+
+class PercentileTally(Tally):
+    """A :class:`Tally` that also keeps raw samples for percentile queries.
+
+    Used where order statistics matter (queue-wait distributions): the
+    time-weighted mean hides tail latency, and tails are exactly what QoS
+    scheduling is supposed to bound. Samples are kept unsorted and sorted
+    lazily on first percentile query after new data.
+    """
+
+    __slots__ = ("_samples", "_sorted")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._samples: list[float] = []
+        self._sorted = True
+
+    def observe(self, x: float) -> None:
+        """Fold one sample in and retain it for percentile queries."""
+        super().observe(x)
+        self._samples.append(x)
+        self._sorted = False
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0 <= q <= 100), linear interpolation."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile {q} outside [0, 100]")
+        if not self._samples:
+            return math.nan
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        samples = self._samples
+        if len(samples) == 1:
+            return samples[0]
+        pos = (q / 100.0) * (len(samples) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(samples) - 1)
+        frac = pos - lo
+        return samples[lo] * (1.0 - frac) + samples[hi] * frac
 
 
 class TimeWeighted:

@@ -10,6 +10,7 @@ from .report import (
     device_table,
     invariant_report,
     ionode_report,
+    qos_report,
     resilience_report,
     throughput_mb_s,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "device_table",
     "invariant_report",
     "ionode_report",
+    "qos_report",
     "resilience_report",
     "throughput_mb_s",
 ]

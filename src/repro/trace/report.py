@@ -11,6 +11,7 @@ from ..sim.engine import Environment
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..ionode.routing import IONodeCluster
+    from ..qos.manager import QoSManager
     from ..resilience.volume import ResilientVolume
     from ..sanitize.access import AccessConflictDetector
     from ..sanitize.engine_hooks import EngineSanitizer
@@ -21,10 +22,22 @@ __all__ = [
     "device_report",
     "device_table",
     "ionode_report",
+    "qos_report",
     "conflict_report",
     "invariant_report",
     "resilience_report",
 ]
+
+
+def _wait_cells(stat) -> str:
+    """p50/p95/max cells (ms) for one queue-wait PercentileTally."""
+    if not stat.count:
+        return f"{'-':>7s} {'-':>7s} {'-':>7s}"
+    return (
+        f"{stat.percentile(50) * 1e3:>7.2f} "
+        f"{stat.percentile(95) * 1e3:>7.2f} "
+        f"{stat.max * 1e3:>7.2f}"
+    )
 
 
 def throughput_mb_s(nbytes: int, elapsed: float) -> float:
@@ -101,11 +114,13 @@ def device_table(env: Environment, devices: list[DeviceController]) -> list[str]
     Surfaces everything a :class:`~repro.devices.controller.
     DeviceController` tallies during a run: the request-latency
     distribution (mean / max over submit-to-complete times), busy-fraction
-    utilization, and the time-weighted queue length with its peak.
+    utilization, the time-weighted queue length with its peak, and the
+    queue-wait (submit-to-dispatch) percentiles in milliseconds.
     """
     header = (
         f"{'device':<10s} {'reqs':>6s} {'util':>7s} "
-        f"{'lat_mean':>10s} {'lat_max':>10s} {'q_mean':>7s} {'q_max':>5s}"
+        f"{'lat_mean':>10s} {'lat_max':>10s} {'q_mean':>7s} {'q_max':>5s} "
+        f"{'w_p50':>7s} {'w_p95':>7s} {'w_max':>7s}"
     )
     rows = [header]
     for d in devices:
@@ -117,7 +132,8 @@ def device_table(env: Environment, devices: list[DeviceController]) -> list[str]
         rows.append(
             f"{d.name:<10s} {d.disk.total_requests:>6d} {util:>7.1%} "
             f"{lat_mean:>8.2f}ms {lat_max:>8.2f}ms "
-            f"{q_mean:>7.2f} {d.queue_stat.max:>5.0f}"
+            f"{q_mean:>7.2f} {d.queue_stat.max:>5.0f} "
+            f"{_wait_cells(d.wait_stat)}"
         )
     return rows
 
@@ -129,12 +145,13 @@ def ionode_report(env: Environment, cluster: "IONodeCluster") -> list[str]:
     utilization, time-weighted queue depth (mean and peak), the
     coalescing ratio (client byte-range items per device request — above
     1 means aggregation or caching removed device traffic), sieved
-    batches, and the server-cache hit rate where a cache is configured.
+    batches, the server-cache hit rate where a cache is configured, and
+    the inbox-wait (admit-to-drain) percentiles in milliseconds.
     """
     header = (
         f"{'node':<8s} {'devs':>4s} {'reqs':>6s} {'util':>7s} "
         f"{'q_mean':>7s} {'q_max':>5s} {'coalesce':>8s} {'sieved':>6s} "
-        f"{'cache_hit':>9s}"
+        f"{'cache_hit':>9s} {'w_p50':>7s} {'w_p95':>7s} {'w_max':>7s}"
     )
     rows = [header]
     for node in cluster.nodes:
@@ -149,8 +166,51 @@ def ionode_report(env: Environment, cluster: "IONodeCluster") -> list[str]:
             f"{node.name:<8s} {len(node.devices):>4d} {node.completed:>6d} "
             f"{node.utilization.utilization(env.now):>7.1%} "
             f"{q_mean:>7.2f} {node.queue_stat.max:>5.0f} {coalesce} "
-            f"{node.sieved_batches:>6d} {hit}"
+            f"{node.sieved_batches:>6d} {hit} {_wait_cells(node.wait_stat)}"
         )
+    return rows
+
+
+def qos_report(manager: "QoSManager") -> list[str]:
+    """The per-tenant QoS table (header + one row per tenant).
+
+    One row per :class:`~repro.qos.Tenant`: weight, completed ops, bytes
+    serviced and the resulting share of all serviced bytes, where its
+    wall time went (mean admission-blocked / queued / in-service, ms),
+    deadline misses, and token-bucket throttling (grants that had to
+    wait). A footer row summarizes detection counters so a clean run
+    still shows the detectors ran.
+    """
+    header = (
+        f"{'tenant':<10s} {'weight':>6s} {'ops':>6s} {'MB':>8s} "
+        f"{'share':>6s} {'blocked':>8s} {'queued':>8s} {'service':>8s} "
+        f"{'miss':>4s} {'throttled':>9s}"
+    )
+    rows = [header]
+    total_bytes = sum(t.serviced_bytes for t in manager.tenants.values())
+    for name in sorted(manager.tenants):
+        t = manager.tenants[name]
+        share = t.serviced_bytes / total_bytes if total_bytes else 0.0
+        blocked = t.blocked.mean * 1e3 if t.blocked.count else 0.0
+        queued = t.queued.mean * 1e3 if t.queued.count else 0.0
+        service = t.service.mean * 1e3 if t.service.count else 0.0
+        throttled = (
+            f"{t.bucket.throttled_grants:>4d}/{t.bucket.grants:<4d}"
+            if t.bucket is not None
+            else f"{'-':>9s}"
+        )
+        rows.append(
+            f"{t.name:<10s} {t.weight:>6.1f} {t.ops:>6d} "
+            f"{t.serviced_bytes / 1e6:>8.3f} {share:>6.1%} "
+            f"{blocked:>6.2f}ms {queued:>6.2f}ms {service:>6.2f}ms "
+            f"{t.deadline_misses:>4d} {throttled}"
+        )
+    rows.append(
+        f"scheduler={manager.config.scheduler} "
+        f"queues={len(manager.schedulers)} "
+        f"starvations={manager.starvations} "
+        f"deadline_misses={manager.deadline_misses}"
+    )
     return rows
 
 

@@ -137,6 +137,63 @@ class TestPriorityResource:
         env.run()
         assert order == ["x", "y", "z"]
 
+    def test_fifo_within_priority_survives_cancellation(self):
+        # Regression pin: cancelling a waiter calls heapify() on the
+        # heap, which is free to reorder entries that compare equal. The
+        # (priority, _order) tie-break in Request.__lt__ is what keeps
+        # equal-priority waiters in arrival order through that reshuffle.
+        env = Environment()
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def holder():
+            with res.request() as req:
+                yield req
+                yield env.timeout(10)
+
+        def user(name, delay):
+            yield env.timeout(delay)
+            with res.request(priority=3) as req:
+                yield req
+                order.append(name)
+
+        def quitter():
+            yield env.timeout(1.5)  # lands between 'a' and 'b'
+            req = res.request(priority=3)
+            yield env.timeout(3)
+            res.release(req)  # cancel while still queued -> heapify
+
+        env.process(holder())
+        for i, name in enumerate("abcde"):
+            env.process(user(name, 1 + i))
+        env.process(quitter())
+        env.run()
+        assert order == ["a", "b", "c", "d", "e"]
+
+    def test_interleaved_priorities_keep_arrival_order_per_class(self):
+        env = Environment()
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def holder():
+            with res.request() as req:
+                yield req
+                yield env.timeout(10)
+
+        def user(name, priority, delay):
+            yield env.timeout(delay)
+            with res.request(priority=priority) as req:
+                yield req
+                order.append(name)
+
+        env.process(holder())
+        # arrivals alternate between two priority classes
+        arrivals = [("h1", 1), ("l1", 5), ("h2", 1), ("l2", 5), ("h3", 1)]
+        for i, (name, prio) in enumerate(arrivals):
+            env.process(user(name, prio, 1 + i))
+        env.run()
+        assert order == ["h1", "h2", "h3", "l1", "l2"]
+
 
 class TestStore:
     def test_put_get_fifo(self):

@@ -121,3 +121,53 @@ class TestSummaryRow:
         from repro.sim.stats import summary
 
         assert "MB/s" in str(summary("x", 1.0, "MB/s"))
+
+
+class TestPercentileTally:
+    def test_empty_is_nan(self):
+        from repro.sim import PercentileTally
+
+        t = PercentileTally()
+        assert math.isnan(t.percentile(50))
+
+    def test_validates_range(self):
+        from repro.sim import PercentileTally
+
+        t = PercentileTally()
+        t.observe(1.0)
+        with pytest.raises(ValueError):
+            t.percentile(-1)
+        with pytest.raises(ValueError):
+            t.percentile(101)
+
+    def test_known_quartiles(self):
+        from repro.sim import PercentileTally
+
+        t = PercentileTally()
+        for v in [4.0, 1.0, 3.0, 2.0]:  # unsorted on purpose
+            t.observe(v)
+        assert t.percentile(0) == 1.0
+        assert t.percentile(100) == 4.0
+        assert t.percentile(50) == pytest.approx(2.5)
+
+    def test_matches_numpy_linear_interpolation(self):
+        from repro.sim import PercentileTally
+
+        rng = np.random.default_rng(7)
+        samples = rng.uniform(0, 100, size=257)
+        t = PercentileTally()
+        for v in samples:
+            t.observe(float(v))
+        for q in (5, 50, 95, 99):
+            assert t.percentile(q) == pytest.approx(
+                float(np.percentile(samples, q))
+            )
+
+    def test_still_a_tally(self):
+        from repro.sim import PercentileTally
+
+        t = PercentileTally()
+        t.observe(2.0)
+        t.observe(4.0)
+        assert t.count == 2
+        assert t.mean == pytest.approx(3.0)
