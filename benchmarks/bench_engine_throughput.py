@@ -1,0 +1,232 @@
+"""Engine throughput: wall-clock cost of the simulator itself.
+
+Drives the six-organization perf workloads (``repro.perf.workloads``)
+through four engine/submission modes, on two stacks:
+
+* ``normal``      — legacy hooked engine loop (``fast=False``), a
+  collecting :class:`~repro.trace.TraceRecorder`, per-block submission.
+  This is the pre-fast-path configuration and the speedup baseline.
+* ``fast``        — fast engine loop, :class:`~repro.trace.NullTraceRecorder`,
+  per-block submission.
+* ``normal_batch``/``fast_batch`` — the same two engines with
+  extent-batched (list-I/O) submission (``batch_io=True``).
+
+Stacks: ``bare`` (file system straight onto 4 devices) and ``full``
+(I/O nodes + parity resilience + QoS — the macro configuration the
+acceptance speedup is measured on).
+
+Every mode pair that must be simulation-equivalent is checked with
+:func:`repro.perf.workloads.digest`: fast == normal per submission mode,
+on both stacks, for every organization. The fast paths buy wall-clock
+only — never a different simulated outcome.
+
+Output: a table in ``benchmarks/results/engine_throughput.txt`` and the
+machine-readable ``benchmarks/results/BENCH_engine.json`` (schema in
+``repro.perf.report``). Speedups are computed within each stack against
+that stack's ``normal`` mode.
+
+CLI::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py --quick \
+        [--json PATH] [--check --baseline PATH]
+
+``--check`` prints non-blocking regression warnings (>2x events/sec
+drop) against a previously committed baseline JSON. Quick mode
+(``--quick`` or ``REPRO_BENCH_QUICK=1``) shrinks the workload for CI.
+"""
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro import build_parallel_fs
+from repro.perf import (
+    ORGS,
+    WorkloadConfig,
+    bench_record,
+    digest,
+    load_bench_json,
+    measure_run,
+    regression_warnings,
+    run_org,
+    speedup_rows,
+    write_bench_json,
+)
+from repro.qos import QoSConfig
+from repro.resilience import ResilienceConfig
+from repro.sim import Environment
+from repro.trace import NullTraceRecorder, TraceRecorder
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+STACKS = ("bare", "full")
+MODES = ("normal", "fast", "normal_batch", "fast_batch")
+N_DEVICES = 4
+IO_NODES = 2
+
+
+def workload_config(quick: bool) -> WorkloadConfig:
+    if quick:
+        return WorkloadConfig(n_records=480)
+    return WorkloadConfig(n_records=3840)
+
+
+def build(mode: str, stack: str):
+    """One (engine mode, stack) environment + file system."""
+    fast = not mode.startswith("normal")
+    env = Environment(fast=None if fast else False)
+    recorder = NullTraceRecorder() if fast else TraceRecorder()
+    kw = {}
+    if stack == "full":
+        kw = dict(
+            io_nodes=IO_NODES,
+            resilience=ResilienceConfig(protection="parity", spares=1),
+            qos=QoSConfig(),
+        )
+    pfs = build_parallel_fs(
+        env,
+        N_DEVICES,
+        recorder=recorder,
+        batch_io=mode.endswith("batch"),
+        **kw,
+    )
+    return env, pfs
+
+
+def run_mode(mode: str, stack: str, cfg: WorkloadConfig, rounds: int = 1):
+    """Run all six orgs in one mode; per-org samples + per-org digests.
+
+    Each org is run ``rounds`` times and the minimum wall-clock sample is
+    kept (standard noise rejection: the min is the run least disturbed by
+    the host). Digests must agree across rounds — same program, same
+    simulated outcome.
+    """
+    samples, digests = [], {}
+    for org in ORGS:
+        best = None
+        for _ in range(rounds):
+            env, pfs = build(mode, stack)
+            f = run_org(env, pfs, org, cfg)
+            sample = measure_run(env, label=org)
+            d = digest(env, pfs, [f])
+            if org in digests:
+                assert digests[org] == d, (
+                    f"nondeterministic rerun: {stack}/{mode} org {org}"
+                )
+            digests[org] = d
+            if best is None or sample.wall_s < best.wall_s:
+                best = sample
+        samples.append(best)
+    return samples, digests
+
+
+def run_bench(quick: bool):
+    """The full sweep: returns (record, table rows)."""
+    cfg = workload_config(quick)
+    rounds = 1 if quick else 3
+    modes = {}
+    digests = {}
+    for stack in STACKS:
+        for mode in MODES:
+            name = f"{stack}/{mode}"
+            modes[name], digests[name] = run_mode(mode, stack, cfg, rounds)
+
+    # The fast loop must not change the simulation: equal digests per
+    # (stack, submission mode, org) across engines.
+    for stack in STACKS:
+        for submission in ("", "_batch"):
+            ref = digests[f"{stack}/normal{submission}"]
+            got = digests[f"{stack}/fast{submission}"]
+            for org in ORGS:
+                assert got[org] == ref[org], (
+                    f"fast engine changed the simulation: "
+                    f"{stack}/fast{submission} org {org}"
+                )
+
+    record = bench_record(
+        config={
+            "workload": cfg.as_dict(),
+            "orgs": list(ORGS),
+            "n_devices": N_DEVICES,
+            "io_nodes": IO_NODES,
+            "stacks": list(STACKS),
+            "macro": "full",
+        },
+        modes=modes,
+        baseline_mode="full/normal",
+        quick=quick,
+    )
+    # Speedups are only meaningful within a stack: recompute each mode
+    # against its own stack's normal run.
+    for name, blk in record["modes"].items():
+        stack = name.split("/")[0]
+        base = record["modes"][f"{stack}/normal"]["wall_s"]
+        record["speedup"][name] = base / blk["wall_s"] if blk["wall_s"] else 0.0
+
+    rows = speedup_rows(record)
+    macro = record["speedup"]["full/fast_batch"]
+    rows.append(f"macro speedup (full stack, fast+batch vs normal): {macro:.2f}x")
+    return record, rows
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true", default=QUICK,
+                    help="small workload for CI smoke runs")
+    ap.add_argument("--json", default=None, metavar="PATH",
+                    help="where to write BENCH_engine.json "
+                         "(default: benchmarks/results/BENCH_engine.json)")
+    ap.add_argument("--check", action="store_true",
+                    help="print non-blocking regression warnings vs --baseline")
+    ap.add_argument("--baseline", default=None, metavar="PATH",
+                    help="baseline JSON for --check "
+                         "(default: the committed results file)")
+    args = ap.parse_args(argv)
+
+    results = Path(__file__).parent / "results"
+    results.mkdir(exist_ok=True)
+    default_json = results / "BENCH_engine.json"
+    out_path = Path(args.json) if args.json else default_json
+    baseline_path = Path(args.baseline) if args.baseline else default_json
+
+    baseline = load_bench_json(baseline_path) if args.check else None
+
+    record, rows = run_bench(args.quick)
+    title = "Engine throughput: fast paths and extent-batched submission"
+    text = "\n".join([title, "=" * len(title), *rows, ""])
+    (results / "engine_throughput.txt").write_text(text)
+    print(text)
+
+    write_bench_json(out_path, record)
+    print(f"wrote {out_path}")
+
+    if args.check:
+        if baseline is None:
+            print(f"no baseline at {baseline_path}; skipping regression check")
+        else:
+            warnings = regression_warnings(record, baseline)
+            for w in warnings:
+                print(w)
+            if not warnings:
+                print("regression check: events/sec within 2x of baseline")
+    return 0
+
+
+# -- pytest entry (CI smoke: REPRO_BENCH_QUICK=1 pytest benchmarks/bench_engine_throughput.py)
+
+
+def test_engine_throughput(results_dir):
+    record, rows = run_bench(quick=QUICK)
+    title = "Engine throughput: fast paths and extent-batched submission"
+    from conftest import write_table
+
+    write_table(results_dir, "engine_throughput", title, rows)
+    write_bench_json(results_dir / "BENCH_engine.json", record)
+    assert record["speedup"]["full/fast_batch"] > 1.0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

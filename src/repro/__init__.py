@@ -68,7 +68,7 @@ from .resilience import (
 from .sanitize import AccessConflictDetector, EngineSanitizer
 from .sim import Environment, RngStreams
 from .storage import Volume
-from .trace import TraceRecorder
+from .trace import NullTraceRecorder, TraceRecorder
 
 __version__ = "1.0.0"
 
@@ -113,4 +113,5 @@ __all__ = [
     "RngStreams",
     "Volume",
     "TraceRecorder",
+    "NullTraceRecorder",
 ]

@@ -33,6 +33,7 @@ def build_parallel_fs(
     io_nodes: int | None = None,
     resilience: "ResilienceConfig | None" = None,
     qos: "QoSConfig | None" = None,
+    batch_io: bool = False,
 ) -> ParallelFileSystem:
     """A file system over ``n_devices`` identical drives.
 
@@ -44,6 +45,10 @@ def build_parallel_fs(
     inbox, token-bucket admission throttling, and per-tenant
     backpressure accounting. It is attached last, after the I/O-node and
     resilience layers, so it schedules whatever queue points exist.
+
+    ``batch_io=True`` turns on extent-batched (list-I/O) submission —
+    see :meth:`~repro.fs.pfs.ParallelFileSystem.set_batching` and
+    ``docs/PERF.md``.
 
     ``resilience`` (a :class:`~repro.resilience.ResilienceConfig`) opts
     into the online resilience layer: ``protection="parity"`` adds one
@@ -92,6 +97,8 @@ def build_parallel_fs(
         pfs.attach_resilience(resilience, group=group, spares=spares)
     if qos is not None:
         pfs.attach_qos(qos)
+    if batch_io:
+        pfs.set_batching(True)
     return pfs
 
 

@@ -37,6 +37,10 @@ class BufferCache:
         self.env = env
         self.fetch = fetch
         self.writeback = writeback
+        #: optional batched write-back ``(blocks, datas) -> Event`` used by
+        #: :meth:`flush` when set — one list-I/O submission for the whole
+        #: dirty set instead of one write per block (see ``docs/PERF.md``)
+        self.writeback_many: Callable[[list[int], list[Any]], Event] | None = None
         self.capacity = capacity_blocks
         self._blocks: OrderedDict[int, Any] = OrderedDict()
         self._dirty: set[int] = set()
@@ -114,6 +118,11 @@ class BufferCache:
         eviction) instead of silently dropping the only copy's dirty bit.
         """
         dirty = sorted(self._dirty)
+        if dirty and self.writeback_many is not None:
+            yield self.writeback_many(dirty, [self._blocks[b] for b in dirty])
+            self._dirty.difference_update(dirty)
+            self.writebacks += len(dirty)
+            return
         events = []
         for block in dirty:
             if self.writeback is None:

@@ -278,7 +278,7 @@ class DeviceController:
                 # contents are untouched, so a caller retry is exactly-once
                 self.transient_error_budget -= 1
                 self.transient_errors += 1
-                yield env.timeout(self.per_request_overhead)
+                yield env.sleep(self.per_request_overhead)
                 if not req.event.triggered:
                     req.event.defuse()
                     req.event.fail(TransientIOError(self.name))
@@ -288,7 +288,7 @@ class DeviceController:
                 service *= self.slow_factor
                 self.limped_requests += 1
             service_start = env.now
-            yield env.timeout(self.per_request_overhead + service)
+            yield env.sleep(self.per_request_overhead + service)
             if self.service_log is not None:
                 self.service_log.append(
                     ServiceInterval(

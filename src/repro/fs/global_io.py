@@ -117,6 +117,8 @@ class GlobalViewHandle:
     # -- internals ----------------------------------------------------------------
 
     def _trace(self, op: str, start_record: int, count: int) -> None:
+        if not self.file.pfs._tracing:
+            return
         bs = self.file.attrs.block_spec
         if count <= 0:
             return

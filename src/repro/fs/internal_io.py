@@ -74,6 +74,8 @@ class _HandleBase:
         return self.file.env
 
     def _trace_span(self, op: str, start_record: int, count: int) -> None:
+        if not self.file.pfs._tracing:
+            return
         bs = self.file.attrs.block_spec
         if count <= 0:
             return
@@ -187,8 +189,18 @@ class PartitionHandle(_HandleBase):
         if count <= 0:
             return self.file.attrs.record_spec.decode(b"")
         wanted = self._records[self._cursor : self._cursor + count]
+        runs = list(contiguous_runs(wanted))
+        if len(runs) > 1 and self.file.pfs.batch_io:
+            # list I/O: all runs down the data plane as one submission
+            data = yield self.file.read_gather(
+                [(run.start, run.count) for run in runs]
+            )
+            for run in runs:
+                self._trace_span("read", run.start, run.count)
+            self._cursor += count
+            return data
         pieces = []
-        for run in contiguous_runs(wanted):
+        for run in runs:
             data = yield self.file.read_records(run.start, run.count)
             self._trace_span("read", run.start, run.count)
             pieces.append(data)
@@ -206,8 +218,17 @@ class PartitionHandle(_HandleBase):
             )
         decoded = self.file.attrs.record_spec.decode(raw)
         wanted = self._records[self._cursor : self._cursor + count]
+        runs = list(contiguous_runs(wanted))
+        if len(runs) > 1 and self.file.pfs.batch_io:
+            yield self.file.write_gather(
+                [(run.start, run.count) for run in runs], decoded
+            )
+            for run in runs:
+                self._trace_span("write", run.start, run.count)
+            self._cursor += count
+            return count
         pos = 0
-        for run in contiguous_runs(wanted):
+        for run in runs:
             chunk = decoded[pos : pos + run.count]
             yield self.file.write_records(run.start, chunk)
             self._trace_span("write", run.start, run.count)
@@ -340,7 +361,7 @@ class SSHandle(_HandleBase):
         block = None
         try:
             if sess.pointer_cost > 0:
-                yield self.env.timeout(sess.pointer_cost)
+                yield self.env.sleep(sess.pointer_cost)
             block = sess._draw(self.process)
             if block is not None and not sess.early_advance:
                 # naive implementation: the transfer completes inside the
@@ -422,9 +443,26 @@ class DirectHandle(_HandleBase):
         return (yield from self._cached_write(record, raw, count))
 
     def flush(self):
-        """Generator: write back any cached dirty blocks."""
+        """Generator: write back any cached dirty blocks.
+
+        With extent batching on (``pfs.batch_io``), the whole dirty set
+        goes down as one :meth:`~repro.fs.pfs.ParallelFile.write_gather`
+        submission instead of one write per block.
+        """
         if self._cache is not None:
+            self._cache.writeback_many = (
+                self._writeback_gather if self.file.pfs.batch_io else None
+            )
             yield from self._cache.flush()
+
+    def _writeback_gather(self, blocks: list, datas: list):
+        """Batched dirty write-back: one gather for all dirty blocks."""
+        bs = self.file.attrs.block_spec
+        runs = [
+            (bs.first_record(b), len(data)) for b, data in zip(blocks, datas)
+        ]
+        values = np.concatenate(datas) if len(datas) > 1 else datas[0]
+        return self.file.write_gather(runs, values)
 
     # -- cached paths --------------------------------------------------------
 

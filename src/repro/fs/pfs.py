@@ -218,6 +218,80 @@ class ParallelFile:
         raw = yield read_proc
         return self.attrs.record_spec.decode(raw)
 
+    # -- list I/O (extent-batched submission) -----------------------------------
+
+    def read_gather(self, runs: list[tuple[int, int]]) -> Process:
+        """Read several ``(start, count)`` record runs as one submission.
+
+        The per-run byte ranges go down the data plane together
+        (``read_many``): one submission process, one join, one QoS
+        admission for the batch's total bytes, and — when batching is on —
+        device-contiguous segments merged across run boundaries. The value
+        is the decoded records of all runs concatenated in list order,
+        exactly what per-run reads would have concatenated to.
+        """
+        spec = self.attrs.record_spec
+        ranges = []
+        total = 0
+        for start, count in runs:
+            self._check_span(start, count)
+            ranges.append(spec.span(start, count))
+            total += ranges[-1][1]
+        if self.pfs.qos is not None:
+            return self.env.process(
+                self._admit_then_many("read", ranges, total, None),
+                name=f"{self.name}.gather",
+            )
+        return self.env.process(
+            self._decode_after(
+                self.data_plane.read_many(self.entry.extent, self.layout, ranges)
+            ),
+            name=f"{self.name}.gather",
+        )
+
+    def write_gather(self, runs: list[tuple[int, int]], values: np.ndarray) -> Process:
+        """Write several record runs as one submission (see :meth:`read_gather`).
+
+        ``values`` holds the records of all runs concatenated in list
+        order.
+        """
+        spec = self.attrs.record_spec
+        raw = spec.encode(values)
+        ranges = []
+        total = 0
+        for start, count in runs:
+            self._check_span(start, count)
+            ranges.append(spec.span(start, count))
+            total += ranges[-1][1]
+        if raw.size != total:
+            raise ValueError(
+                f"runs cover {total} bytes, values encode to {raw.size}"
+            )
+        if self.pfs.qos is not None:
+            return self.env.process(
+                self._admit_then_many("write", ranges, total, raw),
+                name=f"{self.name}.scatter",
+            )
+        return self.data_plane.write_many(self.entry.extent, self.layout, ranges, raw)
+
+    def _admit_then_many(self, kind: str, ranges, total: int, raw):
+        """QoS path for list I/O: one admission covering the whole batch.
+
+        The batch is billed to the submitting tenant as a single
+        ``total``-byte operation; the resulting device/node requests carry
+        the ambient tenant tag exactly as per-run submissions would.
+        """
+        yield from self.pfs.qos.admit_active(total)
+        if kind == "read":
+            result = yield self.data_plane.read_many(
+                self.entry.extent, self.layout, ranges
+            )
+            return self.attrs.record_spec.decode(result)
+        result = yield self.data_plane.write_many(
+            self.entry.extent, self.layout, ranges, raw
+        )
+        return result
+
     def _check_span(self, start: int, count: int) -> None:
         if start < 0 or count < 0 or start + count > self.n_records:
             raise ValueError(
@@ -241,6 +315,8 @@ class ParallelFile:
         knows it (record-granular ops); block-granular ops omit it and the
         sanitizer uses the block's whole record range.
         """
+        if not self.pfs._tracing:
+            return
         rec = self.pfs.recorder
         if rec is not None:
             rec.record(
@@ -272,9 +348,13 @@ class ParallelFileSystem:
         self.env = env
         self.volume = volume
         self.catalog = Catalog()
-        self.recorder = recorder
-        #: optional repro.sanitize.AccessConflictDetector fed by every access
-        self.sanitizer = sanitizer
+        self._recorder = recorder
+        self._sanitizer = sanitizer
+        #: False when per-access tracing can be skipped entirely (no
+        #: collecting recorder, no conflict sanitizer) — the fs layer's
+        #: hot paths test this one flag instead of walking the hooks
+        self._tracing = False
+        self._update_tracing()
         #: the cluster serving this file system, when server-mediated
         self.io_cluster: "IONodeCluster | None" = None
         #: where file data traffic goes: the volume, or a MediatedVolume
@@ -284,10 +364,63 @@ class ParallelFileSystem:
         #: the QoS manager, when attached (see :meth:`attach_qos`)
         self.qos: "QoSManager | None" = None
         self._qos_saved_policies: list = []
+        #: extent-batched submission (list I/O) — see :meth:`set_batching`
+        self.batch_io = False
         if io_nodes is not None:
             self.attach_io_nodes(io_nodes)
         if qos is not None:
             self.attach_qos(qos)
+
+    # -- tracing hooks ---------------------------------------------------------
+
+    @property
+    def recorder(self) -> TraceRecorder | None:
+        """The access-trace recorder fed by every file access, if any."""
+        return self._recorder
+
+    @recorder.setter
+    def recorder(self, rec: TraceRecorder | None) -> None:
+        self._recorder = rec
+        self._update_tracing()
+
+    @property
+    def sanitizer(self) -> "AccessConflictDetector | None":
+        """The conflict sanitizer fed by every file access, if any."""
+        return self._sanitizer
+
+    @sanitizer.setter
+    def sanitizer(self, san: "AccessConflictDetector | None") -> None:
+        self._sanitizer = san
+        self._update_tracing()
+
+    def _update_tracing(self) -> None:
+        rec = self._recorder
+        self._tracing = (
+            rec is not None and not getattr(rec, "is_noop", False)
+        ) or self._sanitizer is not None
+
+    # -- extent-batched submission ----------------------------------------------
+
+    def set_batching(self, enabled: bool) -> None:
+        """Turn extent-batched (list-I/O) submission on or off.
+
+        When on, multi-run handle transfers go through
+        :meth:`ParallelFile.read_gather` / ``write_gather`` as one
+        submission, and every plane in the data path merges
+        device-contiguous segments into single multi-block device
+        requests. Off by default: batching preserves the simulated
+        *results* but changes request sizes and therefore timing — see
+        ``docs/PERF.md`` for the per-organization rules.
+        """
+        self.batch_io = enabled
+        plane = self.data_plane
+        seen: set[int] = set()
+        while plane is not None and id(plane) not in seen:
+            seen.add(id(plane))
+            if hasattr(plane, "coalesce"):
+                plane.coalesce = enabled
+            plane = getattr(plane, "inner", None)
+        self.volume.coalesce = enabled
 
     # -- I/O-node opt-in -------------------------------------------------------
 

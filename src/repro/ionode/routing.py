@@ -23,6 +23,7 @@ import numpy as np
 
 from ..devices.controller import TransientIOError
 from ..sim.engine import Environment, Process
+from ..storage.layout import gather_payload, plan_batch, scatter_payload
 from .interconnect import Interconnect
 from .node import IONode
 
@@ -167,6 +168,10 @@ class MediatedVolume:
         #: node-failover manager feeding the per-node circuit breakers
         #: (set by ``ParallelFileSystem.attach_resilience``; optional)
         self.failover: "FailoverManager | None" = None
+        #: extent-batched submission: merge device-contiguous segments
+        #: before grouping them into per-node request messages (fewer,
+        #: larger items per message). Off by default; see docs/PERF.md.
+        self.coalesce = False
 
     # -- delegated management plane ---------------------------------------
 
@@ -213,6 +218,12 @@ class MediatedVolume:
     def read(self, extent: "Extent", layout: "DataLayout", offset: int, nbytes: int) -> Process:
         """Read file bytes ``[offset, offset+nbytes)`` via the I/O nodes."""
         segments = layout.map_range(offset, nbytes)
+        if self.coalesce:
+            merged, scatter = plan_batch(segments)
+            return self.env.process(
+                self._do_read_plan(extent, merged, scatter, nbytes),
+                name="ionode.read",
+            )
         return self.env.process(
             self._do_read(extent, segments, nbytes), name="ionode.read"
         )
@@ -225,7 +236,67 @@ class MediatedVolume:
             else np.asarray(data, dtype=np.uint8)
         )
         segments = layout.map_range(offset, len(arr))
+        if self.coalesce:
+            merged, scatter = plan_batch(segments)
+            return self.env.process(
+                self._do_write_plan(extent, merged, scatter, arr),
+                name="ionode.write",
+            )
         return self.env.process(self._do_write(extent, segments, arr), name="ionode.write")
+
+    def read_many(
+        self,
+        extent: "Extent",
+        layout: "DataLayout",
+        ranges: list[tuple[int, int]],
+    ) -> Process:
+        """List-I/O read over the nodes: one message per node for the
+        whole batch of ``(offset, nbytes)`` ranges. Value is the single
+        concatenated uint8 array, ranges in list order."""
+        segments = []
+        total = 0
+        for offset, nbytes in ranges:
+            segments.extend(layout.map_range(offset, nbytes))
+            total += nbytes
+        if self.coalesce:
+            merged, scatter = plan_batch(segments)
+            return self.env.process(
+                self._do_read_plan(extent, merged, scatter, total),
+                name="ionode.readmany",
+            )
+        return self.env.process(
+            self._do_read(extent, segments, total), name="ionode.readmany"
+        )
+
+    def write_many(
+        self,
+        extent: "Extent",
+        layout: "DataLayout",
+        ranges: list[tuple[int, int]],
+        data: Any,
+    ) -> Process:
+        """List-I/O write: ``data`` is the concatenation of all ranges."""
+        arr = (
+            np.frombuffer(data, dtype=np.uint8)
+            if isinstance(data, (bytes, bytearray))
+            else np.asarray(data, dtype=np.uint8)
+        )
+        segments = []
+        total = 0
+        for offset, nbytes in ranges:
+            segments.extend(layout.map_range(offset, nbytes))
+            total += nbytes
+        if total != arr.size:
+            raise ValueError(f"ranges cover {total} bytes, data has {arr.size}")
+        if self.coalesce:
+            merged, scatter = plan_batch(segments)
+            return self.env.process(
+                self._do_write_plan(extent, merged, scatter, arr),
+                name="ionode.writemany",
+            )
+        return self.env.process(
+            self._do_write(extent, segments, arr), name="ionode.writemany"
+        )
 
     def _do_read(self, extent: "Extent", segments: list, nbytes: int):
         env = self.env
@@ -268,6 +339,48 @@ class MediatedVolume:
             yield env.all_of(procs)
         return int(arr.size)
 
+    # -- list-I/O (plan_batch) variants: merged device runs, scatter plan -----
+
+    def _do_read_plan(
+        self, extent: "Extent", segments: list, scatter: list, nbytes: int
+    ):
+        env = self.env
+        per_node: dict[int, list[tuple[int, int, int, int]]] = {}
+        for idx, seg in enumerate(segments):
+            node_idx = self.cluster.router.node_of(seg.device)
+            per_node.setdefault(node_idx, []).append(
+                (idx, seg.device, extent.base(seg.device) + seg.offset, seg.length)
+            )
+        procs = [
+            env.process(self._client_read(entries))
+            for entries in per_node.values()
+        ]
+        if procs:
+            yield env.all_of(procs)
+        out = np.empty(nbytes, dtype=np.uint8)
+        for proc in procs:
+            for idx, arr in proc.value:
+                scatter_payload(out, arr, scatter[idx])
+        return out
+
+    def _do_write_plan(
+        self, extent: "Extent", segments: list, scatter: list, arr: np.ndarray
+    ):
+        env = self.env
+        per_node: dict[int, tuple[list, list]] = {}
+        for seg, pieces in zip(segments, scatter):
+            node_idx = self.cluster.router.node_of(seg.device)
+            items, chunks = per_node.setdefault(node_idx, ([], []))
+            items.append((seg.device, extent.base(seg.device) + seg.offset, seg.length))
+            chunks.append(gather_payload(arr, pieces))
+        procs = [
+            env.process(self._client_write(items, chunks))
+            for items, chunks in per_node.values()
+        ]
+        if procs:
+            yield env.all_of(procs)
+        return int(arr.size)
+
     def _client_read(self, entries: list):
         """One read message's worth of items, submitted to current owners.
 
@@ -278,7 +391,7 @@ class MediatedVolume:
         hitting the corpse and failing the client I/O.
         """
         ic = self.cluster.interconnect
-        yield self.env.timeout(ic.request_cost())
+        yield self.env.sleep(ic.request_cost())
         subs = [
             (
                 node_idx,
@@ -305,14 +418,14 @@ class MediatedVolume:
         if error is not None:
             raise error
         payload = sum(n for *_, n in entries)
-        yield self.env.timeout(ic.transfer_cost(payload))
+        yield self.env.sleep(ic.transfer_cost(payload))
         return out
 
     def _client_write(self, items: list, chunks: list):
         """One write message's worth of items (see :meth:`_client_read`)."""
         ic = self.cluster.interconnect
         payload = sum(n for _, _, n in items)
-        yield self.env.timeout(ic.transfer_cost(payload))
+        yield self.env.sleep(ic.transfer_cost(payload))
         subs = []
         for node_idx, pairs in self._by_owner(
             list(zip(items, chunks)), lambda p: p[0][0]
@@ -340,7 +453,7 @@ class MediatedVolume:
             self._note_outcome(node_idx, None)
         if error is not None:
             raise error
-        yield self.env.timeout(ic.request_cost())
+        yield self.env.sleep(ic.request_cost())
         return payload
 
     def _by_owner(self, seq: list, device_of) -> dict[int, list]:

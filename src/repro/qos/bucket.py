@@ -77,7 +77,7 @@ class TokenBucket:
                 # infinitesimally short and re-wait for a timeout too
                 # small to advance the clock, spinning forever.
                 waited = True
-                yield self.env.timeout((take - self._tokens) / self.rate)
+                yield self.env.sleep((take - self._tokens) / self.rate)
                 self._refill()
             self._tokens = max(0.0, self._tokens - take)
             self.granted_total += take

@@ -21,15 +21,20 @@ their service loops' structure:
   ``get`` hands out the scheduler's choice instead of the oldest item
   (replacing an I/O node's FIFO inbox).
 
-Starvation detection rides on dispatch: every dispatch counts one bypass
-against each still-waiting request that arrived earlier; a request
+Starvation detection rides on dispatch: a request's ``bypassed`` count is
+the number of later-arrived requests served while it waited; a request
 bypassed more than ``starvation_threshold`` times triggers the
 ``on_starvation`` callback (wired to the engine sanitizer), which is the
-"no tenant waits unboundedly while others are served" invariant.
+"no tenant waits unboundedly while others are served" invariant. Only the
+oldest waiting request's count is maintained eagerly — it always has the
+maximal bypass count (every dispatch that bypasses anyone bypasses it),
+so threshold crossings are detected exactly without the former O(backlog)
+sweep per dispatch.
 """
 
 from __future__ import annotations
 
+import bisect
 import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
@@ -84,7 +89,13 @@ class WeightedFairQueue:
         #: tenant -> virtual finish tag of its latest request
         self._finish: dict[Tenant, float] = {}
         #: seq -> tag, for every stamped-but-not-yet-dispatched request
+        #: (insertion-ordered: the first entry is the oldest waiter)
         self._waiting: dict[int, QoSTag] = {}
+        #: sorted seqs of dispatches newer than the oldest waiter — its
+        #: exact bypass count; pruned as older waiters drain, so it stays
+        #: about backlog-sized in steady state (it can grow while one
+        #: request is starved, which is exactly when the count matters)
+        self._disp_seqs: list[int] = []
         #: dispatches performed (sanity that the scheduler actually ran)
         self.dispatches = 0
         #: starvation flags raised
@@ -135,34 +146,49 @@ class WeightedFairQueue:
     def dispatch(self, tag: QoSTag) -> None:
         """``tag``'s request was chosen for service: advance virtual time.
 
-        Also charges one bypass to every earlier-arrived request still
-        waiting, and fires ``on_starvation`` for any that crosses the
-        threshold (once per request).
+        Also maintains the exact bypass count of the *oldest* still-waiting
+        request — the only one that can newly cross the starvation
+        threshold, since its count dominates every younger waiter's — and
+        fires ``on_starvation`` when it does (once per request). A
+        waiter's ``bypassed`` field is therefore exact for the oldest
+        waiter and a stale lower bound for younger ones until they in turn
+        become oldest.
         """
         self._waiting.pop(tag.seq, None)
         self.dispatches += 1
         if self.mode == "wfq" and tag.start > self._vtime:
             self._vtime = tag.start
-        for other in self._waiting.values():
-            if other.seq < tag.seq:
-                other.bypassed += 1
-                if (
-                    other.bypassed > self.starvation_threshold
-                    and not other.flagged
-                ):
-                    other.flagged = True
-                    self.starvations += 1
-                    if self.on_starvation is not None:
-                        self.on_starvation(other)
+        if not self._waiting:
+            self._disp_seqs.clear()
+            return
+        bisect.insort(self._disp_seqs, tag.seq)
+        oldest = self._waiting[next(iter(self._waiting))]
+        drop = bisect.bisect_right(self._disp_seqs, oldest.seq)
+        if drop:
+            del self._disp_seqs[:drop]
+        # Every recorded dispatch has seq > oldest.seq, i.e. arrived later
+        # yet was served first: exactly oldest's bypass count.
+        oldest.bypassed = len(self._disp_seqs)
+        if (
+            oldest.bypassed > self.starvation_threshold
+            and not oldest.flagged
+        ):
+            oldest.flagged = True
+            self.starvations += 1
+            if self.on_starvation is not None:
+                self.on_starvation(oldest)
 
     def cancel(self, tag: QoSTag) -> None:
         """Forget a stamped request that will never be served here
         (crash salvage, device failure)."""
         self._waiting.pop(tag.seq, None)
+        if not self._waiting:
+            self._disp_seqs.clear()
 
     def clear(self) -> None:
         """Forget every waiting request (the whole queue was dropped)."""
         self._waiting.clear()
+        self._disp_seqs.clear()
 
 
 class QoSDevicePolicy(SchedulingPolicy):

@@ -131,7 +131,7 @@ def retrying(
                     f"overrun after {op.attempts} attempts",
                     op,
                 ) from exc
-            yield env.timeout(delay)
+            yield env.sleep(delay)
         except BaseException as exc:
             # not retryable: account for the failed attempt and re-raise
             op.failures += 1

@@ -38,6 +38,7 @@ from ..devices.controller import DeviceFailedError, TransientIOError
 from ..sim.engine import Environment, Event, Process
 from ..sim.resources import Resource
 from ..sim.rng import RngStreams
+from ..storage.layout import gather_payload, plan_batch
 from ..storage.parity import ParityGroup, StaleParityError
 from .config import ResilienceConfig
 from .journal import WriteJournal
@@ -83,6 +84,9 @@ class ResilientVolume:
                     "in volume order"
                 )
         self.rng = rng or RngStreams(self.config.seed)
+        #: extent-batched (list-I/O) submission: merge device-contiguous
+        #: segment runs before parity planning (set via ``set_batching``)
+        self.coalesce = False
         self.stats = ResilienceStats()
         self.journal = WriteJournal()
         #: device index -> time the layer first observed it failed
@@ -131,6 +135,90 @@ class ResilientVolume:
         return self.env.process(
             self._do_read(extent, layout, offset, nbytes), name="resilient.read"
         )
+
+    def read_many(
+        self,
+        extent: "Extent",
+        layout: "DataLayout",
+        ranges: list[tuple[int, int]],
+    ) -> Process:
+        """List-I/O read: every range in flight at once, resilience per
+        range — a range that hits a failed device degrades to
+        reconstruction on its own, without splitting the healthy ones.
+        Value is the single concatenated uint8 array, ranges in list
+        order."""
+        return self.env.process(
+            self._do_read_many(extent, layout, ranges), name="resilient.readmany"
+        )
+
+    def _do_read_many(self, extent, layout, ranges):
+        if self.coalesce:
+            # list-I/O fast path: the whole batch down the inner plane as
+            # one submission (which merges device runs itself), one retry
+            # wrapper for the lot; a permanent failure degrades to the
+            # per-range path below so healthy ranges stay whole
+            try:
+                value = yield from self._with_retry(
+                    lambda: self.inner.read_many(extent, layout, ranges),
+                    kind="read",
+                    target="plane",
+                )
+                return value
+            except DeviceFailedError:
+                pass
+        procs = [
+            self.read(extent, layout, offset, nbytes)
+            for offset, nbytes in ranges
+        ]
+        if procs:
+            yield self.env.all_of(procs)
+        if not procs:
+            return np.empty(0, dtype=np.uint8)
+        if len(procs) == 1:
+            return procs[0].value
+        return np.concatenate([p.value for p in procs])
+
+    def write_many(
+        self,
+        extent: "Extent",
+        layout: "DataLayout",
+        ranges: list[tuple[int, int]],
+        data: Any,
+    ) -> Process:
+        """List-I/O write of concatenated ``data`` (see :meth:`read_many`)."""
+        arr = (
+            np.frombuffer(data, dtype=np.uint8)
+            if isinstance(data, (bytes, bytearray))
+            else np.asarray(data, dtype=np.uint8)
+        )
+        return self.env.process(
+            self._do_write_many(extent, layout, ranges, arr),
+            name="resilient.writemany",
+        )
+
+    def _do_write_many(self, extent, layout, ranges, arr):
+        total = sum(nbytes for _, nbytes in ranges)
+        if total != arr.size:
+            raise ValueError(f"ranges cover {total} bytes, data has {arr.size}")
+        if self.coalesce:
+            # list-I/O: one combined segment batch, one parity plan for
+            # the whole gather — merged device runs become single
+            # multi-unit rows/RMWs instead of per-range, per-unit ops
+            segments: list = []
+            for offset, nbytes in ranges:
+                segments.extend(layout.map_range(offset, nbytes))
+            yield from self._write_segments(extent, segments, arr)
+            return int(arr.size)
+        procs = []
+        pos = 0
+        for offset, nbytes in ranges:
+            procs.append(
+                self.write(extent, layout, offset, arr[pos : pos + nbytes])
+            )
+            pos += nbytes
+        if procs:
+            yield self.env.all_of(procs)
+        return int(arr.size)
 
     def _do_read(self, extent: "Extent", layout: "DataLayout", offset: int, nbytes: int):
         try:
@@ -221,13 +309,39 @@ class ResilientVolume:
 
     def _do_write(self, extent: "Extent", layout: "DataLayout", offset: int, arr: np.ndarray):
         segments = layout.map_range(offset, len(arr))
-        triples: list[tuple[int, int, np.ndarray]] = []
-        pos = 0
-        for seg in segments:
-            triples.append(
-                (seg.device, extent.base(seg.device) + seg.offset, arr[pos : pos + seg.length])
-            )
-            pos += seg.length
+        yield from self._write_segments(extent, segments, arr)
+        return int(arr.size)
+
+    def _write_segments(
+        self, extent: "Extent", segments: "list[Segment]", arr: np.ndarray
+    ):
+        """Run the protection discipline over one batch of segments.
+
+        With ``coalesce`` on, device-contiguous segment runs merge into
+        single multi-unit parity operations first (list I/O): one RMW —
+        or one full-stripe row — covers the whole run, instead of one
+        per stripe unit. The parity paths are range-generic, so a merged
+        run locks, reads, and XORs exactly the bytes the per-unit
+        operations would have, in one pass.
+        """
+        if self.coalesce:
+            merged, scatter = plan_batch(segments)
+            triples = [
+                (
+                    seg.device,
+                    extent.base(seg.device) + seg.offset,
+                    gather_payload(arr, pieces),
+                )
+                for seg, pieces in zip(merged, scatter)
+            ]
+        else:
+            triples = []
+            pos = 0
+            for seg in segments:
+                triples.append(
+                    (seg.device, extent.base(seg.device) + seg.offset, arr[pos : pos + seg.length])
+                )
+                pos += seg.length
         if self.group is not None:
             procs = self._plan_parity_write(triples)
         else:
@@ -240,7 +354,6 @@ class ResilientVolume:
             ]
         if procs:
             yield self.env.all_of(procs)
-        return int(arr.size)
 
     def _write_segment(self, dev_i: int, abs_off: int, chunk: np.ndarray):
         """One plain (non-parity) segment write with retry."""
@@ -504,7 +617,7 @@ class ResilientVolume:
         """
         cluster = self.cluster
         ic = cluster.interconnect
-        yield self.env.timeout(
+        yield self.env.sleep(
             ic.request_cost() if kind == "read" else ic.transfer_cost(nbytes)
         )
         node_idx = cluster.router.node_of(dev_i)
@@ -514,13 +627,13 @@ class ResilientVolume:
                 req = node.submit("read", [(dev_i, abs_off, nbytes)])
                 yield req.admitted
                 arrays = yield req.event
-                yield self.env.timeout(ic.transfer_cost(nbytes))
+                yield self.env.sleep(ic.transfer_cost(nbytes))
                 result = arrays[0]
             else:
                 req = node.submit("write", [(dev_i, abs_off, nbytes)], data=[chunk])
                 yield req.admitted
                 yield req.event
-                yield self.env.timeout(ic.request_cost())
+                yield self.env.sleep(ic.request_cost())
                 result = nbytes
         except TransientIOError:
             if self.failover is not None:

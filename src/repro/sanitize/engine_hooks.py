@@ -135,7 +135,8 @@ class EngineSanitizer:
                     f"{name} lists an ungranted request as a user",
                 )
         if len(users) < resource.capacity and any(
-            not w.triggered for w in resource._waiting
+            not w.triggered and not getattr(w, "_cancelled", False)
+            for w in resource._waiting
         ):
             self._violate(
                 "resource-lost-wakeup",
@@ -373,6 +374,7 @@ def attach(env: Environment, raise_on_violation: bool = False) -> EngineSanitize
     if sanitizer is None:
         sanitizer = EngineSanitizer(env, raise_on_violation)
         env._sanitizer = sanitizer
+        env._hooks_attached()
     else:
         sanitizer.raise_on_violation = raise_on_violation
     return sanitizer

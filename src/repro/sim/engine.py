@@ -13,6 +13,15 @@ that machine (seek, rotation, transfer, compute).
 Determinism contract: given the same program and the same RNG seeds, a
 simulation run produces the same event order and the same final clock.
 Ties in scheduled time are broken by insertion order (FIFO).
+
+Fast mode: an :class:`Environment` runs its event loop through an inlined
+fast path whenever no sanitizer is attached (``fast=None``, the default,
+auto-detects; ``fast=False`` forces the legacy hooked loop). The fast loop
+is observationally identical to the legacy loop — same event order, same
+clock, same values — it only removes per-event hook checks, method-call
+overhead, and :class:`Timeout` allocations (via the :meth:`Environment.
+sleep` pool). Attaching a sanitizer (``repro.sanitize.attach`` or
+``strict=True``) always switches the environment to the hooked loop.
 """
 
 from __future__ import annotations
@@ -133,13 +142,14 @@ class Event:
 class Timeout(Event):
     """An event that fires after a fixed simulated delay."""
 
-    __slots__ = ("delay",)
+    __slots__ = ("delay", "_poolable")
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
         super().__init__(env)
         self.delay = delay
+        self._poolable = False
         self._ok = True
         self._value = value
         env._schedule(self, delay)
@@ -332,14 +342,36 @@ class AnyOf(Condition):
         return self._n_done >= 1
 
 
-class Environment:
-    """The simulation clock and event queue."""
+#: upper bound on recycled Timeout objects kept per environment
+_TIMEOUT_POOL_CAP = 256
 
-    def __init__(self, initial_time: float = 0.0, strict: bool = False):
+
+class Environment:
+    """The simulation clock and event queue.
+
+    ``fast`` selects the event-loop flavour: ``None`` (default) runs the
+    inlined fast loop until a sanitizer is attached, ``False`` always runs
+    the legacy hooked loop (the pre-optimization baseline, useful as the
+    reference side of perf comparisons — see ``docs/PERF.md``). Both
+    flavours produce byte-identical simulated results.
+    """
+
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        strict: bool = False,
+        fast: bool | None = None,
+    ):
         self._now = float(initial_time)
         self._queue: list[tuple[float, int, Event]] = []
         self._eid = 0
         self._active: Process | None = None
+        #: events processed so far (events/sec denominator for perf runs)
+        self._steps = 0
+        #: fast-loop eligibility; cleared when a sanitizer attaches
+        self._fast = fast is not False
+        #: recycled poolable Timeouts (see :meth:`sleep`)
+        self._timeout_pool: list[Timeout] = []
         #: attached EngineSanitizer, if any (see ``repro.sanitize``)
         self._sanitizer: Any = None
         if strict:
@@ -351,6 +383,24 @@ class Environment:
     def sanitizer(self) -> Any:
         """The attached :class:`~repro.sanitize.EngineSanitizer`, if any."""
         return self._sanitizer
+
+    @property
+    def fast_mode(self) -> bool:
+        """True when :meth:`run` will use the inlined fast loop."""
+        return self._fast and self._sanitizer is None
+
+    @property
+    def steps(self) -> int:
+        """Events processed so far (both loop flavours count)."""
+        return self._steps
+
+    def _hooks_attached(self) -> None:
+        """A sanitizer attached: fall back to the hooked legacy loop.
+
+        Takes effect at the next :meth:`run`/:meth:`step` call; a fast loop
+        already in flight finishes its current ``run`` without hooks.
+        """
+        self._fast = False
 
     @property
     def now(self) -> float:
@@ -371,6 +421,35 @@ class Environment:
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event that fires ``delay`` time units from now."""
         return Timeout(self, delay, value)
+
+    def sleep(self, delay: float) -> Timeout:
+        """A pooled :class:`Timeout` for internal hot paths.
+
+        Contract: the caller must ``yield`` the returned event exactly once
+        and must NOT retain a reference to it afterwards — in fast mode the
+        object is recycled the moment it is processed, so ``.value`` /
+        ``.processed`` reads after the yield observe a *different* sleep.
+        Pooling is timing-transparent: a pooled timeout consumes the same
+        schedule slot (eid) as a fresh one, so event order is unchanged.
+        Outside fast mode this is exactly ``timeout(delay)``.
+        """
+        if not self._fast:
+            return Timeout(self, delay)
+        pool = self._timeout_pool
+        if not pool:
+            t = Timeout(self, delay)
+            t._poolable = True
+            return t
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        t = pool.pop()
+        t.delay = delay
+        t._value = None
+        t._processed = False
+        t._defused = False
+        t._poolable = True
+        self._schedule(t, delay)
+        return t
 
     def process(
         self,
@@ -404,6 +483,7 @@ class Environment:
             raise SimulationError("step() on empty event queue")
         when, _, event = heapq.heappop(self._queue)
         self._now = when
+        self._steps += 1
         if self._sanitizer is not None:
             self._sanitizer.on_step(event)
         callbacks = event.callbacks
@@ -425,6 +505,8 @@ class Environment:
         * an :class:`Event` — run until that event is processed, returning
           its value (re-raising its exception if it failed).
         """
+        if self._fast and self._sanitizer is None:
+            return self._run_fast(until)
         if isinstance(until, Event):
             stop = until
             while not stop.processed:
@@ -449,3 +531,88 @@ class Environment:
         while self._queue:
             self.step()
         return None
+
+    def _run_fast(self, until: float | Event | None) -> Any:
+        """The inlined fast event loop (no per-event hook checks).
+
+        Observationally identical to the legacy ``step()`` loop: it pops
+        the same heap in the same order, runs the same callbacks, and
+        raises the same errors. It exists so the hot path pays no method
+        call, no sanitizer test, and no Timeout allocation per event.
+        """
+        queue = self._queue
+        pool = self._timeout_pool
+        pop = heapq.heappop
+        steps = self._steps
+        try:
+            if isinstance(until, Event):
+                stop = until
+                while not stop._processed:
+                    if not queue:
+                        raise SimulationError(
+                            "event queue drained before target event triggered"
+                        )
+                    when, _, event = pop(queue)
+                    self._now = when
+                    steps += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._processed = True
+                    for cb in callbacks:
+                        cb(event)
+                    if event._ok is False and not event._defused:
+                        raise event._value
+                    if type(event) is Timeout and event._poolable:
+                        event._poolable = False
+                        if len(pool) < _TIMEOUT_POOL_CAP:
+                            callbacks.clear()
+                            event.callbacks = callbacks
+                            pool.append(event)
+                if stop._ok:
+                    return stop._value
+                raise stop._value
+            if until is not None:
+                horizon = float(until)
+                if horizon < self._now:
+                    raise ValueError(
+                        f"until={horizon} is in the past (now={self._now})"
+                    )
+                while queue and queue[0][0] <= horizon:
+                    when, _, event = pop(queue)
+                    self._now = when
+                    steps += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    event._processed = True
+                    for cb in callbacks:
+                        cb(event)
+                    if event._ok is False and not event._defused:
+                        raise event._value
+                    if type(event) is Timeout and event._poolable:
+                        event._poolable = False
+                        if len(pool) < _TIMEOUT_POOL_CAP:
+                            callbacks.clear()
+                            event.callbacks = callbacks
+                            pool.append(event)
+                self._now = horizon
+                return None
+            while queue:
+                when, _, event = pop(queue)
+                self._now = when
+                steps += 1
+                callbacks = event.callbacks
+                event.callbacks = None
+                event._processed = True
+                for cb in callbacks:
+                    cb(event)
+                if event._ok is False and not event._defused:
+                    raise event._value
+                if type(event) is Timeout and event._poolable:
+                    event._poolable = False
+                    if len(pool) < _TIMEOUT_POOL_CAP:
+                        callbacks.clear()
+                        event.callbacks = callbacks
+                        pool.append(event)
+            return None
+        finally:
+            self._steps = steps

@@ -33,12 +33,13 @@ class Request(Event):
             ... hold the resource ...
     """
 
-    __slots__ = ("resource", "priority", "_order")
+    __slots__ = ("resource", "priority", "_order", "_cancelled")
 
     def __init__(self, resource: "Resource", priority: float = 0.0):
         super().__init__(resource.env)
         self.resource = resource
         self.priority = priority
+        self._cancelled = False
         resource._order += 1
         self._order = resource._order
         resource._enqueue(self)
@@ -79,6 +80,7 @@ class Resource:
         self.users: list[Request] = []
         self._waiting: deque[Request] = deque()
         self._order = 0
+        self._n_cancelled = 0
 
     # -- queue policy (overridden by PriorityResource) ----------------------
 
@@ -92,10 +94,13 @@ class Resource:
         return bool(self._waiting)
 
     def _discard(self, request: Request) -> None:
-        try:
-            self._waiting.remove(request)
-        except ValueError:
-            pass
+        # Lazy cancellation: an O(n) remove (plus a heapify for the
+        # PriorityResource) per cancel made cancel-heavy workloads
+        # quadratic. Flag the request and let the grant loop skip it when
+        # it surfaces; the counter keeps ``queue_length`` O(1)-exact.
+        if not request._cancelled:
+            request._cancelled = True
+            self._n_cancelled += 1
 
     # -- public API ----------------------------------------------------------
 
@@ -106,8 +111,8 @@ class Resource:
 
     @property
     def queue_length(self) -> int:
-        """Number of requests waiting for a slot."""
-        return len(self._waiting)
+        """Number of requests waiting for a slot (cancelled ones excluded)."""
+        return len(self._waiting) - self._n_cancelled
 
     def request(self, priority: float = 0.0) -> Request:
         """Claim a slot; the returned event triggers once granted."""
@@ -131,6 +136,9 @@ class Resource:
     def _trigger_requests(self) -> None:
         while len(self.users) < self.capacity and self._queue_nonempty():
             req = self._dequeue()
+            if req._cancelled:
+                self._n_cancelled -= 1
+                continue
             if req.triggered:
                 continue
             self.users.append(req)
@@ -156,12 +164,10 @@ class PriorityResource(Resource):
     def _queue_nonempty(self) -> bool:
         return bool(self._waiting)
 
-    def _discard(self, request: Request) -> None:
-        try:
-            self._waiting.remove(request)
-            heapq.heapify(self._waiting)
-        except ValueError:
-            pass
+    # _discard: the base class's lazy-cancellation flag works unchanged for
+    # the heap — cancelled entries keep their slot until dequeued, so no
+    # remove + heapify (O(n)) per cancel, and FIFO-within-priority order
+    # among survivors is untouched.
 
 
 class StorePut(Event):

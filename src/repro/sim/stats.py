@@ -10,6 +10,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
 
 __all__ = [
     "Tally",
@@ -94,19 +97,44 @@ class PercentileTally(Tally):
     time-weighted mean hides tail latency, and tails are exactly what QoS
     scheduling is supposed to bound. Samples are kept unsorted and sorted
     lazily on first percentile query after new data.
+
+    By default every sample is retained, which is exact but unbounded for
+    long-running simulations. Pass ``reservoir=k`` to cap memory at ``k``
+    samples using Vitter's Algorithm R: each of the ``count`` observations
+    ends up in the reservoir with equal probability ``k/count``, so
+    percentiles stay unbiased estimates. The sampler draws from ``rng`` (a
+    ``numpy`` Generator, an int seed, or a named stream from
+    :class:`~repro.sim.rng.RngStreams`) so runs remain deterministic;
+    ``mean``/``variance``/``min``/``max`` stay exact either way.
     """
 
-    __slots__ = ("_samples", "_sorted")
+    __slots__ = ("_samples", "_sorted", "_reservoir", "_rng")
 
-    def __init__(self) -> None:
+    def __init__(self, reservoir: int | None = None, rng: Any = None) -> None:
         super().__init__()
+        if reservoir is not None:
+            if reservoir < 1:
+                raise ValueError(f"reservoir size {reservoir} must be >= 1")
+            if rng is None:
+                rng = 0
+            if not hasattr(rng, "integers"):
+                rng = np.random.default_rng(rng)
         self._samples: list[float] = []
         self._sorted = True
+        self._reservoir = reservoir
+        self._rng = rng
 
     def observe(self, x: float) -> None:
         """Fold one sample in and retain it for percentile queries."""
         super().observe(x)
-        self._samples.append(x)
+        k = self._reservoir
+        if k is None or len(self._samples) < k:
+            self._samples.append(x)
+        else:
+            # Algorithm R: keep slot j with probability k/count.
+            j = int(self._rng.integers(0, self.count))
+            if j < k:
+                self._samples[j] = x
         self._sorted = False
 
     def percentile(self, q: float) -> float:

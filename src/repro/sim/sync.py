@@ -30,6 +30,9 @@ class SimLock:
             lock.release()
     """
 
+    __slots__ = ("env", "_locked", "_waiters", "contended_acquires",
+                 "total_acquires")
+
     def __init__(self, env: Environment):
         self.env = env
         self._locked = False
@@ -80,6 +83,8 @@ class SimLock:
 class SimSemaphore:
     """A counting semaphore with FIFO wakeup."""
 
+    __slots__ = ("env", "_value", "_waiters")
+
     def __init__(self, env: Environment, value: int = 1):
         if value < 0:
             raise ValueError("initial value must be >= 0")
@@ -111,6 +116,8 @@ class SimSemaphore:
 
 class SimBarrier:
     """A reusable phase barrier for ``parties`` processes."""
+
+    __slots__ = ("env", "parties", "_arrived", "generation")
 
     def __init__(self, env: Environment, parties: int):
         if parties < 1:
@@ -148,6 +155,8 @@ class TicketCounter:
     lets benchmark E7 measure exactly that serialization.
     """
 
+    __slots__ = ("env", "_next", "limit", "update_cost", "_lock")
+
     def __init__(
         self,
         env: Environment,
@@ -175,7 +184,7 @@ class TicketCounter:
         yield self._lock.acquire()
         try:
             if self.update_cost > 0:
-                yield self.env.timeout(self.update_cost)
+                yield self.env.sleep(self.update_cost)
             if self.limit is not None and self._next >= self.limit:
                 return None
             ticket = self._next

@@ -35,6 +35,10 @@ __all__ = [
     "StripedLayout",
     "InterleavedLayout",
     "ClusteredLayout",
+    "coalesce_segments",
+    "plan_batch",
+    "gather_payload",
+    "scatter_payload",
     "make_layout",
 ]
 
@@ -46,6 +50,94 @@ class Segment:
     device: int
     offset: int
     length: int
+
+
+def coalesce_segments(segments: list[Segment]) -> list[Segment]:
+    """Merge adjacent segments that are contiguous on the same device.
+
+    This is list I/O at the submission layer: a run of per-unit (or
+    per-block) segments that happens to be device-contiguous becomes one
+    multi-block device request. Only *adjacent* entries merge — the input
+    is in ascending file order and the volume layer reassembles reads by
+    cumulative position, so reordering is not allowed. Merges may cross
+    the boundaries between the byte ranges of a gather: the concatenated
+    payload is still sliced correctly because lengths are preserved.
+    """
+    if len(segments) < 2:
+        return segments
+    out = [segments[0]]
+    for seg in segments[1:]:
+        prev = out[-1]
+        if seg.device == prev.device and seg.offset == prev.offset + prev.length:
+            out[-1] = Segment(prev.device, prev.offset, prev.length + seg.length)
+        else:
+            out.append(seg)
+    return out
+
+
+def plan_batch(
+    segments: list[Segment],
+) -> tuple[list[Segment], list[list[tuple[int, int]]]]:
+    """Full list-I/O planning: group segments by device, merge device runs.
+
+    :func:`coalesce_segments` only merges *list-adjacent* segments, which
+    never fires on striped layouts (consecutive stripe units live on
+    different devices, so same-device segments are never neighbours in
+    file order). This planner merges each device's segments in the order
+    they appear, whenever they are contiguous on that device — a striped
+    scan of ``k`` rounds collapses to one request per device instead of
+    one per stripe unit.
+
+    Grouping reorders the submission list, so the caller can no longer
+    reassemble by cumulative position. The second return value is the
+    scatter plan: ``scatter[i]`` lists the ``(file_pos, length)`` pieces
+    carried by ``merged[i]``, in payload order. ``file_pos`` is the
+    cumulative position across the *input* segment list (for a gather of
+    several ranges: across their concatenation). Submitting the merged
+    segments concurrently is semantics-preserving — the unmerged batch was
+    already issued as one parallel joined batch with no intra-batch
+    ordering.
+    """
+    merged: list[Segment] = []
+    scatter: list[list[tuple[int, int]]] = []
+    last_on_device: dict[int, int] = {}
+    pos = 0
+    for seg in segments:
+        i = last_on_device.get(seg.device)
+        if i is not None:
+            prev = merged[i]
+            if seg.offset == prev.offset + prev.length:
+                merged[i] = Segment(
+                    prev.device, prev.offset, prev.length + seg.length
+                )
+                scatter[i].append((pos, seg.length))
+                pos += seg.length
+                continue
+        merged.append(seg)
+        scatter.append([(pos, seg.length)])
+        last_on_device[seg.device] = len(merged) - 1
+        pos += seg.length
+    return merged, scatter
+
+
+def gather_payload(
+    arr: np.ndarray, pieces: list[tuple[int, int]]
+) -> np.ndarray:
+    """The write payload of one merged segment: its pieces of ``arr``."""
+    if len(pieces) == 1:
+        pos, length = pieces[0]
+        return arr[pos : pos + length]
+    return np.concatenate([arr[pos : pos + length] for pos, length in pieces])
+
+
+def scatter_payload(
+    out: np.ndarray, data: np.ndarray, pieces: list[tuple[int, int]]
+) -> None:
+    """Scatter one merged segment's read payload back to file positions."""
+    off = 0
+    for pos, length in pieces:
+        out[pos : pos + length] = data[off : off + length]
+        off += length
 
 
 class DataLayout(ABC):

@@ -20,7 +20,13 @@ from ..devices.controller import DeviceController
 from ..devices.shadow import ShadowPair
 from ..sim.engine import Environment, Event, Process
 from .allocation import ExtentAllocator
-from .layout import DataLayout, Segment
+from .layout import (
+    DataLayout,
+    Segment,
+    gather_payload,
+    plan_batch,
+    scatter_payload,
+)
 
 __all__ = ["Extent", "Volume"]
 
@@ -62,6 +68,11 @@ class Volume:
         self.allocators = [
             ExtentAllocator(d.capacity_bytes, alignment) for d in devices
         ]
+        #: extent-batched submission: merge device-contiguous segments into
+        #: single multi-block requests before they hit the controllers.
+        #: Off by default — batching changes simulated request sizes and
+        #: therefore timing (see docs/PERF.md).
+        self.coalesce = False
 
     @property
     def n_devices(self) -> int:
@@ -106,6 +117,12 @@ class Volume:
     ) -> Process:
         """Read file bytes ``[offset, offset+nbytes)``; value is a uint8 array."""
         segments = layout.map_range(offset, nbytes)
+        if self.coalesce:
+            merged, scatter = plan_batch(segments)
+            return self.env.process(
+                self._do_read_plan(extent, merged, scatter, nbytes),
+                name="volume.read",
+            )
         return self.env.process(
             self._do_read(extent, segments, nbytes), name="volume.read"
         )
@@ -120,8 +137,72 @@ class Volume:
             else np.asarray(data, dtype=np.uint8)
         )
         segments = layout.map_range(offset, len(arr))
+        if self.coalesce:
+            merged, scatter = plan_batch(segments)
+            return self.env.process(
+                self._do_write_plan(extent, merged, scatter, arr),
+                name="volume.write",
+            )
         return self.env.process(
             self._do_write(extent, segments, arr), name="volume.write"
+        )
+
+    def read_many(
+        self,
+        extent: Extent,
+        layout: DataLayout,
+        ranges: list[tuple[int, int]],
+    ) -> Process:
+        """List-I/O read of several ``(offset, nbytes)`` file byte ranges.
+
+        All ranges are mapped up front and submitted as one batch (one
+        process, one join), with device-contiguous segments merged across
+        range boundaries when ``coalesce`` is on. The value is the single
+        concatenated uint8 array, ranges in list order.
+        """
+        segments: list[Segment] = []
+        total = 0
+        for offset, nbytes in ranges:
+            segments.extend(layout.map_range(offset, nbytes))
+            total += nbytes
+        if self.coalesce:
+            merged, scatter = plan_batch(segments)
+            return self.env.process(
+                self._do_read_plan(extent, merged, scatter, total),
+                name="volume.readmany",
+            )
+        return self.env.process(
+            self._do_read(extent, segments, total), name="volume.readmany"
+        )
+
+    def write_many(
+        self,
+        extent: Extent,
+        layout: DataLayout,
+        ranges: list[tuple[int, int]],
+        data: bytes | np.ndarray,
+    ) -> Process:
+        """List-I/O write: ``data`` is the concatenation of all ranges."""
+        arr = (
+            np.frombuffer(data, dtype=np.uint8)
+            if isinstance(data, (bytes, bytearray))
+            else np.asarray(data, dtype=np.uint8)
+        )
+        segments: list[Segment] = []
+        total = 0
+        for offset, nbytes in ranges:
+            segments.extend(layout.map_range(offset, nbytes))
+            total += nbytes
+        if total != arr.size:
+            raise ValueError(f"ranges cover {total} bytes, data has {arr.size}")
+        if self.coalesce:
+            merged, scatter = plan_batch(segments)
+            return self.env.process(
+                self._do_write_plan(extent, merged, scatter, arr),
+                name="volume.writemany",
+            )
+        return self.env.process(
+            self._do_write(extent, segments, arr), name="volume.writemany"
         )
 
     def _do_read(self, extent: Extent, segments: list[Segment], nbytes: int):
@@ -146,6 +227,46 @@ class Volume:
             chunk = arr[pos : pos + seg.length]
             events.append(dev.write(extent.base(seg.device) + seg.offset, chunk))
             pos += seg.length
+        if events:
+            yield self.env.all_of(events)
+        return int(arr.size)
+
+    # -- list-I/O (plan_batch) submission: one request per device run ----------
+
+    def _do_read_plan(
+        self,
+        extent: Extent,
+        segments: list[Segment],
+        scatter: list[list[tuple[int, int]]],
+        nbytes: int,
+    ):
+        events: list[Event] = []
+        for seg in segments:
+            dev = self.devices[seg.device]
+            events.append(dev.read(extent.base(seg.device) + seg.offset, seg.length))
+        if events:
+            yield self.env.all_of(events)
+        out = np.empty(nbytes, dtype=np.uint8)
+        for pieces, ev in zip(scatter, events):
+            scatter_payload(out, ev.value, pieces)
+        return out
+
+    def _do_write_plan(
+        self,
+        extent: Extent,
+        segments: list[Segment],
+        scatter: list[list[tuple[int, int]]],
+        arr: np.ndarray,
+    ):
+        events: list[Event] = []
+        for seg, pieces in zip(segments, scatter):
+            dev = self.devices[seg.device]
+            events.append(
+                dev.write(
+                    extent.base(seg.device) + seg.offset,
+                    gather_payload(arr, pieces),
+                )
+            )
         if events:
             yield self.env.all_of(events)
         return int(arr.size)

@@ -1,6 +1,6 @@
 """Tracing, reporting, and figure rendering."""
 
-from .events import AccessEvent, TraceRecorder
+from .events import AccessEvent, NullTraceRecorder, TraceRecorder
 from .gantt import render_device_gantt, render_gantt
 from .figures import render_block_map, render_figure1_panel, render_timeline
 from .report import (
@@ -18,6 +18,7 @@ from .report import (
 __all__ = [
     "AccessEvent",
     "TraceRecorder",
+    "NullTraceRecorder",
     "render_device_gantt",
     "render_gantt",
     "render_block_map",

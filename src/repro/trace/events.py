@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Literal
 
-__all__ = ["AccessEvent", "TraceRecorder"]
+__all__ = ["AccessEvent", "TraceRecorder", "NullTraceRecorder"]
 
 
 @dataclass(frozen=True)
@@ -24,6 +24,10 @@ class AccessEvent:
 @dataclass
 class TraceRecorder:
     """Accumulates :class:`AccessEvent` rows during a run."""
+
+    #: False for a recorder that actually stores events; the fs layer
+    #: skips per-block trace work entirely when the recorder ``is_noop``
+    is_noop = False
 
     events: list[AccessEvent] = field(default_factory=list)
 
@@ -65,3 +69,29 @@ class TraceRecorder:
     def clear(self) -> None:
         """Drop all recorded events."""
         self.events.clear()
+
+
+@dataclass
+class NullTraceRecorder(TraceRecorder):
+    """A recorder that drops everything — zero allocations per access.
+
+    For benchmarks and CI, where nothing consumes the trace: it satisfies
+    the :class:`TraceRecorder` interface, but ``record`` is a no-op and the
+    fs layer's ``is_noop`` check short-circuits the per-block trace loops
+    before they even compute block spans. Collecting tracing is the
+    explicit opt-in (pass a real ``TraceRecorder``).
+    """
+
+    is_noop = True
+
+    def record(
+        self,
+        time: float,
+        process: int,
+        op: str,
+        file: str,
+        block: int,
+        records: int,
+        nbytes: int,
+    ) -> None:
+        """Drop the event."""

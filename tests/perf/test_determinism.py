@@ -1,0 +1,121 @@
+"""Golden event-trace digests: the fast paths must not move the simulation.
+
+For every organization, on both stacks (bare, full), under both
+submission modes (per-block, extent-batched), the outcome digest —
+final clock, event/step counters, device statistics, media bytes — must
+be identical between the legacy hooked engine loop (``fast=False``) and
+the fast loop, **and** equal to the golden value committed in
+``tests/baselines/engine_digests.json``.
+
+The golden file pins the simulation across refactors: any change to
+event ordering, device timing, or stored bytes shows up as a digest
+mismatch here before it can silently shift benchmark results. Batched
+digests legitimately differ from per-block ones (batching changes
+request sizes, hence timing) — each (stack, submission) cell has its own
+golden value.
+
+This test also runs under ``--sanitize``: the suite-wide sanitizer hook
+forces every environment onto the hooked loop, and because the sanitizer
+only observes, the digests must still match the golden values.
+
+Regenerate after an intentional timing change::
+
+    PYTHONPATH=src python tests/perf/test_determinism.py --regen
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import build_parallel_fs
+from repro.perf import ORGS, WorkloadConfig, digest, run_org
+from repro.qos import QoSConfig
+from repro.resilience import ResilienceConfig
+from repro.sim import Environment
+from repro.trace import NullTraceRecorder, TraceRecorder
+
+GOLDEN = Path(__file__).parent.parent / "baselines" / "engine_digests.json"
+
+N_DEVICES = 4
+IO_NODES = 2
+STACKS = ("bare", "full")
+SUBMISSIONS = ("per_block", "batched")
+
+
+def _config() -> WorkloadConfig:
+    return WorkloadConfig(n_records=480)
+
+
+def _build(stack: str, batched: bool, fast: bool):
+    env = Environment(fast=None if fast else False)
+    recorder = NullTraceRecorder() if fast else TraceRecorder()
+    kw = {}
+    if stack == "full":
+        kw = dict(
+            io_nodes=IO_NODES,
+            resilience=ResilienceConfig(protection="parity", spares=1),
+            qos=QoSConfig(),
+        )
+    pfs = build_parallel_fs(
+        env, N_DEVICES, recorder=recorder, batch_io=batched, **kw
+    )
+    return env, pfs
+
+
+def _digest(stack: str, submission: str, org: str, fast: bool) -> str:
+    env, pfs = _build(stack, submission == "batched", fast)
+    f = run_org(env, pfs, org, _config())
+    env.run()
+    return digest(env, pfs, [f])
+
+
+def _compute_all() -> dict:
+    out = {}
+    for stack in STACKS:
+        for submission in SUBMISSIONS:
+            cell = out.setdefault(f"{stack}/{submission}", {})
+            for org in ORGS:
+                cell[org] = _digest(stack, submission, org, fast=True)
+    return out
+
+
+@pytest.fixture(scope="module")
+def golden():
+    assert GOLDEN.exists(), (
+        f"missing golden digests {GOLDEN}; regenerate with "
+        f"PYTHONPATH=src python {__file__} --regen"
+    )
+    return json.loads(GOLDEN.read_text())
+
+
+@pytest.mark.parametrize("stack", STACKS)
+@pytest.mark.parametrize("submission", SUBMISSIONS)
+@pytest.mark.parametrize("org", ORGS)
+def test_digest_matches_golden_both_engines(golden, stack, submission, org):
+    want = golden[f"{stack}/{submission}"][org]
+    got_fast = _digest(stack, submission, org, fast=True)
+    got_normal = _digest(stack, submission, org, fast=False)
+    assert got_fast == got_normal, (
+        f"fast and hooked loops diverged: {stack}/{submission} {org}"
+    )
+    assert got_fast == want, (
+        f"simulation outcome changed vs golden: {stack}/{submission} {org} "
+        f"(regenerate the baseline only for an intentional timing change)"
+    )
+
+
+def test_golden_covers_every_cell(golden):
+    assert set(golden) == {f"{s}/{m}" for s in STACKS for m in SUBMISSIONS}
+    for cell in golden.values():
+        assert set(cell) == set(ORGS)
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" not in sys.argv:
+        raise SystemExit(f"usage: python {sys.argv[0]} --regen")
+    GOLDEN.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN.write_text(json.dumps(_compute_all(), indent=2) + "\n")
+    print(f"wrote {GOLDEN}")

@@ -1,0 +1,81 @@
+"""Scaling guards for the dispatch-path O(n) fixes.
+
+Two hot paths used to do linear scans per operation and went quadratic
+under load: :meth:`WeightedFairQueue.dispatch` (a full-backlog walk to
+maintain bypass counts) and :meth:`Resource.release` of a still-waiting
+request (an O(n) remove from the wait list). Both are now amortized
+O(log n) or O(1). These guards re-run each path at two backlog sizes and
+fail if per-operation cost grows anywhere near linearly with backlog —
+i.e. if total cost has gone quadratic again.
+
+The bounds are deliberately loose (quadratic regressions blow through
+them by an order of magnitude; host noise does not). Each measurement is
+a min-of-3 to reject scheduler hiccups.
+"""
+
+import time
+
+from repro.qos.scheduler import WeightedFairQueue
+from repro.qos.tenant import QoSClass, Tenant
+from repro.sim import Environment
+from repro.sim.resources import Resource
+
+
+def _min_of(runs, fn):
+    best = None
+    for _ in range(runs):
+        t0 = time.perf_counter()
+        fn()
+        dt = time.perf_counter() - t0
+        best = dt if best is None else min(best, dt)
+    return best
+
+
+def _wfq_dispatch_cost(backlog: int, dispatches: int) -> float:
+    tenant = Tenant(Environment(), QoSClass("t"))
+
+    def run():
+        q = WeightedFairQueue()
+        tags = [q.tag(tenant, cost=64.0) for _ in range(backlog + dispatches)]
+        # serve the newest first so a large backlog stays resident while
+        # every dispatch maintains the oldest waiter's bypass count
+        for tag in reversed(tags[backlog:]):
+            q.dispatch(tag)
+
+    return _min_of(3, run) / dispatches
+
+
+def test_wfq_dispatch_scales_with_backlog():
+    small = _wfq_dispatch_cost(backlog=16, dispatches=2048)
+    large = _wfq_dispatch_cost(backlog=4096, dispatches=2048)
+    # O(backlog) per dispatch would make this ratio ~256
+    assert large < small * 32, (
+        f"WFQ dispatch went superlinear: {small * 1e6:.2f}us/op at backlog 16 "
+        f"vs {large * 1e6:.2f}us/op at backlog 4096"
+    )
+
+
+def _cancel_cost(waiters: int) -> float:
+    def run():
+        env = Environment()
+        res = Resource(env, capacity=1)
+        held = res.request()
+        env.run()
+        reqs = [res.request() for _ in range(waiters)]
+        for r in reqs:
+            res.release(r)  # still waiting: a cancel
+        res.release(held)
+        env.run()
+        assert res.queue_length == 0
+
+    return _min_of(3, run) / waiters
+
+
+def test_resource_cancel_scales_with_waiters():
+    small = _cancel_cost(256)
+    large = _cancel_cost(4096)
+    # O(waiters) per cancel would make this ratio ~16
+    assert large < small * 8, (
+        f"Resource cancel went superlinear: {small * 1e6:.2f}us/op with 256 "
+        f"waiters vs {large * 1e6:.2f}us/op with 4096"
+    )

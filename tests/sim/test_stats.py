@@ -171,3 +171,66 @@ class TestPercentileTally:
         t.observe(4.0)
         assert t.count == 2
         assert t.mean == pytest.approx(3.0)
+
+
+class TestPercentileTallyReservoir:
+    def test_bounds_memory_at_reservoir_size(self):
+        from repro.sim import PercentileTally
+
+        t = PercentileTally(reservoir=64)
+        for v in range(10_000):
+            t.observe(float(v))
+        assert len(t._samples) == 64
+        assert t.count == 10_000
+
+    def test_exact_below_capacity(self):
+        from repro.sim import PercentileTally
+
+        t = PercentileTally(reservoir=100)
+        for v in [4.0, 1.0, 3.0, 2.0]:
+            t.observe(v)
+        assert t.percentile(50) == pytest.approx(2.5)
+
+    def test_moments_stay_exact(self):
+        from repro.sim import PercentileTally
+
+        exact = PercentileTally()
+        sampled = PercentileTally(reservoir=16)
+        rng = np.random.default_rng(3)
+        for v in rng.exponential(5.0, size=5_000):
+            exact.observe(float(v))
+            sampled.observe(float(v))
+        assert sampled.count == exact.count
+        assert sampled.mean == pytest.approx(exact.mean)
+        assert sampled.min == exact.min
+        assert sampled.max == exact.max
+
+    def test_p95_error_is_small(self):
+        from repro.sim import PercentileTally
+
+        rng = np.random.default_rng(11)
+        samples = rng.exponential(10.0, size=50_000)
+        t = PercentileTally(reservoir=2048, rng=42)
+        for v in samples:
+            t.observe(float(v))
+        true_p95 = float(np.percentile(samples, 95))
+        # Algorithm R keeps an unbiased uniform sample: with 2048 kept
+        # samples the p95 estimate lands within a few percent
+        assert t.percentile(95) == pytest.approx(true_p95, rel=0.10)
+
+    def test_deterministic_given_seed(self):
+        from repro.sim import PercentileTally
+
+        def run():
+            t = PercentileTally(reservoir=32, rng=7)
+            for v in range(1_000):
+                t.observe(float(v * 13 % 997))
+            return sorted(t._samples)
+
+        assert run() == run()
+
+    def test_rejects_bad_size(self):
+        from repro.sim import PercentileTally
+
+        with pytest.raises(ValueError):
+            PercentileTally(reservoir=0)
