@@ -1,0 +1,298 @@
+"""X2 (extension) — the four-rung access-optimization hierarchy.
+
+Thakur et al.'s MPI-IO ladder, reproduced on the strided IS workload:
+each of ``P`` processes wants every ``P``-th record of a shared file —
+the access pattern the paper's interleaved-sequential organization
+creates. Four ways to run the same read, from naive to coordinated:
+
+1. **per-segment**   — one request per contiguous piece, sequentially;
+2. **list I/O**      — all pieces in one batched submission
+                       (``read_view`` over the partition's indexed view,
+                       ``batch_io`` merging device-contiguous segments);
+3. **data sieving**  — one covering extent per process, scatter in
+                       memory (``read_view(sieve=True)``);
+4. **collective**    — two-phase: contiguous file domains + in-memory
+                       exchange (``CollectiveIO.read_all``).
+
+Each rung must be at least as fast (simulated) as the one above it —
+the hierarchy every MPI-IO implementation's defaults are built on.
+
+A second table pins down write correctness across all six organizations:
+a collective ``write_all`` must leave media bytes *identical* to the
+same records written independently by each process (sha256 of the raw
+device extents). SS/GDA have no static ownership, so they run under
+``allow_dynamic=True`` with an explicit balanced index split.
+
+Output: ``benchmarks/results/collective_hierarchy.txt`` and the
+machine-readable ``benchmarks/results/BENCH_collective.json``.
+
+CLI::
+
+    PYTHONPATH=src python benchmarks/bench_collective_hierarchy.py \
+        [--quick] [--json PATH]
+
+Quick mode (``--quick`` or ``REPRO_BENCH_QUICK=1``) shrinks the file for
+CI smoke runs.
+"""
+
+import argparse
+import hashlib
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+
+from repro import Environment, build_parallel_fs
+from repro.collective import CollectiveIO
+from repro.core.convert import contiguous_runs
+from repro.datatype import view_of_map
+from repro.devices import FAST_1989, DiskGeometry
+from repro.perf import ORGS, write_bench_json
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+RECORD = 256
+GEO = DiskGeometry(block_size=4096, blocks_per_cylinder=16, cylinders=512)
+N_DEVICES = 4
+
+RUNGS = ("per_segment", "list_io", "data_sieving", "collective")
+
+
+def params(quick: bool):
+    if quick:
+        return dict(n_records=512, p=4)
+    return dict(n_records=4096, p=4)
+
+
+def setup_file(env, org, n_records, p, batch=False, **create_kw):
+    pfs = build_parallel_fs(
+        env, N_DEVICES, timing=FAST_1989, geometry=GEO, batch_io=batch
+    )
+    f = pfs.create(
+        "x2", org, n_records=n_records, record_size=RECORD,
+        records_per_block=1, n_processes=p, layout="striped",
+        stripe_unit=65536, **create_kw,
+    )
+
+    def fill():
+        raw = (np.arange(n_records * RECORD, dtype=np.uint64) % 251)
+        yield from f.global_view().write(
+            raw.astype(np.uint8).reshape(n_records, RECORD)
+        )
+
+    env.run(env.process(fill()))
+    return f
+
+
+# -- the four read rungs ------------------------------------------------------
+
+
+def run_per_segment(n_records, p):
+    env = Environment()
+    f = setup_file(env, "IS", n_records, p)
+    start = env.now
+
+    def worker(q):
+        for run in contiguous_runs(f.map.records_of(q)):
+            yield f.read_records(run.start, run.count)
+
+    env.run(env.all_of([env.process(worker(q)) for q in range(p)]))
+    return env.now - start
+
+
+def run_list_io(n_records, p):
+    env = Environment()
+    f = setup_file(env, "IS", n_records, p, batch=True)
+    start = env.now
+
+    def worker(q):
+        yield f.read_view(view_of_map(f.map, q))
+
+    env.run(env.all_of([env.process(worker(q)) for q in range(p)]))
+    return env.now - start
+
+
+def run_data_sieving(n_records, p):
+    env = Environment()
+    f = setup_file(env, "IS", n_records, p, batch=True)
+    start = env.now
+
+    def worker(q):
+        # the strided partition spans ~the whole file: allow a covering
+        # extent p times the payload, big enough window for one read
+        yield f.read_view(
+            view_of_map(f.map, q),
+            sieve=True, sieve_factor=p * 1.25, sieve_window=1 << 26,
+        )
+
+    env.run(env.all_of([env.process(worker(q)) for q in range(p)]))
+    return env.now - start
+
+
+def run_collective(n_records, p):
+    env = Environment()
+    f = setup_file(env, "IS", n_records, p, batch=True)
+    coll = CollectiveIO(f)
+    start = env.now
+
+    def driver():
+        yield from coll.read_all()
+
+    env.run(env.process(driver()))
+    return env.now - start
+
+
+# -- six-organization write identity -----------------------------------------
+
+
+def media_digest(f):
+    raw = f.volume.peek(f.entry.extent, f.layout, 0, f.attrs.file_bytes)
+    return hashlib.sha256(np.ascontiguousarray(raw).tobytes()).hexdigest()
+
+
+def org_indices(f, org, p):
+    """Per-process record ownership for the write-identity check."""
+    if f.map.is_static:
+        return {q: f.map.records_of(q) for q in range(p)}
+    # dynamic orgs: a balanced explicit split
+    n = f.n_records
+    bounds = np.linspace(0, n, p + 1).astype(np.int64)
+    return {q: np.arange(bounds[q], bounds[q + 1]) for q in range(p)}
+
+
+def check_write_identity(org, n_records, p):
+    """Collective write_all vs per-process independent writes: same bytes."""
+    data = (
+        np.random.default_rng(42).integers(0, 251, (n_records, RECORD))
+        .astype(np.uint8)
+    )
+    def build(env):
+        return setup_file(env, org, n_records, p)
+
+    env_c = Environment()
+    f_c = build(env_c)
+    idx = org_indices(f_c, org, p)
+    coll = CollectiveIO(f_c, allow_dynamic=not f_c.map.is_static)
+    per_process = {q: data[idx[q]] for q in range(p)}
+
+    def cproc():
+        yield from coll.write_all(
+            per_process, None if f_c.map.is_static else idx
+        )
+
+    env_c.run(env_c.process(cproc()))
+
+    env_i = Environment()
+    f_i = build(env_i)
+
+    def writer(q):
+        rows, pos = data[idx[q]], 0
+        for run in contiguous_runs(idx[q]):
+            yield f_i.write_records(run.start, rows[pos : pos + run.count])
+            pos += run.count
+
+    env_i.run(env_i.all_of([env_i.process(writer(q)) for q in range(p)]))
+    return media_digest(f_c) == media_digest(f_i)
+
+
+# -- driver -------------------------------------------------------------------
+
+
+def run_bench(quick: bool):
+    cfg = params(quick)
+    n, p = cfg["n_records"], cfg["p"]
+    times = {
+        "per_segment": run_per_segment(n, p),
+        "list_io": run_list_io(n, p),
+        "data_sieving": run_data_sieving(n, p),
+        "collective": run_collective(n, p),
+    }
+    # each rung at least as fast as the one above (tiny numeric slack)
+    hierarchy_ok = (
+        times["collective"] <= times["data_sieving"] * 1.001
+        and times["data_sieving"] <= times["list_io"] * 1.001
+        and times["list_io"] <= times["per_segment"] * 1.001
+    )
+    write_identical = {org: check_write_identity(org, n, p) for org in ORGS}
+
+    record = {
+        "bench": "collective_hierarchy",
+        "quick": quick,
+        "config": {
+            "n_records": n,
+            "record_size": RECORD,
+            "n_processes": p,
+            "n_devices": N_DEVICES,
+            "org": "IS",
+            "records_per_block": 1,
+            "layout": "striped",
+        },
+        "rungs": {name: {"sim_s": times[name]} for name in RUNGS},
+        "hierarchy_ok": hierarchy_ok,
+        "write_identical": write_identical,
+    }
+
+    rows = [
+        f"{name:<14s} elapsed={times[name] * 1e3:9.1f} ms" for name in RUNGS
+    ]
+    rows.append(f"hierarchy (collective <= sieving <= list <= segment): "
+                f"{'OK' if hierarchy_ok else 'VIOLATED'}")
+    rows.append(
+        "write identity (collective == independent, media sha256): "
+        + ", ".join(
+            f"{org}={'OK' if ok else 'FAIL'}"
+            for org, ok in write_identical.items()
+        )
+    )
+    return record, rows
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true", default=QUICK,
+                    help="small file for CI smoke runs")
+    ap.add_argument("--json", default=None, metavar="PATH",
+                    help="where to write BENCH_collective.json "
+                         "(default: benchmarks/results/BENCH_collective.json)")
+    args = ap.parse_args(argv)
+
+    results = Path(__file__).parent / "results"
+    results.mkdir(exist_ok=True)
+    out_path = (
+        Path(args.json) if args.json else results / "BENCH_collective.json"
+    )
+
+    record, rows = run_bench(args.quick)
+    title = ("X2 (extension): access-optimization hierarchy, IS strided "
+             f"workload, {record['config']['n_processes']} processes")
+    text = "\n".join([title, "=" * len(title), *rows, ""])
+    (results / "collective_hierarchy.txt").write_text(text)
+    print(text)
+
+    write_bench_json(out_path, record)
+    print(f"wrote {out_path}")
+
+    ok = record["hierarchy_ok"] and all(record["write_identical"].values())
+    return 0 if ok else 1
+
+
+# -- pytest entry (CI smoke: REPRO_BENCH_QUICK=1 pytest benchmarks/bench_collective_hierarchy.py)
+
+
+def test_x2_collective_hierarchy(results_dir):
+    record, rows = run_bench(quick=QUICK)
+    from conftest import write_table
+
+    title = ("X2 (extension): access-optimization hierarchy, IS strided "
+             f"workload, {record['config']['n_processes']} processes")
+    write_table(results_dir, "collective_hierarchy", title, rows)
+    write_bench_json(results_dir / "BENCH_collective.json", record)
+    assert record["hierarchy_ok"]
+    assert all(record["write_identical"].values())
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -30,6 +30,7 @@ paper-versus-measured record.
 """
 
 from .baselines import FilePerProcessDataset, build_parallel_fs, single_device_fs
+from .collective import CollectiveIO
 from .core import (
     BlockSpec,
     FileCategory,
@@ -37,6 +38,14 @@ from .core import (
     OrganizationMap,
     RecordSpec,
     make_map,
+)
+from .datatype import (
+    ContiguousView,
+    FileView,
+    IndexedView,
+    NestedStridedView,
+    StridedView,
+    view_of_map,
 )
 from .fs import (
     BackupManager,
@@ -76,6 +85,13 @@ __all__ = [
     "FilePerProcessDataset",
     "build_parallel_fs",
     "single_device_fs",
+    "CollectiveIO",
+    "FileView",
+    "ContiguousView",
+    "StridedView",
+    "NestedStridedView",
+    "IndexedView",
+    "view_of_map",
     "BlockSpec",
     "FileCategory",
     "FileOrganization",

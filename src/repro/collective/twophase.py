@@ -7,18 +7,28 @@ process of a parallel program participates in one logical transfer whose
 per-process pieces are small and strided (the IS internal view is the
 canonical case), it is cheaper to
 
-1. **Phase 1 (I/O)** — divide the *file* into one contiguous domain per
-   process and have each process transfer only its own domain with a few
-   large sequential requests, then
+1. **Phase 1 (I/O)** — divide the *file range* into one contiguous domain
+   per process (its *file domain*) and have each process transfer only
+   its own domain with a few large sequential requests, then
 2. **Phase 2 (exchange)** — redistribute the data in memory, over the
    interconnect, to the processes that actually want each record.
 
 The trade: phase 1 converts many seeks into streaming transfers; phase 2
-adds interconnect traffic. Benchmark X1 measures the crossover against
-independent strided reads.
+adds interconnect traffic. Benchmarks X1 and X2 (the access-optimization
+hierarchy) measure the crossover against independent strided, list-I/O,
+and data-sieving access.
 
-This module implements collective read and write over any *static*
-organization map, with a parametric interconnect cost model.
+Collective writes run the phases in the other order: each process first
+*exchanges* the records that fall outside its own file domain to the
+domain owners (charged per process, for the bytes it actually ships),
+then every owner assembles its contiguous domain — read-filling any
+record no process contributed, so unwritten bytes keep their previous
+contents — and writes it with one transfer.
+
+Both directions are *ranged* (``read_at`` / ``write_at`` over any record
+span) and accept explicit per-process index lists, which is what makes
+collectives work for the dynamic organizations (SS/GDA, where no static
+map says who owns what) under ``allow_dynamic=True``.
 """
 
 from __future__ import annotations
@@ -27,6 +37,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..core.convert import contiguous_runs
 from ..core.errors import OrganizationError
 from ..sim.sync import SimBarrier
 
@@ -37,12 +48,18 @@ __all__ = ["CollectiveIO"]
 
 
 class CollectiveIO:
-    """Coordinated whole-file transfers for all processes of a file.
+    """Coordinated ranged transfers for all processes of a file.
 
     ``exchange_rate`` (bytes/second) and ``exchange_latency`` (seconds per
-    message) model the interconnect of phase 2. The 1989-flavoured
-    default (10 MB/s, 100 µs) is an order of magnitude faster than one
-    disk — the regime in which two-phase I/O pays off.
+    message) model the interconnect of the exchange phase. The
+    1989-flavoured default (10 MB/s, 100 µs) is an order of magnitude
+    faster than one disk — the regime in which two-phase I/O pays off.
+
+    By default the file must have a static organization (S/PS/IS/PDA), so
+    the organization map determines which records each process wants.
+    ``allow_dynamic=True`` admits SS/GDA files too; every collective call
+    must then pass explicit ``indices`` (there is no static ownership to
+    consult).
     """
 
     def __init__(
@@ -50,10 +67,14 @@ class CollectiveIO:
         file: "ParallelFile",
         exchange_rate: float = 10e6,
         exchange_latency: float = 1e-4,
+        *,
+        allow_dynamic: bool = False,
     ):
-        if not file.map.is_static:
+        if not file.map.is_static and not allow_dynamic:
             raise OrganizationError(
-                "collective I/O requires a static organization (S/PS/IS/PDA)"
+                "collective I/O requires a static organization (S/PS/IS/PDA); "
+                "pass allow_dynamic=True and explicit indices= to run "
+                "collectives over SS/GDA files"
             )
         if exchange_rate <= 0 or exchange_latency < 0:
             raise ValueError("invalid interconnect parameters")
@@ -62,15 +83,22 @@ class CollectiveIO:
         self.exchange_latency = exchange_latency
         #: bytes moved over the interconnect by the last operation
         self.last_exchange_bytes = 0
+        #: per-process interconnect bytes of the last operation
+        self.last_remote_bytes: dict[int, int] = {}
 
     # -- file domains ---------------------------------------------------------
 
-    def file_domain(self, process: int) -> tuple[int, int]:
-        """Half-open global record range process ``process`` transfers in
-        phase 1 (a balanced contiguous split of the file)."""
-        n, p = self.file.n_records, self.file.map.n_processes
-        q, r = divmod(n, p)
-        lo = process * q + min(process, r)
+    def file_domain(
+        self, process: int, start: int = 0, count: int | None = None
+    ) -> tuple[int, int]:
+        """Half-open record range ``process`` transfers in the I/O phase —
+        a balanced contiguous split of ``[start, start + count)`` (the
+        whole file by default)."""
+        if count is None:
+            count = self.file.n_records - start
+        p = self.file.map.n_processes
+        q, r = divmod(count, p)
+        lo = start + process * q + min(process, r)
         hi = lo + q + (1 if process < r else 0)
         return lo, hi
 
@@ -79,60 +107,102 @@ class CollectiveIO:
             return 0.0
         return self.exchange_latency + nbytes / self.exchange_rate
 
+    def _wanted(
+        self, start: int, count: int, indices
+    ) -> dict[int, np.ndarray]:
+        """Per-process global record indices for a ranged collective.
+
+        Defaults to each process's organization-map sequence clipped to
+        the range; explicit ``indices`` (``{process: array}``) override it
+        and are required for dynamic organizations.
+        """
+        m = self.file.map
+        p = m.n_processes
+        end = start + count
+        out: dict[int, np.ndarray] = {}
+        if indices is None:
+            if not m.is_static:
+                raise OrganizationError(
+                    f"{m.org.name} files have no static record ownership; "
+                    "pass explicit indices={process: records}"
+                )
+            for q in range(p):
+                recs = m.records_of(q)
+                out[q] = recs[(recs >= start) & (recs < end)]
+            return out
+        if sorted(indices) != list(range(p)):
+            raise ValueError("need indices for every process")
+        for q in range(p):
+            arr = np.asarray(indices[q], dtype=np.int64)
+            if arr.size and (arr.min() < start or arr.max() >= end):
+                raise ValueError(
+                    f"process {q} indices outside range [{start}, {end})"
+                )
+            out[q] = arr
+        return out
+
     # -- collective read --------------------------------------------------------
 
-    def read_all(self):
+    def read_all(self, indices=None):
         """Generator: every process's records, via two-phase transfer.
 
         Returns ``{process: array}`` where each array holds the process's
-        records in its internal-view order (exactly what independent
-        ``read_next(n_local_records)`` calls would have returned).
+        records in its access order (exactly what independent reads would
+        have returned). See :meth:`read_at` for ``indices``.
+        """
+        return (yield from self.read_at(0, self.file.n_records, indices))
+
+    def read_at(self, start: int, count: int, indices=None):
+        """Generator: ranged two-phase collective read of
+        ``[start, start + count)``.
+
+        Each process reads its file domain of the range with one
+        contiguous transfer, then pulls the records it wants from the
+        owning domains over the interconnect (each process is charged the
+        bytes *it* fetched remotely). ``indices`` optionally gives each
+        process's wanted records explicitly (required for dynamic
+        organizations); duplicates across processes are fine for reads.
         """
         env = self.file.env
-        m = self.file.map
-        p = m.n_processes
+        p = self.file.map.n_processes
+        self.file._check_span(start, count)
+        wanted_of = self._wanted(start, count, indices)
+        spec = self.file.attrs.record_spec
+        record_size = spec.record_size
+        bounds = [self.file_domain(q, start, count) for q in range(p)]
         barrier = SimBarrier(env, p)
         domains: dict[int, np.ndarray] = {}
-        domain_lo: dict[int, int] = {}
-        exchange_bytes = [0]
-        record_size = self.file.attrs.record_size
+        remote: dict[int, int] = {}
 
         def phase_worker(q: int):
-            # phase 1: read my contiguous file domain
-            lo, hi = self.file_domain(q)
-            domain_lo[q] = lo
+            # I/O phase: read my contiguous file domain
+            lo, hi = bounds[q]
             if hi > lo:
                 domains[q] = yield self.file.read_records(lo, hi - lo)
             else:
-                domains[q] = self.file.attrs.record_spec.decode(b"")
+                domains[q] = spec.decode(b"")
             yield barrier.wait()
-            # phase 2: pull my records from the owning domains
-            wanted = m.records_of(q)
+            # exchange phase: pull my records from the owning domains
+            wanted = wanted_of[q]
             if len(wanted) == 0:
-                return q, self.file.attrs.record_spec.decode(b"")
-            pieces = []
+                remote[q] = 0
+                return q, spec.decode(b"")
+            out = np.empty(
+                (len(wanted), spec.items_per_record), dtype=spec.dtype
+            )
             remote_bytes = 0
             for src in range(p):
-                s_lo, s_hi = self.file_domain(src)
+                s_lo, s_hi = bounds[src]
                 mask = (wanted >= s_lo) & (wanted < s_hi)
                 if not mask.any():
                     continue
                 take = domains[src][wanted[mask] - s_lo]
-                pieces.append((wanted[mask], take))
+                out[mask] = take
                 if src != q:
                     remote_bytes += take.shape[0] * record_size
+            remote[q] = remote_bytes
             if remote_bytes:
-                exchange_bytes[0] += remote_bytes
                 yield env.timeout(self._exchange_cost(remote_bytes))
-            # reassemble in wanted order
-            out = np.empty(
-                (len(wanted), self.file.attrs.record_spec.items_per_record),
-                dtype=self.file.attrs.record_spec.dtype,
-            )
-            pos_of = {int(r): i for i, r in enumerate(wanted)}
-            for idx, take in pieces:
-                for r, row in zip(idx, take):
-                    out[pos_of[int(r)]] = row
             return q, out
 
         def driver():
@@ -141,63 +211,138 @@ class CollectiveIO:
             return dict(results.values())
 
         result = yield env.process(driver())
-        self.last_exchange_bytes = exchange_bytes[0]
+        self.last_remote_bytes = dict(remote)
+        self.last_exchange_bytes = sum(remote.values())
         return result
 
     # -- collective write ----------------------------------------------------------
 
-    def write_all(self, per_process: dict[int, np.ndarray]):
+    def write_all(self, per_process: dict[int, np.ndarray], indices=None):
         """Generator: every process contributes its records; two-phase.
 
-        ``per_process[q]`` holds process q's records in its internal-view
-        order. Phase 1 exchanges records to the file-domain owners; phase
-        2 each owner writes its contiguous domain with one transfer.
+        ``per_process[q]`` holds process q's records in its access order.
+        See :meth:`write_at`.
+        """
+        return (
+            yield from self.write_at(
+                0, self.file.n_records, per_process, indices
+            )
+        )
+
+    def write_at(
+        self,
+        start: int,
+        count: int,
+        per_process: dict[int, np.ndarray],
+        indices=None,
+    ):
+        """Generator: ranged two-phase collective write of
+        ``[start, start + count)``.
+
+        Exchange phase: each process partitions its own records by file
+        domain and ships the ones crossing into other domains (charged
+        per process for the bytes it actually sends). I/O phase: each
+        domain owner assembles its contiguous domain from the received
+        pieces — records no process contributed are *read-filled* from
+        the file first, so unwritten ranges keep their previous contents
+        instead of receiving uninitialized garbage — and writes it with
+        one transfer.
+
+        ``indices`` optionally gives each process's record placement
+        explicitly (required for dynamic organizations). Index lists must
+        be disjoint across processes: overlapping collective writes have
+        no defined outcome.
         """
         env = self.file.env
         m = self.file.map
         p = m.n_processes
         spec = self.file.attrs.record_spec
+        items = spec.items_per_record
+        self.file._check_span(start, count)
+        wanted_of = self._wanted(start, count, indices)
         if sorted(per_process) != list(range(p)):
             raise ValueError("need data for every process")
-        # assemble the global image in memory domains (the exchange)
-        exchange_bytes = 0
-        n = self.file.n_records
-        items = spec.items_per_record
-        global_img = np.empty((n, items), dtype=spec.dtype)
+        data_of: dict[int, np.ndarray] = {}
         for q in range(p):
-            wanted = m.records_of(q)
             data = np.asarray(per_process[q])
             if data.ndim == 1:
                 data = data.reshape(-1, items)
-            if len(data) != len(wanted):
+            if len(data) != len(wanted_of[q]):
                 raise ValueError(
-                    f"process {q} supplied {len(data)} records, owns {len(wanted)}"
+                    f"process {q} supplied {len(data)} records, "
+                    f"owns {len(wanted_of[q])}"
                 )
-            global_img[wanted] = data
-            # records leaving q's domain travel the interconnect
-            lo, hi = self.file_domain(q)
-            outside = ((wanted < lo) | (wanted >= hi)).sum()
-            exchange_bytes += int(outside) * spec.record_size
-        self.last_exchange_bytes = exchange_bytes
+            data_of[q] = data
+        all_idx = (
+            np.concatenate([wanted_of[q] for q in range(p)])
+            if p
+            else np.empty(0, dtype=np.int64)
+        )
+        if len(np.unique(all_idx)) != len(all_idx):
+            raise ValueError(
+                "collective write indices overlap across processes"
+            )
 
+        bounds = [self.file_domain(q, start, count) for q in range(p)]
         barrier = SimBarrier(env, p)
+        #: per-domain contributions: list of (global indices, rows)
+        incoming: dict[int, list[tuple[np.ndarray, np.ndarray]]] = {
+            q: [] for q in range(p)
+        }
+        remote: dict[int, int] = {}
 
         def phase_worker(q: int):
-            cost = self._exchange_cost(
-                exchange_bytes // p if exchange_bytes else 0
-            )
-            if cost:
-                yield env.timeout(cost)
+            # exchange phase: scatter my records to their domain owners;
+            # only the records crossing out of my own domain travel the
+            # interconnect, and I pay for exactly those bytes
+            wanted, data = wanted_of[q], data_of[q]
+            remote_bytes = 0
+            for dst in range(p):
+                d_lo, d_hi = bounds[dst]
+                mask = (wanted >= d_lo) & (wanted < d_hi)
+                if not mask.any():
+                    continue
+                incoming[dst].append((wanted[mask], data[mask]))
+                if dst != q:
+                    remote_bytes += int(mask.sum()) * spec.record_size
+            remote[q] = remote_bytes
+            if remote_bytes:
+                yield env.timeout(self._exchange_cost(remote_bytes))
             yield barrier.wait()
-            lo, hi = self.file_domain(q)
-            if hi > lo:
-                yield self.file.write_records(lo, global_img[lo:hi])
+            # I/O phase: assemble and write my contiguous domain
+            lo, hi = bounds[q]
+            if hi <= lo:
+                return q
+            buf = np.empty((hi - lo, items), dtype=spec.dtype)
+            covered = np.zeros(hi - lo, dtype=bool)
+            for idx, rows in incoming[q]:
+                buf[idx - lo] = rows
+                covered[idx - lo] = True
+            if not covered.all():
+                # read-fill the holes: unwritten records keep their
+                # previous on-media contents
+                holes = contiguous_runs(np.nonzero(~covered)[0] + lo)
+                if len(holes) == 1:
+                    fill = yield self.file.read_records(
+                        holes[0].start, holes[0].count
+                    )
+                else:
+                    fill = yield self.file.read_gather(
+                        [(h.start, h.count) for h in holes]
+                    )
+                pos = 0
+                for h in holes:
+                    buf[h.start - lo : h.stop - lo] = fill[pos : pos + h.count]
+                    pos += h.count
+            yield self.file.write_records(lo, buf)
             return q
 
         def driver():
             procs = [env.process(phase_worker(q)) for q in range(p)]
             yield env.all_of(procs)
-            return n
+            return count
 
         result = yield env.process(driver())
+        self.last_remote_bytes = dict(remote)
+        self.last_exchange_bytes = sum(remote.values())
         return result

@@ -1,0 +1,36 @@
+"""Datatype layer: file views and data sieving for noncontiguous access.
+
+``views`` describes a request as a pattern (strided, nested-strided,
+indexed) instead of a materialized extent list; ``sieve`` plans
+covering-extent reads and read-modify-write windows over those patterns.
+The executable halves live on :class:`~repro.fs.pfs.ParallelFile`
+(``set_view`` / ``read_view`` / ``write_view``).
+"""
+
+from .sieve import (
+    DEFAULT_SIEVE_FACTOR,
+    DEFAULT_SIEVE_WINDOW,
+    plan_sieved_reads,
+    plan_sieved_writes,
+)
+from .views import (
+    ContiguousView,
+    FileView,
+    IndexedView,
+    NestedStridedView,
+    StridedView,
+    view_of_map,
+)
+
+__all__ = [
+    "FileView",
+    "ContiguousView",
+    "StridedView",
+    "NestedStridedView",
+    "IndexedView",
+    "view_of_map",
+    "DEFAULT_SIEVE_FACTOR",
+    "DEFAULT_SIEVE_WINDOW",
+    "plan_sieved_reads",
+    "plan_sieved_writes",
+]

@@ -1,0 +1,80 @@
+"""Client-side data sieving over record runs.
+
+Rung three of the access-optimization ladder: instead of issuing one
+transfer per noncontiguous piece (per-segment) or one batched submission
+of exact pieces (list I/O), *data sieving* transfers covering extents —
+reads fetch one span and scatter the wanted records out of it; writes
+read-modify-write a window, overlaying the wanted records before writing
+the span back.
+
+The planning arithmetic is the I/O-node aggregator's
+(:mod:`repro.ionode.aggregator`) — the same ``plan_reads`` /
+``plan_rmw`` logic Crockett's dedicated I/O processors apply to *batches
+of requests* applies unchanged to one client's *noncontiguous pattern*,
+just denominated in records instead of bytes. These wrappers do the unit
+conversion: runs are record runs (``repro.core.convert.Run``), the
+``sieve_window`` knob stays byte-denominated (it bounds a real buffer).
+
+Concurrency: an RMW window rewrites *hole* records it only read. The
+executable path (:meth:`ParallelFile.write_view
+<repro.fs.pfs.ParallelFile.write_view>`) serializes windows through a
+per-file sieve lock so concurrent sieved writers cannot tear each other's
+updates; see the module docs there for the exact contract.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.convert import Run
+from ..ionode.aggregator import ReadPlan, plan_reads, plan_rmw
+
+__all__ = ["DEFAULT_SIEVE_FACTOR", "DEFAULT_SIEVE_WINDOW",
+           "plan_sieved_reads", "plan_sieved_writes"]
+
+#: covering span may exceed the wanted payload by at most this factor
+DEFAULT_SIEVE_FACTOR = 4.0
+#: covering span may not exceed this many bytes (the sieve buffer size)
+DEFAULT_SIEVE_WINDOW = 1 << 22
+
+
+def _window_records(sieve_window: int, record_size: int) -> int:
+    if sieve_window < 1:
+        raise ValueError("sieve_window must be >= 1 byte")
+    return max(1, sieve_window // record_size)
+
+
+def plan_sieved_reads(
+    runs: Sequence[Run],
+    record_size: int,
+    *,
+    sieve_factor: float = DEFAULT_SIEVE_FACTOR,
+    sieve_window: int = DEFAULT_SIEVE_WINDOW,
+) -> ReadPlan:
+    """Covering-extent read plan for record ``runs`` (record units).
+
+    The returned plan's ``reads`` are record runs (``offset``/``nbytes``
+    counted in records); ``payload``/``waste`` follow the same unit.
+    """
+    return plan_reads(
+        [(r.start, r.count) for r in runs],
+        sieve=True,
+        sieve_factor=sieve_factor,
+        sieve_window=_window_records(sieve_window, record_size),
+    )
+
+
+def plan_sieved_writes(
+    runs: Sequence[Run],
+    record_size: int,
+    *,
+    sieve_factor: float = DEFAULT_SIEVE_FACTOR,
+    sieve_window: int = DEFAULT_SIEVE_WINDOW,
+):
+    """RMW window plan for record ``runs``: ``(window, pieces)`` pairs in
+    record units (see :func:`repro.ionode.aggregator.plan_rmw`)."""
+    return plan_rmw(
+        [(r.start, r.count) for r in runs],
+        sieve_factor=sieve_factor,
+        sieve_window=_window_records(sieve_window, record_size),
+    )

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any
 
+from ..core.errors import OrganizationError
 from ..core.mapping import OrganizationMap, make_map
 from ..core.organizations import FileOrganization
 from .internal_io import PartitionHandle
@@ -45,6 +46,13 @@ def alternate_view(
     PS etc.); the handle's reads fragment wherever the desired sequence is
     not contiguous in the file.
     """
+    if not file.map.is_static:
+        raise OrganizationError(
+            f"alternate views require a static source organization; "
+            f"{file.map.org.name} files assign records dynamically, so no "
+            "fixed record sequence exists to reinterpret — convert_file "
+            "the data into a static organization first"
+        )
     p = n_processes if n_processes is not None else file.map.n_processes
     desired: OrganizationMap = make_map(
         desired_org, file.attrs.block_spec, file.n_records, p, **org_params

@@ -40,6 +40,7 @@ from .internal_io import make_internal_handle
 from .metadata import FileAttributes
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..datatype.views import FileView
     from ..ionode.routing import IONodeCluster, MediatedVolume
     from ..qos import QoSConfig, QoSManager
     from ..sanitize.access import AccessConflictDetector
@@ -63,6 +64,8 @@ class ParallelFile:
         self.map = org_map
         #: per-file data-plane override (None: follow the file system)
         self._data_plane: "Volume | MediatedVolume | None" = None
+        #: default noncontiguous view for read_view/write_view (see set_view)
+        self._view: "FileView | None" = None
 
     # -- convenient aliases -------------------------------------------------
 
@@ -291,6 +294,208 @@ class ParallelFile:
             self.entry.extent, self.layout, ranges, raw
         )
         return result
+
+    # -- file views and data sieving --------------------------------------------
+
+    def set_view(self, view: "FileView | None") -> "FileView | None":
+        """Install ``view`` as this file's default noncontiguous view.
+
+        Subsequent :meth:`read_view` / :meth:`write_view` calls without an
+        explicit view use it. Pass ``None`` to clear. Returns the view
+        that was previously installed.
+        """
+        if view is not None:
+            lo, hi = view.extent
+            if hi > self.n_records:
+                raise ValueError(
+                    f"view extent [{lo}, {hi}) outside file of {self.n_records} "
+                    "records"
+                )
+        prev, self._view = self._view, view
+        return prev
+
+    @property
+    def view(self) -> "FileView | None":
+        """The default view installed by :meth:`set_view`, if any."""
+        return self._view
+
+    def _view_runs(self, view: "FileView | None"):
+        v = view if view is not None else self._view
+        if v is None:
+            raise ValueError(
+                "no view given: pass view=... or install one with set_view()"
+            )
+        runs = v.flatten()
+        if runs and runs[-1].stop > self.n_records:
+            raise ValueError(
+                f"view extent [{runs[0].start}, {runs[-1].stop}) outside file "
+                f"of {self.n_records} records"
+            )
+        return runs
+
+    def read_view(
+        self,
+        view: "FileView | None" = None,
+        *,
+        sieve: bool = False,
+        sieve_factor: float = 4.0,
+        sieve_window: int = 1 << 22,
+    ) -> Process:
+        """Read the records a view selects; decoded rows in view order.
+
+        Without ``sieve`` this is list I/O: the view's runs go down the
+        data plane as one :meth:`read_gather` submission (merged into
+        multi-block device requests when ``batch_io`` is on). With
+        ``sieve=True`` the runs are first planned into covering extents
+        (:mod:`repro.datatype.sieve`): fewer, larger transfers that also
+        fetch the holes, bounded by ``sieve_factor`` (span at most that
+        multiple of the wanted payload) and ``sieve_window`` (span at most
+        that many bytes).
+        """
+        runs = self._view_runs(view)
+        if not runs:
+            return self.env.process(self._empty_result(), name=f"{self.name}.view")
+        if sieve and len(runs) > 1:
+            return self.env.process(
+                self._read_sieved(runs, sieve_factor, sieve_window),
+                name=f"{self.name}.sieveread",
+            )
+        if len(runs) == 1:
+            return self.read_records(runs[0].start, runs[0].count)
+        return self.read_gather([(r.start, r.count) for r in runs])
+
+    def write_view(
+        self,
+        values: np.ndarray,
+        view: "FileView | None" = None,
+        *,
+        sieve: bool = False,
+        sieve_factor: float = 4.0,
+        sieve_window: int = 1 << 22,
+    ) -> Process:
+        """Write ``values`` (rows in view order) to the view's records.
+
+        Without ``sieve`` this is list I/O via :meth:`write_gather`. With
+        ``sieve=True`` the runs are packed into read-modify-write windows:
+        each window is read, overlaid with the wanted rows, and written
+        back as one transfer. Windows are serialized through a per-file
+        sieve lock, so concurrent *sieved* writers never tear each other's
+        hole bytes; a sieved writer racing a non-sieved writer to the same
+        window is an application conflict exactly like any overlapping
+        write (the access sanitizer's territory).
+        """
+        runs = self._view_runs(view)
+        spec = self.attrs.record_spec
+        raw = spec.encode(values)
+        count = raw.size // spec.record_size
+        total = sum(r.count for r in runs)
+        if count != total:
+            raise ValueError(
+                f"view selects {total} records, values encode to {count}"
+            )
+        if not runs:
+            return self.env.process(
+                self._empty_result(0), name=f"{self.name}.view"
+            )
+        decoded = spec.decode(raw)
+        if sieve and len(runs) > 1:
+            return self.env.process(
+                self._write_sieved(runs, decoded, sieve_factor, sieve_window),
+                name=f"{self.name}.sievewrite",
+            )
+        if len(runs) == 1:
+            op = self.write_records(runs[0].start, decoded)
+        else:
+            op = self.write_gather([(r.start, r.count) for r in runs], decoded)
+        return self.env.process(
+            self._count_after(op, total), name=f"{self.name}.view"
+        )
+
+    def _count_after(self, op, count: int):
+        yield op
+        return count
+
+    def _empty_result(self, value=None):
+        if value is None:
+            value = self.attrs.record_spec.decode(b"")
+        return value
+        yield  # pragma: no cover - makes this a generator
+
+    def _read_sieved(self, runs, sieve_factor: float, sieve_window: int):
+        from ..datatype.sieve import plan_sieved_reads
+
+        spec = self.attrs.record_spec
+        plan = plan_sieved_reads(
+            runs, spec.record_size,
+            sieve_factor=sieve_factor, sieve_window=sieve_window,
+        )
+        covering = plan.reads  # record-unit runs
+        if len(covering) == 1:
+            datas = [(yield self.read_records(covering[0].offset, covering[0].nbytes))]
+        else:
+            cat = yield self.read_gather(
+                [(c.offset, c.nbytes) for c in covering]
+            )
+            datas, pos = [], 0
+            for c in covering:
+                datas.append(cat[pos : pos + c.nbytes])
+                pos += c.nbytes
+        out = np.empty(
+            (sum(r.count for r in runs), spec.items_per_record), dtype=spec.dtype
+        )
+        ci = pos = 0
+        for run in runs:
+            while run.start >= covering[ci].end:
+                ci += 1
+            rel = run.start - covering[ci].offset
+            out[pos : pos + run.count] = datas[ci][rel : rel + run.count]
+            pos += run.count
+        return out
+
+    def _sieve_lock(self):
+        # one lock per catalog entry, so every open of the file (and every
+        # handle) serializes RMW windows against the same lock
+        lock = getattr(self.entry, "sieve_lock", None)
+        if lock is None:
+            from ..sim.sync import SimLock
+
+            lock = self.entry.sieve_lock = SimLock(self.env)
+        return lock
+
+    def _write_sieved(self, runs, decoded, sieve_factor: float, sieve_window: int):
+        from ..datatype.sieve import plan_sieved_writes
+
+        spec = self.attrs.record_spec
+        windows = plan_sieved_writes(
+            runs, spec.record_size,
+            sieve_factor=sieve_factor, sieve_window=sieve_window,
+        )
+        # row position of each run's records in the view-order payload
+        row_of = {}
+        pos = 0
+        for r in runs:
+            row_of[r.start] = pos
+            pos += r.count
+        lock = self._sieve_lock()
+        for window, pieces in windows:
+            if len(pieces) == 1 and pieces[0].nbytes == window.nbytes:
+                p0 = pieces[0]
+                start = row_of[p0.offset]
+                yield self.write_records(p0.offset, decoded[start : start + p0.nbytes])
+                continue
+            # read-modify-write: atomic with respect to other sieved writers
+            yield lock.acquire()
+            try:
+                buf = yield self.read_records(window.offset, window.nbytes)
+                buf = np.array(buf, copy=True)
+                for p in pieces:
+                    rel = p.offset - window.offset
+                    start = row_of[p.offset]
+                    buf[rel : rel + p.nbytes] = decoded[start : start + p.nbytes]
+                yield self.write_records(window.offset, buf)
+            finally:
+                lock.release()
+        return sum(r.count for r in runs)
 
     def _check_span(self, start: int, count: int) -> None:
         if start < 0 or count < 0 or start + count > self.n_records:

@@ -24,7 +24,15 @@ from typing import Any, Sequence
 
 import numpy as np
 
-__all__ = ["Run", "ReadPlan", "WriteOp", "coalesce", "plan_reads", "plan_writes"]
+__all__ = [
+    "Run",
+    "ReadPlan",
+    "WriteOp",
+    "coalesce",
+    "plan_reads",
+    "plan_rmw",
+    "plan_writes",
+]
 
 
 @dataclass(frozen=True)
@@ -116,6 +124,52 @@ def plan_reads(
         covering = Run(runs[0].offset, span)
         return ReadPlan((covering,), True, payload, span - payload)
     return ReadPlan(tuple(runs), False, payload, 0)
+
+
+def plan_rmw(
+    ranges: Sequence[tuple[int, int]],
+    *,
+    sieve_factor: float = 4.0,
+    sieve_window: int = 1 << 22,
+) -> list[tuple[Run, tuple[Run, ...]]]:
+    """Group noncontiguous write ranges into read-modify-write windows.
+
+    The write-side counterpart of :func:`plan_reads` (data sieving for
+    writes): coalesce the wanted ranges, then greedily pack consecutive
+    runs into *windows* — covering extents to be read, overlaid with the
+    wanted pieces, and written back as one transfer each. A run joins the
+    current window only while the grown window stays within
+    ``sieve_window`` and within ``sieve_factor`` times its wanted payload,
+    the same knobs that bound read sieving's transfer surcharge.
+
+    Returns ``(window, pieces)`` pairs in ascending order. A window whose
+    single piece equals the window itself needs no RMW — the caller should
+    issue it as a plain write.
+    """
+    if sieve_factor < 1.0:
+        raise ValueError("sieve_factor must be >= 1.0")
+    runs = coalesce(ranges)
+    out: list[tuple[Run, tuple[Run, ...]]] = []
+    cur: list[Run] = []
+    payload = 0
+
+    def close() -> None:
+        if cur:
+            window = Run(cur[0].offset, cur[-1].end - cur[0].offset)
+            out.append((window, tuple(cur)))
+
+    for r in runs:
+        if cur:
+            span = r.end - cur[0].offset
+            if span <= sieve_window and span <= sieve_factor * (payload + r.nbytes):
+                cur.append(r)
+                payload += r.nbytes
+                continue
+            close()
+        cur = [r]
+        payload = r.nbytes
+    close()
+    return out
 
 
 def plan_writes(items: Sequence[tuple[int, Any]]) -> list[WriteOp]:

@@ -100,6 +100,16 @@ class TestAlternateView:
         with pytest.raises(OrganizationError):
             alternate_view(f, "SS", 0)
 
+    def test_dynamic_source_org_rejected(self, env, pfs):
+        """Regression: a dynamically-organized source file was silently
+        accepted, producing a handle whose "alternate view" reinterprets a
+        record sequence that does not exist. The static-only contract must
+        be enforced on the source, the way CollectiveIO enforces it."""
+        f = pfs.create("src_ss", "SS", n_records=16, record_size=8,
+                       dtype="float64", records_per_block=2, n_processes=2)
+        with pytest.raises(OrganizationError):
+            alternate_view(f, "PS", 0)
+
 
 class TestConvertFile:
     def test_ps_to_is_preserves_contents(self, env, pfs):
