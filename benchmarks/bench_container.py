@@ -1,0 +1,306 @@
+"""X3 (extension) — serial-equivalent container format.
+
+The paper's §2 requirement that parallel files "appear conventional"
+turned into a measurable property: an ``repro.container`` file written
+by N cooperating processes must be *byte-identical on media* to the
+container one serial writer produces, for every file organization — so
+the on-disk artifact is independent of the partitioning that made it.
+
+Three result blocks:
+
+1. **identity matrix** — for each organization and each N in {1,2,4,8},
+   sha256 of the raw device extents vs the serial (N=1) digest, plus the
+   simulated write time (the parallel speedup rides along for free);
+2. **N-writer/M-reader matrix** — a container written by N is read back
+   by M in {1,2,4,8} readers; every cell must return the exact payload
+   (reported as the count of matching cells), with simulated read times;
+3. **corruption check** — one payload byte is flipped on media; the
+   verifier must attribute exactly that section (and nothing else).
+
+Output: ``benchmarks/results/container_format.txt`` and the
+machine-readable ``benchmarks/results/BENCH_container.json``.
+
+CLI::
+
+    PYTHONPATH=src python benchmarks/bench_container.py [--quick] [--json PATH]
+
+Quick mode (``--quick`` or ``REPRO_BENCH_QUICK=1``) shrinks the payload
+and the N/M grid for CI smoke runs.
+"""
+
+import argparse
+import hashlib
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import numpy as np
+
+from repro import Environment, build_parallel_fs
+from repro.container import (
+    ContainerReader,
+    ContainerWriter,
+    array_section,
+    inline_section,
+    scan_container,
+)
+from repro.devices import FAST_1989, DiskGeometry
+from repro.perf import ORGS, write_bench_json
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+GEO = DiskGeometry(block_size=4096, blocks_per_cylinder=16, cylinders=512)
+N_DEVICES = 4
+ELEM = 8
+LAYOUT_PROCESSES = 4
+
+
+def params(quick: bool):
+    if quick:
+        return dict(count=4096, nm=(1, 2, 4))
+    return dict(count=65536, nm=(1, 2, 4, 8))
+
+
+def payload_for(count: int) -> np.ndarray:
+    rng = np.random.default_rng(1989)
+    return rng.integers(0, 256, size=count * ELEM, dtype=np.uint8)
+
+
+def sections_for(count: int):
+    return [
+        inline_section("meta/run"),
+        array_section("data/payload", count, ELEM),
+    ]
+
+
+def build_pfs(env):
+    return build_parallel_fs(env, N_DEVICES, timing=FAST_1989, geometry=GEO)
+
+
+def media_digest(f) -> str:
+    raw = f.volume.peek(f.entry.extent, f.layout, 0, f.attrs.file_bytes)
+    return hashlib.sha256(np.ascontiguousarray(raw).tobytes()).hexdigest()
+
+
+def write_container(org: str, writers: int, count: int):
+    """One full container write; returns (env, pfs, file, sim_seconds)."""
+    env = Environment()
+    pfs = build_pfs(env)
+    payload = payload_for(count)
+
+    def driver():
+        w = ContainerWriter.create(
+            pfs, "x3", sections_for(count), org=org, writers=writers,
+            layout_processes=LAYOUT_PROCESSES, user_string="bench X3",
+        )
+        yield from w.begin()
+        yield from w.write_inline("meta/run", b"x3")
+        yield from w.write_array("data/payload", payload)
+        return w.file
+
+    start = env.now
+    f = env.run(env.process(driver()))
+    return env, pfs, f, env.now - start
+
+
+def read_container(env, pfs, readers: int, count: int):
+    """One full read of the payload section; returns (ok, sim_seconds)."""
+    expected = payload_for(count).tobytes()
+
+    def driver():
+        r = yield from ContainerReader.open(pfs, "x3", readers=readers)
+        return (yield from r.read_array("data/payload"))
+
+    start = env.now
+    data = env.run(env.process(driver()))
+    return data == expected, env.now - start
+
+
+def identity_matrix(count: int, nm):
+    """Block 1: per-org serial digest + per-N digests and write times."""
+    out = {}
+    for org in ORGS:
+        cells = {}
+        serial_digest = None
+        for n in nm:
+            _, _, f, sim_s = write_container(org, n, count)
+            digest = media_digest(f)
+            if n == 1:
+                serial_digest = digest
+            cells[str(n)] = {
+                "sha256": digest,
+                "identical_to_serial": digest == serial_digest,
+                "write_sim_s": sim_s,
+            }
+        out[org] = {"serial_sha256": serial_digest, "writers": cells}
+    return out
+
+
+def reader_matrix(count: int, nm):
+    """Block 2: containers written by N, read back by M."""
+    out = {}
+    for n in nm:
+        env, pfs, _, _ = write_container("IS", n, count)
+        row = {}
+        for m in nm:
+            ok, sim_s = read_container(env, pfs, m, count)
+            row[str(m)] = {"payload_ok": ok, "read_sim_s": sim_s}
+        out[str(n)] = row
+    return out
+
+
+def corruption_check(count: int):
+    """Block 3: flip one media byte, expect exactly one attributed finding."""
+    _, _, f, _ = write_container("PS", 4, count)
+    rep0 = scan_container(f)
+    ext = next(
+        e for e in rep0.sections if e.decl.section_id == "data/payload"
+    )
+    target = ext.payload_off + (ext.payload_len // 2)
+    row = f.volume.peek(f.entry.extent, f.layout, target, 1)
+    f.volume.poke(
+        f.entry.extent, f.layout, target,
+        np.array([[row.ravel()[0] ^ 0xFF]], dtype=np.uint8),
+    )
+    rep = scan_container(f)
+    return {
+        "clean_before": rep0.clean,
+        "flipped_offset": int(target),
+        "findings": [
+            {"kind": x.kind, "section": x.section, "offset": x.offset}
+            for x in rep.findings
+        ],
+        "attributed": (
+            [x.kind for x in rep.findings] == ["section-checksum"]
+            and rep.findings[0].section == "data/payload"
+        ),
+    }
+
+
+def run_bench(quick: bool):
+    cfg = params(quick)
+    count, nm = cfg["count"], cfg["nm"]
+    identity = identity_matrix(count, nm)
+    readers = reader_matrix(count, nm)
+    corruption = corruption_check(count)
+
+    identity_ok = all(
+        cell["identical_to_serial"]
+        for org in identity.values()
+        for cell in org["writers"].values()
+    )
+    readers_ok = all(
+        cell["payload_ok"] for row in readers.values() for cell in row.values()
+    )
+
+    record = {
+        "bench": "container_format",
+        "quick": quick,
+        "config": {
+            "elem_size": ELEM,
+            "count": count,
+            "payload_bytes": count * ELEM,
+            "n_devices": N_DEVICES,
+            "layout_processes": LAYOUT_PROCESSES,
+            "writers_readers": list(nm),
+        },
+        "identity": identity,
+        "identity_ok": identity_ok,
+        "reader_matrix": readers,
+        "reader_matrix_ok": readers_ok,
+        "corruption": corruption,
+    }
+
+    rows = []
+    for org, block in identity.items():
+        cells = " ".join(
+            f"N={n}:{'OK' if c['identical_to_serial'] else 'FAIL'}"
+            f"({c['write_sim_s'] * 1e3:7.1f} ms)"
+            for n, c in block["writers"].items()
+        )
+        rows.append(f"{org:<4s} {cells}  sha={block['serial_sha256'][:12]}")
+    rows.append(
+        "media identity (every N == serial, all orgs): "
+        + ("OK" if identity_ok else "VIOLATED")
+    )
+    for n, row in readers.items():
+        cells = " ".join(
+            f"M={m}:{'OK' if c['payload_ok'] else 'FAIL'}"
+            f"({c['read_sim_s'] * 1e3:7.1f} ms)"
+            for m, c in row.items()
+        )
+        rows.append(f"written by N={n}: {cells}")
+    rows.append(
+        "reader matrix (every (N,M) returns the payload): "
+        + ("OK" if readers_ok else "VIOLATED")
+    )
+    rows.append(
+        f"corruption: 1 byte flipped @{corruption['flipped_offset']} -> "
+        + (
+            "attributed to data/payload (section-checksum)"
+            if corruption["attributed"]
+            else f"MISATTRIBUTED: {corruption['findings']}"
+        )
+    )
+    return record, rows
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true", default=QUICK,
+                    help="small payload / grid for CI smoke runs")
+    ap.add_argument("--json", default=None, metavar="PATH",
+                    help="where to write BENCH_container.json "
+                         "(default: benchmarks/results/BENCH_container.json)")
+    args = ap.parse_args(argv)
+
+    results = Path(__file__).parent / "results"
+    results.mkdir(exist_ok=True)
+    out_path = (
+        Path(args.json) if args.json else results / "BENCH_container.json"
+    )
+
+    record, rows = run_bench(args.quick)
+    title = (
+        "X3 (extension): serial-equivalent container format, "
+        f"{record['config']['payload_bytes']} payload bytes, "
+        f"N/M in {record['config']['writers_readers']}"
+    )
+    text = "\n".join([title, "=" * len(title), *rows, ""])
+    (results / "container_format.txt").write_text(text)
+    print(text)
+
+    write_bench_json(out_path, record)
+    print(f"wrote {out_path}")
+
+    ok = (
+        record["identity_ok"]
+        and record["reader_matrix_ok"]
+        and record["corruption"]["attributed"]
+    )
+    return 0 if ok else 1
+
+
+# -- pytest entry (CI smoke: REPRO_BENCH_QUICK=1 pytest benchmarks/bench_container.py)
+
+
+def test_x3_container_format(results_dir):
+    record, rows = run_bench(quick=QUICK)
+    from conftest import write_table
+
+    title = (
+        "X3 (extension): serial-equivalent container format, "
+        f"{record['config']['payload_bytes']} payload bytes, "
+        f"N/M in {record['config']['writers_readers']}"
+    )
+    write_table(results_dir, "container_format", title, rows)
+    write_bench_json(results_dir / "BENCH_container.json", record)
+    assert record["identity_ok"]
+    assert record["reader_matrix_ok"]
+    assert record["corruption"]["attributed"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

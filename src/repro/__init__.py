@@ -30,7 +30,18 @@ paper-versus-measured record.
 """
 
 from .baselines import FilePerProcessDataset, build_parallel_fs, single_device_fs
-from .collective import CollectiveIO
+from .collective import CollectiveIO, balanced_indices
+from .container import (
+    ContainerReader,
+    ContainerWriter,
+    SectionDecl,
+    array_section,
+    block_section,
+    fsck,
+    inline_section,
+    migrate_container,
+    scan_container,
+)
 from .core import (
     BlockSpec,
     FileCategory,
@@ -86,6 +97,16 @@ __all__ = [
     "build_parallel_fs",
     "single_device_fs",
     "CollectiveIO",
+    "balanced_indices",
+    "ContainerReader",
+    "ContainerWriter",
+    "SectionDecl",
+    "array_section",
+    "block_section",
+    "fsck",
+    "inline_section",
+    "migrate_container",
+    "scan_container",
     "FileView",
     "ContiguousView",
     "StridedView",

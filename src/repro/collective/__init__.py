@@ -1,5 +1,5 @@
 """Collective I/O extensions (two-phase transfers, the MPI-IO lineage)."""
 
-from .twophase import CollectiveIO
+from .twophase import CollectiveIO, balanced_indices
 
-__all__ = ["CollectiveIO"]
+__all__ = ["CollectiveIO", "balanced_indices"]

@@ -44,7 +44,27 @@ from ..sim.sync import SimBarrier
 if TYPE_CHECKING:  # pragma: no cover
     from ..fs.pfs import ParallelFile
 
-__all__ = ["CollectiveIO"]
+__all__ = ["CollectiveIO", "balanced_indices"]
+
+
+def balanced_indices(start: int, count: int, n_processes: int) -> dict[int, np.ndarray]:
+    """A balanced contiguous split of ``[start, start + count)`` records.
+
+    The canonical explicit ``indices=`` argument for collectives over the
+    dynamic organizations (SS/GDA have no static ownership to consult):
+    process ``q`` receives the ``q``-th of ``n_processes`` contiguous
+    domains, sized as evenly as possible — the same arithmetic as
+    :meth:`CollectiveIO.file_domain`.
+    """
+    if n_processes < 1:
+        raise ValueError("n_processes must be >= 1")
+    q_size, r = divmod(count, n_processes)
+    out: dict[int, np.ndarray] = {}
+    for q in range(n_processes):
+        lo = start + q * q_size + min(q, r)
+        hi = lo + q_size + (1 if q < r else 0)
+        out[q] = np.arange(lo, hi, dtype=np.int64)
+    return out
 
 
 class CollectiveIO:

@@ -77,6 +77,13 @@ def convert_file(
     through the global view in ``chunk_records`` pieces, so the cost is one
     full read plus one full write of the file — §5's "expensive for large
     files" made measurable. Returns the new :class:`ParallelFile`.
+
+    The conversion is atomic at the catalog level: if the copy stops
+    before completing — an exception in the stream, or the driving
+    process being interrupted/cancelled (``GeneratorExit``) — the
+    half-written destination is removed from the catalog and its extents
+    freed, so an aborted conversion can never leave a truncated file
+    that a later open would mistake for the real thing.
     """
     if chunk_records < 1:
         raise ValueError("chunk_records must be >= 1")
@@ -93,9 +100,14 @@ def convert_file(
         layout=layout,
         **org_params,
     )
-    src_view = src.global_view()
-    dst_view = dst.global_view()
-    while not src_view.eof:
-        chunk = yield from src_view.read(chunk_records)
-        yield from dst_view.write(chunk)
+    try:
+        src_view = src.global_view()
+        dst_view = dst.global_view()
+        while not src_view.eof:
+            chunk = yield from src_view.read(chunk_records)
+            yield from dst_view.write(chunk)
+    except BaseException:
+        if pfs.exists(new_name):
+            pfs.delete(new_name)
+        raise
     return dst

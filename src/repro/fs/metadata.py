@@ -21,6 +21,26 @@ from ..core.records import RecordSpec
 __all__ = ["FileAttributes"]
 
 
+def _plain(value: Any) -> Any:
+    """JSON-safe deep copy: numpy scalars to Python scalars, arrays and
+    tuples to lists, dict keys to str.
+
+    Layout and organization parameters arrive from callers that computed
+    them with numpy (``stripe_unit=arr.shape[0]`` gives ``np.int64``),
+    and ``json.dumps`` refuses numpy scalars — so persistence must
+    canonicalize, not just copy. Tuples become lists *here*, on the way
+    out, so ``to_dict -> json -> from_dict`` is a true fixed point
+    rather than changing types on the first round trip.
+    """
+    if isinstance(value, dict):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if hasattr(value, "tolist"):  # numpy scalar or array
+        return _plain(value.tolist())
+    return value
+
+
 @dataclass
 class FileAttributes:
     """Everything the file system remembers about one parallel file."""
@@ -66,17 +86,17 @@ class FileAttributes:
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict form (JSON-serializable) for catalog persistence."""
         return {
-            "name": self.name,
+            "name": str(self.name),
             "organization": self.organization.value,
             "category": self.category.value,
-            "record_size": self.record_size,
-            "records_per_block": self.records_per_block,
-            "n_records": self.n_records,
-            "n_processes": self.n_processes,
-            "layout": self.layout,
-            "layout_params": dict(self.layout_params),
-            "org_params": dict(self.org_params),
-            "dtype": self.dtype,
+            "record_size": _plain(self.record_size),
+            "records_per_block": _plain(self.records_per_block),
+            "n_records": _plain(self.n_records),
+            "n_processes": _plain(self.n_processes),
+            "layout": str(self.layout),
+            "layout_params": _plain(self.layout_params),
+            "org_params": _plain(self.org_params),
+            "dtype": str(self.dtype),
         }
 
     @classmethod

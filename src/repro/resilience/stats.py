@@ -40,6 +40,34 @@ class ResilienceStats:
     #: failure-detected -> spare-swapped, seconds (one sample per rebuild)
     rebuild_times: list[float] = field(default_factory=list)
 
+    def counters(self) -> dict[str, int]:
+        """Plain-int snapshot of every counter field.
+
+        Diff two snapshots to attribute activity to one operation — e.g.
+        :func:`repro.container.verify.fsck` subtracts the snapshot taken
+        before its read pass to report how many of its reads ran
+        degraded and how many bytes parity reconstruction supplied.
+        """
+        return {
+            name: getattr(self, name)
+            for name in (
+                "degraded_reads",
+                "degraded_writes",
+                "reconstructed_bytes",
+                "journaled_writes",
+                "replayed_writes",
+                "retried_ops",
+                "retry_attempts",
+                "retries_exhausted",
+                "failovers",
+                "migrated_requests",
+                "quarantined_nodes",
+                "rebuilds_started",
+                "rebuilds_completed",
+                "rebuild_bytes",
+            )
+        }
+
     def note_retry(self, op: RetriedOp) -> None:
         """Fold one completed :class:`RetriedOp` into the counters."""
         if op.attempts > 1:

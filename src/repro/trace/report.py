@@ -10,6 +10,7 @@ from ..devices.controller import DeviceController
 from ..sim.engine import Environment
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..container.verify import ContainerReport
     from ..ionode.routing import IONodeCluster
     from ..qos.manager import QoSManager
     from ..resilience.volume import ResilientVolume
@@ -26,6 +27,7 @@ __all__ = [
     "conflict_report",
     "invariant_report",
     "resilience_report",
+    "container_report",
 ]
 
 
@@ -249,3 +251,25 @@ def resilience_report(resilience: "ResilientVolume") -> list[str]:
             f"{len(s.rebuild_times)} rebuild(s)"
         )
     return rows
+
+
+def container_report(report: "ContainerReport") -> str:
+    """Render one container scan: verdict line, per-defect rows, and —
+    for :func:`repro.container.verify.fsck` runs over a resilience
+    layer — the counter deltas the scan itself caused."""
+    rows = [
+        f"container {report.name}: "
+        + (
+            f"CLEAN ({len(report.verified)}/{len(report.sections)} "
+            f"sections verified, {report.total_bytes} bytes)"
+            if report.clean
+            else f"{len(report.findings)} finding(s) in {report.total_bytes} bytes"
+        )
+    ]
+    rows.extend("  " + f.row() for f in report.findings)
+    if report.resilience:
+        deltas = ", ".join(
+            f"{k}={v}" for k, v in sorted(report.resilience.items())
+        )
+        rows.append(f"  scan resilience activity: {deltas}")
+    return "\n".join(rows)

@@ -1,0 +1,73 @@
+"""Shared fixtures and helpers for container tests."""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.container import ContainerWriter
+from repro.devices import WREN_1989, DeviceController, DiskGeometry, DiskModel
+from repro.fs import ParallelFileSystem
+from repro.sim import Environment
+from repro.storage import Volume
+
+ORGS = ["S", "PS", "IS", "SS", "GDA", "PDA"]
+STATIC_ORGS = ["S", "PS", "IS", "PDA"]
+
+
+def build_pfs(env, n_devices=4, cylinders=256, **fs_kwargs):
+    geo = DiskGeometry(block_size=512, blocks_per_cylinder=8, cylinders=cylinders)
+    devices = [
+        DeviceController(env, DiskModel(geo, WREN_1989), name=f"d{i}")
+        for i in range(n_devices)
+    ]
+    volume = Volume(env, devices)
+    return ParallelFileSystem(env, volume, **fs_kwargs)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def pfs(env):
+    return build_pfs(env)
+
+
+def media_bytes(f):
+    """The container's raw on-media bytes (zero-time peek)."""
+    rows = f.volume.peek(f.entry.extent, f.layout, 0, f.attrs.file_bytes)
+    return np.ascontiguousarray(rows, dtype=np.uint8).tobytes()
+
+
+def media_sha(f):
+    return hashlib.sha256(media_bytes(f)).hexdigest()
+
+
+def write_container(env, pfs, name, sections, payloads, *, org="PS",
+                    writers=1, layout_processes=4, mode="collective", **kw):
+    """Drive one full container write; returns the ParallelFile.
+
+    ``payloads`` maps section id to its bytes/array; kind is taken from
+    the matching declaration.
+    """
+
+    def driver():
+        w = ContainerWriter.create(
+            pfs, name, sections, org=org, writers=writers,
+            layout_processes=layout_processes, **kw,
+        )
+        yield from w.begin()
+        for decl in sections:
+            data = payloads[decl.section_id]
+            if decl.kind == "I":
+                yield from w.write_inline(decl.section_id, data)
+            elif decl.kind == "B":
+                yield from w.write_block(decl.section_id, data)
+            else:
+                yield from w.write_array(decl.section_id, data, mode=mode)
+        assert w.done
+        return w.file
+
+    return env.run(env.process(driver()))

@@ -1,0 +1,184 @@
+"""Unit tests for the pure container codecs — no engine, just bytes."""
+
+import pytest
+
+from repro.container import (
+    ChecksumError,
+    ContainerFormatError,
+    SectionDecl,
+    array_section,
+    block_section,
+    inline_section,
+    plan_layout,
+)
+from repro.container.codec import (
+    ATTRS_PAYLOAD_BYTES,
+    FILE_HEADER_BYTES,
+    INLINE_BYTES,
+    PAYLOAD_ALIGN,
+    SECTION_HEADER_BYTES,
+    decode_attrs_payload,
+    decode_file_header,
+    decode_section_header,
+    encode_attrs_payload,
+    encode_file_header,
+    encode_section_header,
+    pad_bytes,
+    pad_len,
+    padded_payload_len,
+    section_crc,
+)
+
+# -- padding ------------------------------------------------------------------
+
+
+def test_pad_is_always_at_least_two_and_aligns_to_32():
+    for length in range(0, 200):
+        k = pad_len(length)
+        assert 2 <= k <= PAYLOAD_ALIGN + 1
+        assert (length + k) % PAYLOAD_ALIGN == 0
+        assert padded_payload_len(length) == length + k
+
+
+def test_pad_bytes_are_spaces_then_newline():
+    for length in (0, 1, 30, 31, 32, 33, 100):
+        pad = pad_bytes(length)
+        assert len(pad) == pad_len(length)
+        assert pad == b" " * (len(pad) - 1) + b"\n"
+
+
+def test_exact_alignment_still_pads():
+    # a 32-aligned payload takes a full extra pad block (k < 2 rule)
+    assert pad_len(32) == 32
+    assert pad_len(31) == 33  # k=1 bumps to 33
+
+
+# -- file header --------------------------------------------------------------
+
+
+def test_file_header_round_trip():
+    buf = encode_file_header("hello container", 42)
+    assert len(buf) == FILE_HEADER_BYTES
+    hdr = decode_file_header(buf)
+    assert hdr.user_string == "hello container"
+    assert hdr.section_count == 42
+    assert hdr.version == "01.00"
+
+
+def test_file_header_rejects_bad_magic_and_crc():
+    buf = bytearray(encode_file_header("x", 1))
+    with pytest.raises(ContainerFormatError):
+        decode_file_header(b"not a container" + bytes(buf)[15:])
+    buf[30] ^= 0xFF  # flip a user-string byte: crc must catch it
+    with pytest.raises(ChecksumError):
+        decode_file_header(bytes(buf))
+
+
+def test_file_header_rejects_truncation_and_long_user_string():
+    with pytest.raises(ContainerFormatError):
+        decode_file_header(encode_file_header("x", 1)[:100])
+    with pytest.raises(ValueError):
+        encode_file_header("y" * 64, 1)
+
+
+# -- section declarations and headers ----------------------------------------
+
+
+def test_section_decl_validation():
+    with pytest.raises(ValueError):
+        SectionDecl("X", "id", 1, 1)
+    with pytest.raises(ValueError):
+        SectionDecl("B", "", 1, 1)
+    with pytest.raises(ValueError):
+        SectionDecl("B", "x" * 32, 1, 1)  # 31-byte id limit
+    with pytest.raises(ValueError):
+        SectionDecl("I", "id", 2, INLINE_BYTES)  # inline is exactly 1x32
+    with pytest.raises(ValueError):
+        SectionDecl("B", "id", 4, 8)  # blocks have 1-byte elements
+    with pytest.raises(ValueError):
+        SectionDecl("A", "id", -1, 4)
+
+
+def test_section_header_round_trip():
+    for decl in (
+        inline_section("meta"),
+        block_section("blob", 1234),
+        array_section("grid/x", 1000, 8),
+    ):
+        payload = b"p" * decl.payload_len
+        crc = section_crc(payload, decl.count, decl.elem_size)
+        buf = encode_section_header(decl, crc)
+        assert len(buf) == SECTION_HEADER_BYTES
+        hdr = decode_section_header(buf)
+        assert hdr.decl == decl
+        assert hdr.crc == crc
+
+
+def test_section_crc_covers_shape_fields():
+    # same payload, different declared count -> different checksum
+    payload = b"\x00" * 64
+    assert section_crc(payload, 64, 1) != section_crc(payload, 8, 8)
+
+
+def test_section_header_rejects_damage():
+    buf = bytearray(encode_section_header(block_section("b", 8), 0))
+    buf[0] = ord("Q")
+    with pytest.raises(ContainerFormatError):
+        decode_section_header(bytes(buf))
+    buf2 = bytearray(encode_section_header(block_section("b", 8), 0))
+    buf2[40] = ord("z")  # non-digit in the count field
+    with pytest.raises(ContainerFormatError):
+        decode_section_header(bytes(buf2))
+
+
+# -- layout planning ----------------------------------------------------------
+
+
+def test_plan_layout_is_deterministic_and_contiguous():
+    decls = [
+        inline_section("a"),
+        array_section("b", 100, 4),
+        block_section("c", 7),
+    ]
+    layout = plan_layout(decls)
+    off = FILE_HEADER_BYTES
+    for ext, decl in zip(layout.sections, decls):
+        assert ext.header_off == off
+        assert ext.payload_off == off + SECTION_HEADER_BYTES
+        assert ext.payload_len == decl.payload_len
+        assert ext.end == ext.pad_off + ext.pad_len
+        assert (ext.end - ext.payload_off) % PAYLOAD_ALIGN == 0
+        off = ext.end
+    assert layout.total_bytes == off
+    assert layout.find("b").decl == decls[1]
+    with pytest.raises(KeyError):
+        layout.find("nope")
+
+
+def test_plan_layout_rejects_duplicate_ids():
+    with pytest.raises(ValueError):
+        plan_layout([block_section("x", 1), block_section("x", 2)])
+
+
+def test_empty_plan_is_just_the_file_header():
+    assert plan_layout([]).total_bytes == FILE_HEADER_BYTES
+
+
+# -- the self-description payload ---------------------------------------------
+
+
+def test_attrs_payload_round_trip_and_canonical_form():
+    d = {"organization": "PS", "n_records": 100, "layout_params": {"k": 2}}
+    payload = encode_attrs_payload(d)
+    assert len(payload) == ATTRS_PAYLOAD_BYTES
+    assert decode_attrs_payload(payload) == d
+    # canonical: key order in the input does not change the bytes
+    d2 = {"layout_params": {"k": 2}, "n_records": 100, "organization": "PS"}
+    assert encode_attrs_payload(d2) == payload
+
+
+def test_attrs_payload_rejects_oversize_and_garbage():
+    with pytest.raises(ValueError):
+        encode_attrs_payload({"x": "y" * ATTRS_PAYLOAD_BYTES})
+    with pytest.raises(ContainerFormatError):
+        decode_attrs_payload(b"\xff" * 16)

@@ -1,0 +1,144 @@
+"""Writer/reader behaviour over live simulated files."""
+
+import numpy as np
+import pytest
+
+from repro.container import (
+    ContainerReader,
+    ContainerWriter,
+    array_section,
+    block_section,
+    inline_section,
+    migrate_container,
+    scan_container,
+)
+from repro.core.organizations import FileCategory
+
+from .conftest import ORGS, media_bytes, write_container
+
+RNG = np.random.default_rng(42)
+ARR = RNG.integers(0, 256, size=3000, dtype=np.uint8)
+BLOB = RNG.integers(0, 256, size=777, dtype=np.uint8).tobytes()
+SECTIONS = [
+    inline_section("meta/tag"),
+    array_section("data/arr", 750, 4),
+    block_section("data/blob", 777),
+]
+PAYLOADS = {"meta/tag": b"tag=9", "data/arr": ARR, "data/blob": BLOB}
+
+
+def read_all(env, pfs, name, readers=1, mode="collective"):
+    def driver():
+        r = yield from ContainerReader.open(pfs, name, readers=readers)
+        arr = yield from r.read_array("data/arr", mode=mode)
+        blob = yield from r.read_block("data/blob")
+        tag = yield from r.read_inline("meta/tag")
+        return r, arr, blob, tag
+
+    return env.run(env.process(driver()))
+
+
+@pytest.mark.parametrize("org", ORGS)
+def test_round_trip_every_organization(env, pfs, org):
+    f = write_container(env, pfs, "c", SECTIONS, PAYLOADS, org=org, writers=4)
+    r, arr, blob, tag = read_all(env, pfs, "c", readers=3)
+    assert arr == ARR.tobytes()
+    assert blob == BLOB
+    assert tag.rstrip() == b"tag=9"
+    assert r.described_attrs["organization"] == f.attrs.organization.value
+    assert r.section_ids == ["repro/attrs", "meta/tag", "data/arr", "data/blob"]
+
+
+@pytest.mark.parametrize("mode", ["collective", "view", "serial"])
+def test_array_modes_same_bytes_and_same_read(env, pfs, mode):
+    f = write_container(
+        env, pfs, f"c_{mode}", SECTIONS, PAYLOADS, org="IS", writers=4,
+        mode=mode,
+    )
+    assert scan_container(f).clean
+    _, arr, _, _ = read_all(env, pfs, f"c_{mode}", readers=4, mode=mode)
+    assert arr == ARR.tobytes()
+
+
+def test_container_is_a_standard_file(env, pfs):
+    # even on the dynamic/specialized organizations, containers are
+    # catalogued STANDARD: they are conventional files by construction
+    f = write_container(env, pfs, "g", SECTIONS, PAYLOADS, org="GDA", writers=2)
+    assert f.attrs.category is FileCategory.STANDARD
+
+
+def test_self_description_matches_backing_file(env, pfs):
+    f = write_container(env, pfs, "c", SECTIONS, PAYLOADS, org="PS",
+                        writers=4, layout_processes=4)
+    r, *_ = read_all(env, pfs, "c")
+    assert r.described_attrs == f.attrs.to_dict()
+    desc = r.describe()
+    assert desc["attrs"]["organization"] == "PS"
+    assert [s["id"] for s in desc["sections"]][0] == "repro/attrs"
+    assert r.expected_total_bytes() == f.n_records
+
+
+def test_writer_enforces_declaration_order_and_shapes(env, pfs):
+    def driver():
+        w = ContainerWriter.create(pfs, "c", SECTIONS, org="S", writers=1)
+        with pytest.raises(RuntimeError):
+            next(w.write_inline("meta/tag", b"early"))  # before begin()
+        yield from w.begin()
+        with pytest.raises(ValueError):
+            next(w.write_array("data/arr", ARR))  # skips meta/tag
+        yield from w.write_inline("meta/tag", b"t")
+        with pytest.raises(ValueError):
+            next(w.write_array("data/arr", ARR[:-4]))  # wrong length
+        yield from w.write_array("data/arr", ARR)
+        with pytest.raises(ValueError):
+            next(w.write_block("data/blob", BLOB[:-1]))  # wrong length
+        yield from w.write_block("data/blob", BLOB)
+        assert w.done
+        with pytest.raises(RuntimeError):
+            next(w.write_block("data/blob", BLOB))  # already complete
+        return w.file
+
+    f = env.run(env.process(driver()))
+    assert scan_container(f).clean
+
+
+def test_reserved_attrs_id_rejected(env, pfs):
+    with pytest.raises(ValueError):
+        ContainerWriter.create(pfs, "c", [block_section("repro/attrs", 8)])
+
+
+def test_reader_unknown_section_and_kind_mismatch(env, pfs):
+    write_container(env, pfs, "c", SECTIONS, PAYLOADS)
+
+    def driver():
+        r = yield from ContainerReader.open(pfs, "c")
+        with pytest.raises(KeyError):
+            next(r.read_block("nope"))
+        with pytest.raises(ValueError):
+            next(r.read_array("data/blob"))  # block, not array
+        return r
+
+    env.run(env.process(driver()))
+
+
+def test_migration_preserves_user_bytes_and_updates_description(env, pfs):
+    src = write_container(env, pfs, "src", SECTIONS, PAYLOADS, org="PS",
+                          writers=4, layout_processes=4)
+    before = media_bytes(src)
+
+    def driver():
+        dst = yield from migrate_container(pfs, src, "dst", "IS",
+                                           n_processes=4)
+        r = yield from ContainerReader.open(pfs, "dst", readers=2)
+        arr = yield from r.read_array("data/arr")
+        return dst, r, arr
+
+    dst, r, arr = env.run(env.process(driver()))
+    assert arr == ARR.tobytes()
+    assert r.described_attrs["organization"] == "IS"
+    assert scan_container(dst).clean
+    after = media_bytes(dst)
+    # only the rewritten attrs section differs; every user byte is equal
+    attrs_ext = r.toc["repro/attrs"]
+    assert after[attrs_ext.end:] == before[attrs_ext.end:]
+    assert after[:attrs_ext.header_off] == before[:attrs_ext.header_off]

@@ -1,0 +1,87 @@
+"""Regression: an aborted convert_file must not leave a half-written
+destination in the catalog.
+
+Pre-fix, ``convert_file`` created the destination eagerly and only
+removed it on success: an exception mid-copy (or the driving process
+being cancelled) left a truncated file that a later ``pfs.open`` would
+serve as if it were real data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fs.convert import convert_file
+
+from .conftest import build_pfs
+
+
+def make_src(env, pfs, n_records=64):
+    f = pfs.create(
+        "src", "PS", n_records=n_records, record_size=8,
+        records_per_block=4, n_processes=4,
+    )
+    data = (
+        np.arange(n_records * 8, dtype=np.uint64) % 251
+    ).astype(np.uint8).reshape(n_records, 8)
+
+    def seed():
+        yield f.write_records(0, data)
+
+    env.run(env.process(seed()))
+    return f
+
+
+def test_cancelled_conversion_rolls_back_destination(env, pfs):
+    src = make_src(env, pfs)
+
+    def driver():
+        yield from convert_file(pfs, src, "dst", "IS", chunk_records=8)
+
+    gen = driver()
+    next(gen)  # first chunk in flight: destination exists mid-copy
+    assert pfs.exists("dst")
+    gen.close()  # the driving process is cancelled (GeneratorExit)
+    assert not pfs.exists("dst")
+
+
+def test_failing_conversion_rolls_back_destination(env, pfs):
+    src = make_src(env, pfs)
+
+    def driver():
+        yield from convert_file(pfs, src, "dst", "IS", chunk_records=8)
+
+    gen = driver()
+    next(gen)
+    assert pfs.exists("dst")
+    with pytest.raises(RuntimeError, match="copy interrupted"):
+        gen.throw(RuntimeError("copy interrupted"))
+    assert not pfs.exists("dst")
+
+
+def test_rollback_frees_the_extents_for_reuse(env, pfs):
+    src = make_src(env, pfs)
+    free_before = [a.free_bytes for a in pfs.volume.allocators]
+
+    def driver():
+        yield from convert_file(pfs, src, "dst", "IS", chunk_records=8)
+
+    gen = driver()
+    next(gen)
+    gen.close()
+    assert [a.free_bytes for a in pfs.volume.allocators] == free_before
+
+
+def test_successful_conversion_still_returns_the_new_file(env, pfs):
+    src = make_src(env, pfs)
+
+    def driver():
+        dst = yield from convert_file(pfs, src, "dst", "IS", chunk_records=8)
+        data = yield dst.read_records(0, src.n_records)
+        return dst, data
+
+    dst, data = env.run(env.process(driver()))
+    assert pfs.exists("dst")
+    expected = (
+        np.arange(src.n_records * 8, dtype=np.uint64) % 251
+    ).astype(np.uint8).reshape(src.n_records, 8)
+    assert np.array_equal(data, expected)

@@ -1,0 +1,135 @@
+"""Property-style round trip of FileAttributes through JSON.
+
+The attribute dict is the container format's file-header payload
+(``repro/attrs``), so ``to_dict`` must be a JSON fixed point for every
+organization / dtype / block-shape / parameter combination — including
+the numpy scalars and tuples callers routinely leave in
+``layout_params`` / ``org_params``, which the pre-fix shallow copy
+passed straight to ``json.dumps`` (TypeError) or silently changed type
+across one round trip.
+"""
+
+import itertools
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.organizations import FileCategory, FileOrganization
+from repro.fs.metadata import FileAttributes
+
+ORGS = list(FileOrganization)
+DTYPES = ["uint8", "int16", "float32", "float64"]
+BLOCKS = [(1, 1), (8, 4), (64, 16), (512, 100)]
+
+
+def round_trip(attrs):
+    wire = json.dumps(attrs.to_dict(), sort_keys=True)
+    back = FileAttributes.from_dict(json.loads(wire))
+    return wire, back
+
+
+@pytest.mark.parametrize(
+    "org,dtype,block",
+    list(itertools.product(ORGS, DTYPES, BLOCKS))[::3],  # every 3rd combo
+)
+def test_round_trip_is_a_fixed_point(org, dtype, block):
+    record_size, records_per_block = block
+    attrs = FileAttributes(
+        name=f"f_{org.value}_{dtype}",
+        organization=org,
+        category=FileCategory.STANDARD,
+        record_size=record_size,
+        records_per_block=records_per_block,
+        n_records=1000,
+        n_processes=4,
+        layout="striped",
+        layout_params={"stripe_unit": 512, "n_devices": 4},
+        org_params={},
+        dtype=dtype,
+    )
+    wire, back = round_trip(attrs)
+    assert back == attrs
+    # a second trip changes nothing (true fixed point)
+    wire2, back2 = round_trip(back)
+    assert wire2 == wire
+    assert back2 == back
+
+
+def test_numpy_scalars_in_params_survive():
+    attrs = FileAttributes(
+        name="np",
+        organization=FileOrganization.PS,
+        category=FileCategory.STANDARD,
+        record_size=int(np.int64(32)),
+        records_per_block=8,
+        n_records=100,
+        n_processes=2,
+        layout="clustered",
+        layout_params={
+            "partition_sizes": np.array([50, 50], dtype=np.int64),
+            "stripe_unit": np.int64(512),
+        },
+        org_params={"stride": np.int32(2)},
+    )
+    d = attrs.to_dict()
+    wire = json.dumps(d)  # pre-fix: TypeError (np.int64 not serializable)
+    assert json.loads(wire) == d
+    assert d["layout_params"]["partition_sizes"] == [50, 50]
+    assert type(d["layout_params"]["stripe_unit"]) is int
+    assert type(d["org_params"]["stride"]) is int
+
+
+def test_numpy_fields_themselves_are_coerced():
+    attrs = FileAttributes(
+        name="np2",
+        organization=FileOrganization.S,
+        category=FileCategory.STANDARD,
+        record_size=np.int64(16),
+        records_per_block=np.int64(4),
+        n_records=np.int64(200),
+        n_processes=np.int64(4),
+        layout="striped",
+    )
+    d = attrs.to_dict()
+    json.dumps(d)
+    assert all(
+        type(d[k]) is int
+        for k in ("record_size", "records_per_block", "n_records", "n_processes")
+    )
+
+
+def test_tuples_normalize_on_the_way_out_not_on_the_trip():
+    attrs = FileAttributes(
+        name="t",
+        organization=FileOrganization.PDA,
+        category=FileCategory.SPECIALIZED,
+        record_size=8,
+        records_per_block=2,
+        n_records=64,
+        n_processes=2,
+        layout="interleaved",
+        org_params={"ranges": [(0, 32), (32, 64)]},
+    )
+    first = attrs.to_dict()
+    _, back = round_trip(attrs)
+    # the dict form is already list-of-lists, so JSON cannot change it
+    assert first["org_params"]["ranges"] == [[0, 32], [32, 64]]
+    assert back.to_dict() == first
+
+
+def test_enum_fields_round_trip_for_every_category():
+    for org, cat in itertools.product(ORGS, FileCategory):
+        attrs = FileAttributes(
+            name="e",
+            organization=org,
+            category=cat,
+            record_size=4,
+            records_per_block=2,
+            n_records=10,
+            n_processes=1,
+            layout="striped",
+        )
+        _, back = round_trip(attrs)
+        assert back.organization is org
+        assert back.category is cat
