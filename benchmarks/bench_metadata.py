@@ -1,0 +1,192 @@
+"""X4 (extension) — open/create-storm scaling of the sharded metastore.
+
+§3's Finite Element Machine experience is a *metadata* bottleneck story:
+thousands of per-process files that "all had to be created, modified,
+and deleted individually" through one directory service. This benchmark
+measures the cure: the same open/create storm driven through a
+single-catalog FIFO metadata server (1 shard — every request serialized
+through one queue) versus the hash-sharded service at 4 and 8 shards.
+
+For each client count N in the grid, N simulated clients each create,
+open (lookup), and delete a private batch of files through
+:class:`repro.metastore.MetaServer`. The metric is simulated seconds to
+drain the storm and the derived ops/sec; the expected curve is FIFO time
+growing linearly with N while sharded time flattens toward the
+per-shard serialization floor. The run fails (exit 1) if the sharded
+service does not beat the FIFO baseline at the highest client count, or
+if any storm leaves the namespace invariants dirty.
+
+Output: ``benchmarks/results/metadata_storm.txt`` and the
+machine-readable ``benchmarks/results/BENCH_metadata.json``.
+
+CLI::
+
+    PYTHONPATH=src python benchmarks/bench_metadata.py [--quick] [--json PATH]
+
+Quick mode (``--quick`` or ``REPRO_BENCH_QUICK=1``) shrinks the client
+grid and per-client batch for CI smoke runs.
+"""
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro import Environment
+from repro.metastore import MetadataService, MetaServer
+from repro.metastore.harness import make_entry
+from repro.perf import write_bench_json
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+OP_TIME = 5e-5           # simulated seconds per metadata op at a shard
+SHARD_COUNTS = (1, 4, 8)
+
+
+def params(quick: bool):
+    if quick:
+        return dict(clients=(2, 8), files_per_client=4)
+    return dict(clients=(2, 4, 8, 16, 32), files_per_client=8)
+
+
+def run_storm(n_shards: int, n_clients: int, files_per_client: int):
+    """One create/open/delete storm; returns (sim_seconds, total_ops)."""
+    env = Environment()
+    service = MetadataService(n_shards=n_shards)
+    server = MetaServer(env, service, op_time=OP_TIME)
+
+    def client(cid: int):
+        names = [f"c{cid}.f{i}" for i in range(files_per_client)]
+        for name in names:
+            yield server.submit("create", name, make_entry(name))
+        for name in names:
+            yield server.submit("lookup", name)
+        for name in names:
+            yield server.submit("delete", name)
+
+    def driver():
+        yield env.all_of(
+            [env.process(client(c), name=f"client{c}")
+             for c in range(n_clients)]
+        )
+
+    env.run(env.process(driver(), name="storm"))
+    if service.check_invariants():
+        raise RuntimeError(
+            f"storm left dirty invariants at {n_shards} shard(s), "
+            f"{n_clients} client(s)"
+        )
+    assert len(service) == 0, "every storm file was deleted"
+    return env.now, server.total_served
+
+
+def run_bench(quick: bool):
+    cfg = params(quick)
+    clients, fpc = cfg["clients"], cfg["files_per_client"]
+
+    curves = {}
+    for shards in SHARD_COUNTS:
+        points = {}
+        for n in clients:
+            sim_s, ops = run_storm(shards, n, fpc)
+            points[str(n)] = {
+                "sim_s": sim_s,
+                "ops": ops,
+                "ops_per_s": ops / sim_s if sim_s else 0.0,
+            }
+        curves[str(shards)] = points
+
+    top = str(max(clients))
+    fifo_top = curves["1"][top]["sim_s"]
+    best_sharded_top = min(
+        curves[str(s)][top]["sim_s"] for s in SHARD_COUNTS if s > 1
+    )
+    sharded_wins = best_sharded_top < fifo_top
+
+    record = {
+        "bench": "metadata_storm",
+        "quick": quick,
+        "config": {
+            "op_time_s": OP_TIME,
+            "shard_counts": list(SHARD_COUNTS),
+            "clients": list(clients),
+            "files_per_client": fpc,
+            "ops_per_client": 3 * fpc,   # create + lookup + delete
+        },
+        "curves": curves,
+        "fifo_top_sim_s": fifo_top,
+        "best_sharded_top_sim_s": best_sharded_top,
+        "speedup_at_top": fifo_top / best_sharded_top if best_sharded_top else 0.0,
+        "sharded_wins_at_top": sharded_wins,
+    }
+
+    rows = []
+    header = "shards " + " ".join(f"N={n:>3d}" + " " * 7 for n in clients)
+    rows.append(header)
+    for shards in SHARD_COUNTS:
+        cells = " ".join(
+            f"{curves[str(shards)][str(n)]['sim_s'] * 1e3:7.2f} ms"
+            for n in clients
+        )
+        label = "FIFO" if shards == 1 else f"{shards}-way"
+        rows.append(f"{label:<6s} {cells}")
+    rows.append(
+        f"at N={top}: FIFO {fifo_top * 1e3:.2f} ms vs best sharded "
+        f"{best_sharded_top * 1e3:.2f} ms "
+        f"({record['speedup_at_top']:.2f}x) -> "
+        + ("sharded WINS" if sharded_wins else "sharded LOSES")
+    )
+    return record, rows
+
+
+def _title(record) -> str:
+    cfg = record["config"]
+    return (
+        "X4 (extension): open/create storm, single-catalog FIFO vs "
+        f"sharded metastore, {cfg['ops_per_client']} ops/client, "
+        f"clients in {cfg['clients']}"
+    )
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true", default=QUICK,
+                    help="small client grid / batch for CI smoke runs")
+    ap.add_argument("--json", default=None, metavar="PATH",
+                    help="where to write BENCH_metadata.json "
+                         "(default: benchmarks/results/BENCH_metadata.json)")
+    args = ap.parse_args(argv)
+
+    results = Path(__file__).parent / "results"
+    results.mkdir(exist_ok=True)
+    out_path = (
+        Path(args.json) if args.json else results / "BENCH_metadata.json"
+    )
+
+    record, rows = run_bench(args.quick)
+    title = _title(record)
+    text = "\n".join([title, "=" * len(title), *rows, ""])
+    (results / "metadata_storm.txt").write_text(text)
+    print(text)
+
+    write_bench_json(out_path, record)
+    print(f"wrote {out_path}")
+    return 0 if record["sharded_wins_at_top"] else 1
+
+
+# -- pytest entry (CI smoke: REPRO_BENCH_QUICK=1 pytest benchmarks/bench_metadata.py)
+
+
+def test_x4_metadata_storm(results_dir):
+    record, rows = run_bench(quick=QUICK)
+    from conftest import write_table
+
+    write_table(results_dir, "metadata_storm", _title(record), rows)
+    write_bench_json(results_dir / "BENCH_metadata.json", record)
+    assert record["sharded_wins_at_top"]
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -70,6 +70,12 @@ from .fs import (
 )
 from .ionode import Interconnect, IONode, IONodeCluster, MediatedVolume, ServerCache
 from .live import LiveParallelFileSystem
+from .metastore import (
+    MetadataClient,
+    MetadataService,
+    MetaServer,
+    ShardedCatalog,
+)
 from .qos import (
     QoSClass,
     QoSConfig,
@@ -133,6 +139,10 @@ __all__ = [
     "MediatedVolume",
     "ServerCache",
     "LiveParallelFileSystem",
+    "MetadataClient",
+    "MetadataService",
+    "MetaServer",
+    "ShardedCatalog",
     "QoSClass",
     "QoSConfig",
     "QoSManager",

@@ -60,6 +60,7 @@ __all__ = [
     "scan_bytes",
     "scan_container",
     "fsck",
+    "cross_check",
     "main",
 ]
 
@@ -73,6 +74,11 @@ KIND_SECTION_CHECKSUM = "section-checksum"
 KIND_BAD_PADDING = "bad-padding"
 KIND_TRUNCATED = "truncated"
 KIND_TRAILING = "trailing-bytes"
+#: catalog-vs-media cross-check kinds (see :func:`cross_check`)
+KIND_CATALOG_SIZE = "catalog-size-mismatch"
+KIND_CATALOG_BOUNDS = "catalog-extent-bounds"
+KIND_CATALOG_OVERLAP = "catalog-extent-overlap"
+KIND_CATALOG_REGISTRY = "catalog-registry-mismatch"
 
 
 @dataclass(frozen=True)
@@ -252,6 +258,77 @@ def fsck(file: "ParallelFile", chunk_records: int = 1 << 16):
         report.resilience = {
             k: after[k] - before[k] for k in after if after[k] != before[k]
         }
+    return report
+
+
+def cross_check(pfs) -> ContainerReport:
+    """fsck the *catalog* against the media: every directory entry must
+    be backed by a sane on-device allocation.
+
+    For every catalog entry (plain :class:`~repro.fs.catalog.Catalog` or
+    the sharded facade — anything with ``entries()``):
+
+    * the extent's device ranges must hold at least ``attrs.file_bytes``
+      (allocation is block-granular, so over-allocation is legal;
+      under-allocation is ``catalog-size-mismatch``);
+    * every per-device range must lie inside that device's capacity
+      (``catalog-extent-bounds``);
+    * no two entries may claim intersecting ranges of one device —
+      a namespace double-owner made visible on media
+      (``catalog-extent-overlap``);
+    * when the sharded metastore fronts the namespace, its extent
+      registry must agree with the live entry (owner name and byte
+      count, ``catalog-registry-mismatch``).
+
+    The crash-point harness runs this after every injected crash +
+    recovery, so "recovered" is asserted at the media layer too, not
+    just by the namespace diff.
+    """
+    report = ContainerReport(name="<catalog>", total_bytes=0)
+    claims: dict[int, list[tuple[int, int, str]]] = {}
+    for name, entry in pfs.catalog.entries():
+        ext = entry.extent
+        if ext is None:
+            continue
+        total = 0
+        for dev, (base, size) in enumerate(zip(ext.bases, ext.sizes)):
+            if base is None or size == 0:
+                continue
+            total += size
+            cap = pfs.volume.devices[dev].capacity_bytes
+            if base < 0 or base + size > cap:
+                _note(report, KIND_CATALOG_BOUNDS, name, base,
+                      f"device {dev} range [{base}, {base + size}) outside "
+                      f"capacity {cap}")
+            for lo, hi, other in claims.get(dev, ()):
+                if base < hi and lo < base + size:
+                    _note(report, KIND_CATALOG_OVERLAP, name, max(base, lo),
+                          f"device {dev} range [{base}, {base + size}) "
+                          f"intersects {other!r}'s [{lo}, {hi})")
+            claims.setdefault(dev, []).append((base, base + size, name))
+        # allocation is block-granular, so the extent may legally be
+        # larger than the file; smaller means data cannot all be on media
+        if total < entry.attrs.file_bytes:
+            _note(report, KIND_CATALOG_SIZE, name, 0,
+                  f"extent holds {total} bytes, attributes declare "
+                  f"{entry.attrs.file_bytes}")
+        report.total_bytes += total
+    service = getattr(pfs, "metastore", None)
+    if service is not None:
+        registry = {
+            rec.owner: rec
+            for shard in service.shards
+            for rec in shard.extents.values()
+        }
+        for name, entry in pfs.catalog.entries():
+            rec = registry.get(name)
+            if rec is None:
+                _note(report, KIND_CATALOG_REGISTRY, name, 0,
+                      "no extent-registry record owns this entry")
+            elif rec.nbytes != entry.attrs.file_bytes:
+                _note(report, KIND_CATALOG_REGISTRY, name, 0,
+                      f"registry says {rec.nbytes} bytes, attributes "
+                      f"declare {entry.attrs.file_bytes}")
     return report
 
 

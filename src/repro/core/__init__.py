@@ -18,6 +18,8 @@ from .boundary import HaloCache, ReplicatedPartitioning
 from .convert import CopyStep, Run, alternate_view_runs, contiguous_runs, conversion_plan
 from .errors import (
     ExhaustedError,
+    FileExistsError_,
+    FileNotFoundError_,
     OrganizationError,
     OwnershipError,
     RecordRangeError,
@@ -52,6 +54,8 @@ __all__ = [
     "contiguous_runs",
     "conversion_plan",
     "ExhaustedError",
+    "FileExistsError_",
+    "FileNotFoundError_",
     "OrganizationError",
     "OwnershipError",
     "RecordRangeError",

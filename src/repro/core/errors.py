@@ -9,6 +9,8 @@ __all__ = [
     "OwnershipError",
     "ViewMismatchError",
     "ExhaustedError",
+    "FileExistsError_",
+    "FileNotFoundError_",
 ]
 
 
@@ -41,3 +43,18 @@ class ViewMismatchError(ReproError):
 
 class ExhaustedError(ReproError):
     """A self-scheduled file has no records left to hand out."""
+
+
+class FileExistsError_(ReproError):
+    """A file of that name already exists.
+
+    Shared by the plain catalog (``repro.fs.catalog``) and the sharded
+    metadata service (``repro.metastore``) so both namespace layers
+    speak one exception vocabulary. The trailing underscore keeps the
+    historical name (it predates the move here) and avoids shadowing the
+    builtin.
+    """
+
+
+class FileNotFoundError_(ReproError):
+    """No file of that name exists (same vocabulary note as above)."""

@@ -11,21 +11,16 @@ Benchmark E12 counts catalog entries as its manageability metric.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Iterator
 
+# Re-homed into repro.core.errors (the metastore and pfs layers share
+# one exception vocabulary); imported here as back-compat aliases.
+from ..core.errors import FileExistsError_, FileNotFoundError_
 from ..storage.layout import DataLayout
 from ..storage.volume import Extent
 from .metadata import FileAttributes
 
 __all__ = ["Catalog", "CatalogEntry", "FileExistsError_", "FileNotFoundError_"]
-
-
-class FileExistsError_(Exception):
-    """A file of that name already exists."""
-
-
-class FileNotFoundError_(Exception):
-    """No file of that name exists."""
 
 
 @dataclass
@@ -54,6 +49,10 @@ class Catalog:
         """All file names, sorted."""
         return sorted(self._entries)
 
+    def entries(self) -> Iterator[tuple[str, CatalogEntry]]:
+        """Iterate ``(name, entry)`` pairs (the fsck cross-check's input)."""
+        return iter(self._entries.items())
+
     def add(self, entry: CatalogEntry) -> None:
         """Register a new file (rejects duplicates)."""
         name = entry.attrs.name
@@ -77,13 +76,20 @@ class Catalog:
         return entry
 
     def rename(self, old: str, new: str) -> None:
-        """Rename a file (neither a create nor a delete in the counters)."""
+        """Rename a file (neither a create nor a delete in the counters).
+
+        A single atomic swap: the entry is inserted under ``new`` before
+        ``old`` is dropped, so no interleaved observer (or simulated
+        crash) ever sees a window where the file is absent from the
+        namespace — the same insert-before-drop ordering the journaled
+        metastore rename uses.
+        """
         if new in self._entries:
             raise FileExistsError_(new)
-        entry = self.remove(old)
+        entry = self.get(old)
         entry.attrs.name = new
         self._entries[new] = entry
-        self.deletes -= 1   # a rename is neither a delete nor a create
+        del self._entries[old]
 
     def to_dict(self) -> dict[str, Any]:
         """Metadata-only snapshot (extents/layouts are runtime objects)."""

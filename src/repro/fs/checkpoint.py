@@ -41,9 +41,30 @@ class CheckpointManager:
         self._next_version = 0
         #: committed checkpoint versions, oldest first
         self.versions: list[int] = []
+        #: checkpoint files garbage-collected by :meth:`recover` (names)
+        self.recovered_garbage: list[str] = []
+        # opening over a namespace with leftover checkpoint files (a
+        # crashed predecessor) adopts the committed ones and collects
+        # the uncommitted debris
+        self.recover()
 
     def _name(self, version: int) -> str:
         return f"{self.basename}.{version:06d}"
+
+    def _marker(self, version: int) -> str:
+        return self._name(version) + ".ok"
+
+    def _mark_committed(self, version: int) -> None:
+        """Durable commit record: a marker file next to the checkpoint.
+
+        The checkpoint data file alone is not a commitment — a crash
+        between the partition copies and this marker must leave a file
+        that :meth:`recover` can tell apart from a restorable version.
+        """
+        self.pfs.create(
+            self._marker(version), "S",
+            n_records=1, record_size=1, n_processes=1,
+        )
 
     @property
     def latest(self) -> int | None:
@@ -98,12 +119,26 @@ class CheckpointManager:
                 yield from ckpt.global_view().write(data)
 
         yield env.process(driver())
-        # commit point: only now is the version restorable
+        # commit point: the durable marker is what makes the version
+        # restorable — a crash anywhere before this line leaves only an
+        # uncommitted data file, which recover() garbage-collects
+        self._mark_committed(version)
         self.versions.append(version)
         while len(self.versions) > self.keep_last:
             victim = self.versions.pop(0)
-            self.pfs.delete(self._name(victim))
+            self._delete_version(victim)
         return version
+
+    def _delete_version(self, version: int) -> None:
+        """Delete a version's data file and marker (data first, so a
+        crash mid-delete leaves a bare marker, not a resurrectable
+        uncommitted data file)."""
+        name = self._name(version)
+        if name in self.pfs.catalog:
+            self.pfs.delete(name)
+        marker = self._marker(version)
+        if marker in self.pfs.catalog:
+            self.pfs.delete(marker)
 
     # -- restarting ----------------------------------------------------------
 
@@ -133,7 +168,52 @@ class CheckpointManager:
         """Delete every committed checkpoint; returns how many."""
         n = 0
         for version in self.versions:
-            self.pfs.delete(self._name(version))
+            self._delete_version(version)
             n += 1
         self.versions.clear()
         return n
+
+    # -- crash recovery ------------------------------------------------------
+
+    def recover(self) -> list[str]:
+        """Adopt committed checkpoints, garbage-collect uncommitted ones.
+
+        Scans the catalog for this manager's checkpoint files. A version
+        is committed iff both its data file and its ``.ok`` marker exist;
+        those are (re)adopted into :attr:`versions`. A data file without
+        a marker is debris from a save that crashed between the partition
+        copies and the commit mark — previously such files leaked
+        forever — and is deleted. A bare marker (crash mid-delete of an
+        old version) is deleted too. Returns the deleted names; they are
+        also accumulated in :attr:`recovered_garbage`.
+        """
+        prefix = f"{self.basename}."
+        data: dict[int, str] = {}
+        markers: dict[int, str] = {}
+        for name in list(self.pfs.catalog.names()):
+            if not name.startswith(prefix):
+                continue
+            rest = name[len(prefix):]
+            into = data
+            if rest.endswith(".ok"):
+                rest, into = rest[:-3], markers
+            if len(rest) == 6 and rest.isdigit():
+                into[int(rest)] = name
+        garbage: list[str] = []
+        for version in sorted(data.keys() | markers.keys()):
+            if version in data and version in markers:
+                if version not in self.versions:
+                    self.versions.append(version)
+            elif version in data:
+                self.pfs.delete(data[version])
+                garbage.append(data[version])
+            else:
+                self.pfs.delete(markers[version])
+                garbage.append(markers[version])
+        self.versions.sort()
+        if data or markers:
+            self._next_version = max(
+                self._next_version, max(data.keys() | markers.keys()) + 1
+            )
+        self.recovered_garbage.extend(garbage)
+        return garbage

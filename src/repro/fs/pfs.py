@@ -566,6 +566,9 @@ class ParallelFileSystem:
         self.data_plane: "Volume | MediatedVolume" = volume
         #: the resilience layer, when attached (see :meth:`attach_resilience`)
         self.resilience = None
+        #: the sharded metadata service, when attached
+        #: (see :meth:`attach_metastore`)
+        self.metastore = None
         #: the QoS manager, when attached (see :meth:`attach_qos`)
         self.qos: "QoSManager | None" = None
         self._qos_saved_policies: list = []
@@ -729,6 +732,53 @@ class ParallelFileSystem:
                 inner.failover = None
             self.data_plane = inner
             self.resilience = None
+
+    # -- sharded metadata opt-in -------------------------------------------------
+
+    def attach_metastore(self, shards: int = 4, injector: Any = None) -> Any:
+        """Swap the namespace onto the sharded, journaled metadata service.
+
+        Every existing catalog entry is migrated (as journaled creates)
+        into a :class:`~repro.metastore.MetadataService` partitioned
+        across ``shards`` hash slices, and ``self.catalog`` becomes the
+        drop-in :class:`~repro.metastore.ShardedCatalog` facade — so
+        ``create``/``open``/``delete``/``rename`` gain write-ahead
+        intent journaling, crash recovery, and lease epochs without any
+        caller changing. When a resilience layer with node failover is
+        attached (now or later via :meth:`attach_resilience`), call
+        ``self.metastore.bind_failover(rv.failover)`` to re-home shards
+        on node death. ``injector`` is the crash-point hook used by the
+        robustness harness. Returns the service (also at
+        ``self.metastore``).
+        """
+        from ..metastore import MetadataService, ShardedCatalog
+
+        service = MetadataService(n_shards=shards, injector=injector)
+        old = self.catalog
+        for name in old.names():
+            entry = old.get(name)
+            service.create(name, entry)
+        self.metastore = service
+        self.catalog = ShardedCatalog(
+            service,
+            creates=getattr(old, "creates", 0),
+            deletes=getattr(old, "deletes", 0),
+        )
+        if self._sanitizer is not None:
+            service.sanitizer = self._sanitizer
+        return service
+
+    def detach_metastore(self) -> None:
+        """Return to the plain in-memory catalog (entries carried over)."""
+        if self.metastore is None:
+            return
+        plain = Catalog()
+        for _, entry in self.metastore.entries():
+            plain.add(entry)
+        plain.creates = self.catalog.creates
+        plain.deletes = self.catalog.deletes
+        self.catalog = plain
+        self.metastore = None
 
     # -- QoS opt-in -------------------------------------------------------------
 

@@ -1,0 +1,50 @@
+"""repro.metastore — sharded, crash-consistent metadata/directory service.
+
+The namespace half of the ViPIOS-style server-driven design (PAPERS.md):
+file names are hash-partitioned across :class:`MetaShard` slices, every
+mutating operation (create / rename / delete / extend) is fronted by a
+write-ahead intent journal with idempotent replay, clients cache
+lookups under epoch-validated leases, and shard failover rides the
+existing resilience layer. The robustness claim is proved by the
+kill-at-every-step crash matrix (:mod:`repro.metastore.harness`, also a
+CLI: ``python -m repro.metastore.harness``).
+
+Layering:
+
+* :mod:`~repro.metastore.service` — durable namespace logic (synchronous);
+* :mod:`~repro.metastore.server` — simulated-time serving front (per-shard
+  FIFO inboxes, circuit breakers, crash salvage + resubmission);
+* :mod:`~repro.metastore.catalog` — drop-in
+  :class:`~repro.fs.catalog.Catalog` facade, installed by
+  ``ParallelFileSystem.attach_metastore(shards=...)``;
+* :mod:`~repro.metastore.lease` — client-side metadata caching;
+* :mod:`~repro.metastore.harness` — systematic crash-point injection.
+
+See ``docs/METADATA.md`` for the journal record format, the step
+sequences of each operation, the lease protocol, and the crash-matrix
+semantics.
+"""
+
+from .catalog import ShardedCatalog
+from .crash import CrashInjector, InjectedCrash
+from .journal import IntentJournal, JournalRecord
+from .lease import Lease, MetadataClient
+from .server import MetaRequest, MetaServer
+from .service import MetadataService, shard_index
+from .shard import ExtentRecord, MetaShard
+
+__all__ = [
+    "CrashInjector",
+    "ExtentRecord",
+    "InjectedCrash",
+    "IntentJournal",
+    "JournalRecord",
+    "Lease",
+    "MetaRequest",
+    "MetaServer",
+    "MetaShard",
+    "MetadataClient",
+    "MetadataService",
+    "ShardedCatalog",
+    "shard_index",
+]

@@ -1,0 +1,69 @@
+"""Crash-point injection for the metadata service.
+
+The metastore's durability story is only as good as its worst crash
+point, so every durable action a namespace operation performs — each
+journal append, each directory-dict mutation, each extent-registry
+update — funnels through one :class:`CrashInjector`. The injector
+numbers the durable actions of an operation in execution order; arming
+it at step *k* makes the *k*-th action raise :class:`InjectedCrash`
+**before** the action takes effect, modelling a crash that struck after
+``k - 1`` durable actions reached media and nothing else.
+
+The systematic harness (:mod:`repro.metastore.harness`) first runs each
+operation with a tracing (unarmed) injector to enumerate its steps, then
+re-runs it once per step with the injector armed — "kill at every step"
+— and checks that journal replay lands the namespace in exactly the
+atomic before- or after-state.
+"""
+
+from __future__ import annotations
+
+__all__ = ["InjectedCrash", "CrashInjector"]
+
+
+class InjectedCrash(Exception):
+    """An injected crash: the in-flight operation dies mid-mutation.
+
+    Carries the 1-based step index and the step's tag so harness reports
+    can say *where* the operation was killed.
+    """
+
+    def __init__(self, step: int, tag: str):
+        super().__init__(f"injected crash at durable step {step} ({tag})")
+        self.step = step
+        self.tag = tag
+
+
+class CrashInjector:
+    """Counts durable actions; optionally kills the n-th one.
+
+    ``arm(k)`` schedules a crash at durable step ``k`` (1-based);
+    ``step(tag)`` is called by the shard immediately *before* each
+    durable action. Unarmed, the injector just records the tag trace,
+    which is how the harness enumerates an operation's crash points.
+    """
+
+    def __init__(self) -> None:
+        self.counter = 0
+        self.crash_at: int | None = None
+        #: tags of every durable step seen since the last ``reset``
+        self.trace: list[str] = []
+
+    def arm(self, crash_at: int | None) -> None:
+        """Crash at durable step ``crash_at`` (1-based); ``None`` disarms."""
+        if crash_at is not None and crash_at < 1:
+            raise ValueError("crash_at is 1-based")
+        self.crash_at = crash_at
+
+    def reset(self) -> None:
+        """Zero the step counter and trace (call between operations)."""
+        self.counter = 0
+        self.trace.clear()
+
+    def step(self, tag: str) -> None:
+        """One durable action is about to happen; maybe die instead."""
+        self.counter += 1
+        self.trace.append(tag)
+        if self.crash_at is not None and self.counter == self.crash_at:
+            self.crash_at = None  # one crash per arming
+            raise InjectedCrash(self.counter, tag)

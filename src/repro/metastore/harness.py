@@ -1,0 +1,313 @@
+"""Kill-at-every-step crash-point matrix for the metadata service.
+
+The robustness claim of :mod:`repro.metastore` is falsifiable: for every
+journaled namespace operation, a crash between *any* two durable steps,
+followed by journal replay, must land the namespace in exactly the
+operation's atomic before- or after-state — never a torn one. This
+module proves it exhaustively:
+
+1. each scenario (create, delete, same-shard rename, cross-shard rename,
+   extend, and a compound rename-chain) is first run against a fresh
+   service with a *tracing* injector to enumerate its durable steps;
+2. the scenario is then re-run once per step with the injector armed —
+   the step raises :class:`~repro.metastore.crash.InjectedCrash` before
+   its durable action takes effect;
+3. :meth:`~repro.metastore.service.MetadataService.recover` replays the
+   journals, and the resulting :meth:`snapshot` must equal the
+   *before* snapshot or the *after* snapshot, with
+   :meth:`check_invariants` clean (no lost name, no double owner, no
+   orphan extent).
+
+``python -m repro.metastore.harness [--quick]`` runs the matrix and
+exits nonzero on any torn state — CI's crash-matrix smoke job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .crash import CrashInjector, InjectedCrash
+from .service import MetadataService, shard_index
+
+__all__ = [
+    "Scenario",
+    "MatrixResult",
+    "default_scenarios",
+    "crash_matrix",
+    "make_entry",
+    "name_on_shard",
+    "main",
+]
+
+#: shard count used by the default scenarios — small enough that names
+#: landing on chosen shards are easy to find, big enough to shard
+SHARDS = 4
+
+
+def make_entry(name: str, n_records: int = 64, record_size: int = 32):
+    """A real :class:`~repro.fs.catalog.CatalogEntry` with no live media
+    behind it (extent/layout ``None``): the pure-namespace test double."""
+    from ..core.organizations import FileCategory, FileOrganization
+    from ..fs.catalog import CatalogEntry
+    from ..fs.metadata import FileAttributes
+
+    attrs = FileAttributes(
+        name=name,
+        organization=FileOrganization.S,
+        category=FileCategory.STANDARD,
+        record_size=record_size,
+        records_per_block=1,
+        n_records=n_records,
+        n_processes=1,
+        layout="striped",
+    )
+    return CatalogEntry(attrs=attrs, extent=None, layout=None)
+
+
+def name_on_shard(target: int, n_shards: int, prefix: str = "f") -> str:
+    """A deterministic name that hash-routes to shard ``target``."""
+    if not 0 <= target < n_shards:
+        raise ValueError(f"no shard {target} with {n_shards} shard(s)")
+    i = 0
+    while True:
+        name = f"{prefix}{i}"
+        if shard_index(name, n_shards) == target:
+            return name
+        i += 1
+
+
+@dataclass
+class Scenario:
+    """A seeded namespace plus a sequence of operations under crash test.
+
+    Most scenarios are a single operation; multi-op sequences verify
+    that a crash in operation *j* never disturbs the already-committed
+    operations before it (the valid post-recovery states are exactly the
+    boundary before or after op *j*).
+    """
+
+    name: str
+    setup: Callable[[MetadataService], None]
+    ops: list[Callable[[MetadataService], None]]
+
+
+def default_scenarios(n_shards: int = SHARDS) -> list[Scenario]:
+    """The exhaustive set: every journaled op, same- and cross-shard."""
+    # with one shard there is no "shard 1": the cross-shard scenarios
+    # degenerate to same-shard ones, which is still a valid matrix
+    other = 1 % n_shards
+    a = name_on_shard(0, n_shards, "alpha")          # lives on shard 0
+    b = name_on_shard(0, n_shards, "beta")           # shard 0 sibling
+    c = name_on_shard(other, n_shards, "gamma")      # lives on shard `other`
+    same = name_on_shard(0, n_shards, "same")        # rename target, shard 0
+    cross = name_on_shard(other, n_shards, "cross")  # rename target, shard `other`
+
+    def seed(svc: MetadataService) -> None:
+        svc.create(a, make_entry(a))
+        svc.create(c, make_entry(c))
+
+    return [
+        Scenario("create", seed, [lambda s: s.create(b, make_entry(b))]),
+        Scenario("delete", seed, [lambda s: s.delete(a)]),
+        Scenario("rename-same-shard", seed, [lambda s: s.rename(a, same)]),
+        Scenario("rename-cross-shard", seed, [lambda s: s.rename(a, cross)]),
+        Scenario("extend", seed, [lambda s: s.extend(a, 128)]),
+        Scenario(
+            # a committed op *behind* the crashed one must stay committed
+            "rename-after-create",
+            seed,
+            [
+                lambda s: s.create(b, make_entry(b)),
+                lambda s: s.rename(b, cross),
+            ],
+        ),
+    ]
+
+
+def quick_scenarios(n_shards: int = SHARDS) -> list[Scenario]:
+    """Reduced operation set for the CI smoke job."""
+    keep = {"create", "rename-cross-shard", "delete"}
+    return [s for s in default_scenarios(n_shards) if s.name in keep]
+
+
+@dataclass
+class StepResult:
+    step: int
+    tag: str
+    outcome: str            #: ``before`` | ``after`` | ``TORN``
+    findings: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome in ("before", "after") and not self.findings
+
+
+@dataclass
+class MatrixResult:
+    scenario: str
+    steps: list[StepResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(s.ok for s in self.steps)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready summary: outcome tally plus one row per crash step."""
+        return {
+            "scenario": self.scenario,
+            "ok": self.ok,
+            "n_steps": len(self.steps),
+            "outcomes": {
+                "before": sum(1 for s in self.steps if s.outcome == "before"),
+                "after": sum(1 for s in self.steps if s.outcome == "after"),
+                "torn": sum(1 for s in self.steps if s.outcome == "TORN"),
+            },
+            "steps": [
+                {
+                    "step": s.step,
+                    "tag": s.tag,
+                    "outcome": s.outcome,
+                    "findings": s.findings,
+                }
+                for s in self.steps
+            ],
+        }
+
+
+def _fresh(
+    scenario: Scenario, n_shards: int
+) -> tuple[MetadataService, CrashInjector]:
+    injector = CrashInjector()
+    svc = MetadataService(n_shards=n_shards, injector=injector)
+    scenario.setup(svc)
+    injector.reset()
+    return svc, injector
+
+
+def run_scenario(
+    scenario: Scenario,
+    n_shards: int = SHARDS,
+    check: Callable[[MetadataService], list[str]] | None = None,
+) -> MatrixResult:
+    """Kill ``scenario.op`` at every durable step; verify atomicity.
+
+    ``check`` is an optional extra verifier run after every recovery
+    (e.g. the fsck cross-check when the service fronts a real pfs); it
+    returns finding strings that fail the step.
+    """
+    # pass 0: enumerate durable steps and capture the boundary state
+    # before/after each operation in the sequence
+    svc, injector = _fresh(scenario, n_shards)
+    boundaries = [svc.snapshot()]
+    op_ends: list[int] = []          # cumulative step count after each op
+    for op in scenario.ops:
+        op(svc)
+        boundaries.append(svc.snapshot())
+        op_ends.append(len(injector.trace))
+    steps = list(injector.trace)
+    if not steps:
+        raise ValueError(f"scenario {scenario.name} performed no durable step")
+    if boundaries[0] == boundaries[-1]:
+        raise ValueError(f"scenario {scenario.name} is a namespace no-op")
+
+    def op_of(step: int) -> int:
+        """Which operation (0-based) durable step ``step`` belongs to."""
+        for j, end in enumerate(op_ends):
+            if step <= end:
+                return j
+        raise AssertionError(f"step {step} beyond the trace")
+
+    result = MatrixResult(scenario.name)
+    for k, tag in enumerate(steps, start=1):
+        svc, injector = _fresh(scenario, n_shards)
+        assert svc.snapshot() == boundaries[0], "setup must be deterministic"
+        injector.arm(k)
+        try:
+            for op in scenario.ops:
+                op(svc)
+        except InjectedCrash:
+            pass
+        else:
+            raise AssertionError(
+                f"{scenario.name}: step {k} ({tag}) did not crash"
+            )
+        svc.recover()
+        snap = svc.snapshot()
+        findings = [f"{f.kind}: {f.file} — {f.detail}"
+                    for f in svc.check_invariants()]
+        if check is not None:
+            findings.extend(check(svc))
+        # the only legal landing spots: the boundary just before or just
+        # after the operation the crash struck — committed earlier ops
+        # stay committed, the torn op is atomically in or out
+        j = op_of(k)
+        outcome = (
+            "before" if snap == boundaries[j]
+            else "after" if snap == boundaries[j + 1]
+            else "TORN"
+        )
+        # recovery must also be idempotent: a second replay (a crash
+        # *during* recovery, rerun) may not move the namespace again
+        svc.recover()
+        if svc.snapshot() != snap:
+            findings.append("recovery is not idempotent")
+        result.steps.append(StepResult(k, tag, outcome, findings))
+    return result
+
+
+def crash_matrix(
+    scenarios: list[Scenario] | None = None,
+    n_shards: int = SHARDS,
+    check: Callable[[MetadataService], list[str]] | None = None,
+) -> tuple[list[MatrixResult], bool]:
+    """Run every scenario's full matrix; returns (results, all_ok)."""
+    scenarios = scenarios if scenarios is not None else default_scenarios(n_shards)
+    results = [run_scenario(s, n_shards, check) for s in scenarios]
+    return results, all(r.ok for r in results)
+
+
+def render(results: list[MatrixResult]) -> str:
+    """Format matrix results as the per-scenario verdict table."""
+    lines = [
+        "crash-point matrix — kill at every durable step, replay, diff",
+        f"{'scenario':<24s} {'steps':>5s} {'before':>7s} {'after':>6s} "
+        f"{'torn':>5s}  verdict",
+    ]
+    for r in results:
+        d = r.to_dict()["outcomes"]
+        lines.append(
+            f"{r.scenario:<24s} {len(r.steps):>5d} {d['before']:>7d} "
+            f"{d['after']:>6d} {d['torn']:>5d}  "
+            f"{'OK' if r.ok else 'TORN STATE'}"
+        )
+        for s in r.steps:
+            if not s.ok:
+                lines.append(f"    step {s.step} ({s.tag}): {s.outcome} "
+                             f"{'; '.join(s.findings)}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: run the matrix, print the table, exit 0 iff fully atomic."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced operation set (CI smoke)")
+    parser.add_argument("--shards", type=int, default=SHARDS)
+    args = parser.parse_args(argv)
+    scenarios = (
+        quick_scenarios(args.shards) if args.quick
+        else default_scenarios(args.shards)
+    )
+    results, ok = crash_matrix(scenarios, args.shards)
+    print(render(results))
+    total = sum(len(r.steps) for r in results)
+    print(f"{total} crash points injected across {len(results)} scenario(s): "
+          f"{'all atomic' if ok else 'TORN STATES FOUND'}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

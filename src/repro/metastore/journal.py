@@ -1,0 +1,111 @@
+"""Write-ahead intent journal for one metadata shard.
+
+Every mutating namespace operation follows the same discipline:
+
+1. append an **intent** record carrying *everything replay needs* to
+   finish the operation (names, extent id, a reference to the entry
+   standing in for its serialized form);
+2. perform the durable directory/extent mutations, one at a time;
+3. append a **commit** record (or an **abort** record when a
+   cross-shard transaction discovers its peer never saw the intent).
+
+A crash between any two of those durable actions leaves the journal's
+tail with an intent and no resolution; recovery
+(:meth:`repro.metastore.service.MetadataService.recover`) rolls such
+transactions forward idempotently — the intent was written before any
+mutation, so replay always has enough information to reach the
+operation's after-state, and an intent that never became durable simply
+leaves the before-state. Either way the namespace is atomic.
+
+The journal is an in-simulation stand-in for an on-media log: records
+are Python objects, and ``payload["entry"]`` holds the live
+:class:`~repro.fs.catalog.CatalogEntry` reference where a real log would
+hold its serialized attribute record (``entry.attrs.to_dict()`` is the
+wire form; see ``docs/METADATA.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["JournalRecord", "IntentJournal"]
+
+#: record kinds
+INTENT = "intent"
+COMMIT = "commit"
+ABORT = "abort"
+
+
+@dataclass
+class JournalRecord:
+    """One durable journal record."""
+
+    lsn: int            #: shard-local log sequence number
+    kind: str           #: ``intent`` | ``commit`` | ``abort``
+    txid: int           #: service-wide transaction id
+    op: str             #: ``create`` | ``delete`` | ``rename`` | ``rename-in`` | ``rename-out`` | ``extend``
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ish form (the entry reference is reduced to its name)."""
+        payload = {
+            k: (v.attrs.name if hasattr(v, "attrs") else v)
+            for k, v in self.payload.items()
+        }
+        return {
+            "lsn": self.lsn,
+            "kind": self.kind,
+            "txid": self.txid,
+            "op": self.op,
+            "payload": payload,
+        }
+
+
+class IntentJournal:
+    """Append-only intent log of one shard."""
+
+    def __init__(self) -> None:
+        self.records: list[JournalRecord] = []
+        self._next_lsn = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def append(self, kind: str, txid: int, op: str, **payload: Any) -> JournalRecord:
+        """Durably append one record (the caller crash-steps first)."""
+        rec = JournalRecord(self._next_lsn, kind, txid, op, payload)
+        self._next_lsn += 1
+        self.records.append(rec)
+        return rec
+
+    # -- recovery-time queries ------------------------------------------------
+
+    def intent_of(self, txid: int) -> JournalRecord | None:
+        """The intent record of ``txid`` on this shard, if any."""
+        for rec in self.records:
+            if rec.txid == txid and rec.kind == INTENT:
+                return rec
+        return None
+
+    def resolved(self, txid: int) -> bool:
+        """True iff ``txid`` has a commit or abort record here."""
+        return any(
+            r.txid == txid and r.kind in (COMMIT, ABORT) for r in self.records
+        )
+
+    def uncommitted(self) -> list[JournalRecord]:
+        """Intent records with no commit/abort, oldest first."""
+        return [
+            r for r in self.records
+            if r.kind == INTENT and not self.resolved(r.txid)
+        ]
+
+    def committed(self) -> list[JournalRecord]:
+        """Intent records whose transaction committed, oldest first."""
+        return [
+            r for r in self.records
+            if r.kind == INTENT and any(
+                c.txid == r.txid and c.kind == COMMIT for c in self.records
+            )
+        ]

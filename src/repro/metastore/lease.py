@@ -1,0 +1,75 @@
+"""Client-side metadata leases with epoch-based invalidation.
+
+A client that opens files by name would hammer the metadata service on
+every access; :class:`MetadataClient` caches resolved
+:class:`~repro.fs.catalog.CatalogEntry` lookups under a **lease**: the
+entry plus the owning shard's epoch at fetch time. Every shard mutation
+(and every recovery or failover) bumps the shard's epoch, so a cached
+entry is served only while its epoch still matches — a rename, delete,
+or shard failover silently invalidates every lease minted against that
+shard, and the next lookup revalidates against the service.
+
+This is deliberately coarse (per-shard, not per-name): an epoch compare
+is one integer read, and false invalidations only cost a refetch — never
+a stale answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..fs.catalog import CatalogEntry
+    from .service import MetadataService
+
+__all__ = ["Lease", "MetadataClient"]
+
+
+@dataclass
+class Lease:
+    """One cached name resolution."""
+
+    entry: "CatalogEntry"
+    shard: int
+    epoch: int
+
+
+class MetadataClient:
+    """A caching metadata client of one :class:`MetadataService`."""
+
+    def __init__(self, service: "MetadataService", name: str = "client"):
+        self.service = service
+        self.name = name
+        self._cache: dict[str, Lease] = {}
+        #: lease served without a service round trip
+        self.hits = 0
+        #: lease minted or re-minted from the service
+        self.misses = 0
+        #: cached entries discarded because their shard epoch moved on
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def lookup(self, name: str) -> "CatalogEntry":
+        """Resolve ``name``, from cache when the lease is still valid."""
+        lease = self._cache.get(name)
+        if lease is not None:
+            if lease.epoch == self.service.epoch_of(lease.shard):
+                self.hits += 1
+                return lease.entry
+            del self._cache[name]
+            self.invalidations += 1
+        entry = self.service.lookup(name)   # raises FileNotFoundError_
+        shard = self.service.shard_of(name)
+        self._cache[name] = Lease(entry, shard, self.service.epoch_of(shard))
+        self.misses += 1
+        return entry
+
+    def invalidate(self, name: str | None = None) -> None:
+        """Drop one cached lease, or all of them."""
+        if name is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(name, None)

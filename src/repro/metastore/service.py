@@ -1,0 +1,557 @@
+"""The sharded, crash-consistent metadata service.
+
+:class:`MetadataService` partitions the file namespace across
+:class:`~repro.metastore.shard.MetaShard` slices by a deterministic name
+hash (crc32 — stable across runs and machines), and implements every
+namespace operation as a fixed sequence of journaled durable steps:
+
+* **create** — intent → register extent → insert directory record → commit
+* **delete** — intent → drop directory record → free extent → commit
+* **rename** (same shard) — intent → insert *new* → drop *old* →
+  re-point extent owner → commit (insert-before-drop: no observable
+  lost-name window, mirroring ``Catalog.rename``)
+* **rename** (cross-shard) — intent on the source shard, intent on the
+  destination shard, then apply destination-first and resolve both
+  journals (a two-shard transaction keyed by one service-wide txid)
+* **extend** — intent → grow extent → rewrite record count → commit
+
+A crash between any two durable steps is repaired by :meth:`recover`:
+uncommitted transactions are rolled forward idempotently from their
+intent records — except a cross-shard rename whose destination intent
+never became durable, which is aborted (nothing was applied). Either
+way the namespace lands in exactly the operation's atomic before- or
+after-state; :mod:`repro.metastore.harness` proves this by killing every
+operation at every step.
+
+:meth:`check_invariants` derives the expected namespace from the
+committed journal prefix and diffs it against the live directory and
+extent registry, emitting sanitizer findings (``namespace-lost-name``,
+``namespace-double-owner``, ``namespace-orphan-extent``,
+``namespace-ghost-name``) compatible with
+:func:`repro.trace.report.conflict_report`.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import TYPE_CHECKING, Any, Iterator
+
+from ..core.errors import FileExistsError_, FileNotFoundError_
+from .crash import CrashInjector
+from .journal import ABORT, COMMIT, INTENT, JournalRecord
+from .shard import ExtentRecord, MetaShard
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..fs.catalog import CatalogEntry
+    from ..resilience.failover import FailoverManager
+    from ..sanitize.access import Finding
+
+__all__ = ["MetadataService", "shard_index"]
+
+
+def shard_index(name: str, n_shards: int) -> int:
+    """Deterministic shard routing: stable hash of the file name."""
+    return zlib.crc32(name.encode("utf-8")) % n_shards
+
+
+class MetadataService:
+    """Hash-partitioned namespace with write-ahead intent journaling."""
+
+    def __init__(
+        self,
+        n_shards: int = 4,
+        injector: CrashInjector | None = None,
+    ):
+        if n_shards < 1:
+            raise ValueError("n_shards must be >= 1")
+        #: one injector shared by every shard, so an operation's durable
+        #: steps are numbered globally in execution order
+        self.injector = injector if injector is not None else CrashInjector()
+        self.shards = [MetaShard(i, self.injector) for i in range(n_shards)]
+        self._next_txid = 0
+        self._next_extent_id = 0
+        #: optional AccessConflictDetector; invariant findings are
+        #: appended to it so namespace races surface in the same report
+        #: stream as access conflicts
+        self.sanitizer = None
+        #: lifetime counters
+        self.creates = 0
+        self.deletes = 0
+        self.renames = 0
+        self.extends = 0
+        self.lookups = 0
+        self.recoveries = 0          #: transactions repaired by recover()
+        self.shard_failovers = 0     #: shards re-homed by node failures
+
+    # -- routing ----------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_of(self, name: str) -> int:
+        """The shard index serving ``name`` (deterministic)."""
+        return shard_index(name, self.n_shards)
+
+    def shard(self, name: str) -> MetaShard:
+        """The :class:`MetaShard` that serves ``name``."""
+        return self.shards[self.shard_of(name)]
+
+    def epoch_of(self, shard_idx: int) -> int:
+        """The lease epoch of one shard (see :mod:`repro.metastore.lease`)."""
+        return self.shards[shard_idx].epoch
+
+    def _txid(self) -> int:
+        self._next_txid += 1
+        return self._next_txid
+
+    def _extent_id(self) -> int:
+        self._next_extent_id += 1
+        return self._next_extent_id
+
+    def _extent_of(self, shard: MetaShard, name: str) -> ExtentRecord:
+        for rec in shard.extents.values():
+            if rec.owner == name:
+                return rec
+        raise FileNotFoundError_(f"{name} has no registered extent")
+
+    # -- read side --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self.shards)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.shard(name)
+
+    def names(self) -> list[str]:
+        """Every file name across all shards, sorted."""
+        return sorted(n for s in self.shards for n in s.entries)
+
+    def lookup(self, name: str) -> "CatalogEntry":
+        """Resolve ``name`` to its catalog entry."""
+        self.lookups += 1
+        try:
+            return self.shard(name).entries[name]
+        except KeyError:
+            raise FileNotFoundError_(name) from None
+
+    def entries(self) -> Iterator[tuple[str, "CatalogEntry"]]:
+        """Iterate ``(name, entry)`` pairs across all shards."""
+        for s in self.shards:
+            yield from s.entries.items()
+
+    # -- mutating operations (journaled) -----------------------------------------
+
+    def create(
+        self,
+        name: str,
+        entry: "CatalogEntry",
+        nbytes: int | None = None,
+        extent: Any = None,
+    ) -> int:
+        """Register a new file; returns the extent id minted for it."""
+        shard = self.shard(name)
+        if name in shard:
+            raise FileExistsError_(name)
+        if nbytes is None:
+            nbytes = entry.attrs.file_bytes
+        if extent is None:
+            extent = entry.extent
+        txid = self._txid()
+        eid = self._extent_id()
+        shard.log(
+            INTENT, txid, "create",
+            name=name, extent_id=eid, nbytes=nbytes, entry=entry, extent=extent,
+        )
+        shard.put_extent(ExtentRecord(eid, name, nbytes, extent))
+        shard.put_entry(name, entry)
+        shard.log(COMMIT, txid, "create")
+        self.creates += 1
+        return eid
+
+    def delete(self, name: str) -> "CatalogEntry":
+        """Unregister ``name``; returns the removed entry."""
+        shard = self.shard(name)
+        if name not in shard:
+            raise FileNotFoundError_(name)
+        entry = shard.entries[name]
+        ext = self._extent_of(shard, name)
+        txid = self._txid()
+        shard.log(
+            INTENT, txid, "delete",
+            name=name, extent_id=ext.extent_id, entry=entry,
+        )
+        shard.drop_entry(name)
+        shard.drop_extent(ext.extent_id)
+        shard.log(COMMIT, txid, "delete")
+        self.deletes += 1
+        return entry
+
+    def rename(self, old: str, new: str) -> None:
+        """Atomically move ``old`` to ``new`` (possibly across shards)."""
+        src = self.shard(old)
+        dst = self.shard(new)
+        if old not in src:
+            raise FileNotFoundError_(old)
+        if new in dst:
+            raise FileExistsError_(new)
+        entry = src.entries[old]
+        ext = self._extent_of(src, old)
+        txid = self._txid()
+        if src is dst:
+            src.log(
+                INTENT, txid, "rename",
+                old=old, new=new, extent_id=ext.extent_id, entry=entry,
+            )
+            src.put_entry(new, entry)
+            entry.attrs.name = new     # rides the directory-record insert
+            src.drop_entry(old)
+            src.set_extent_owner(ext.extent_id, new)
+            src.log(COMMIT, txid, "rename")
+        else:
+            # two-shard transaction: both intents first, then apply
+            # destination-first so the name is never absent everywhere
+            src.log(
+                INTENT, txid, "rename-out",
+                old=old, new=new, extent_id=ext.extent_id,
+                nbytes=ext.nbytes, entry=entry, extent=ext.extent,
+            )
+            dst.log(
+                INTENT, txid, "rename-in",
+                old=old, new=new, extent_id=ext.extent_id,
+                nbytes=ext.nbytes, entry=entry, extent=ext.extent,
+            )
+            dst.put_entry(new, entry)
+            entry.attrs.name = new
+            dst.put_extent(
+                ExtentRecord(ext.extent_id, new, ext.nbytes, ext.extent)
+            )
+            src.drop_entry(old)
+            src.drop_extent(ext.extent_id)
+            dst.log(COMMIT, txid, "rename-in")
+            src.log(COMMIT, txid, "rename-out")
+        self.renames += 1
+
+    def extend(
+        self, name: str, n_records: int, nbytes: int | None = None
+    ) -> None:
+        """Grow ``name`` to ``n_records`` records (extent grows with it)."""
+        shard = self.shard(name)
+        if name not in shard:
+            raise FileNotFoundError_(name)
+        entry = shard.entries[name]
+        if n_records < entry.attrs.n_records:
+            raise ValueError(
+                f"extend cannot shrink {name}: {n_records} < "
+                f"{entry.attrs.n_records}"
+            )
+        ext = self._extent_of(shard, name)
+        if nbytes is None:
+            nbytes = n_records * entry.attrs.record_size
+        txid = self._txid()
+        shard.log(
+            INTENT, txid, "extend",
+            name=name, extent_id=ext.extent_id,
+            old_records=entry.attrs.n_records, new_records=n_records,
+            old_nbytes=ext.nbytes, new_nbytes=nbytes,
+        )
+        shard.grow_extent(ext.extent_id, nbytes)
+        shard.set_entry_records(name, n_records)
+        shard.log(COMMIT, txid, "extend")
+        self.extends += 1
+
+    # -- recovery ----------------------------------------------------------------
+
+    def recover(self) -> list[dict[str, Any]]:
+        """Replay every unresolved transaction; returns what was repaired.
+
+        Replay is idempotent (safe to run twice, safe to crash *during*
+        recovery and run again): each action checks the durable state
+        before touching it, and the closing commit/abort records are the
+        last thing appended.
+        """
+        # gather unresolved intents across shards, grouped by txid
+        # (a cross-shard rename contributes one intent per side)
+        pending: dict[int, dict[str, tuple[MetaShard, JournalRecord]]] = {}
+        for shard in self.shards:
+            for rec in shard.journal.uncommitted():
+                pending.setdefault(rec.txid, {})[rec.op] = (shard, rec)
+
+        repaired: list[dict[str, Any]] = []
+        for txid in sorted(pending):
+            sides = pending[txid]
+            action = self._replay(txid, sides)
+            self.recoveries += 1
+            repaired.append(
+                {"txid": txid, "ops": sorted(sides), "action": action}
+            )
+        if repaired:
+            for shard in self.shards:
+                shard.bump_epoch()   # all leases are suspect after a crash
+        if self.sanitizer is not None:
+            self.sanitizer.findings.extend(self.check_invariants())
+        return repaired
+
+    def _replay(
+        self, txid: int, sides: dict[str, tuple[MetaShard, JournalRecord]]
+    ) -> str:
+        """Roll one transaction forward (or abort it); returns the action."""
+        if "create" in sides:
+            shard, rec = sides["create"]
+            p = rec.payload
+            shard.ensure_extent(
+                ExtentRecord(p["extent_id"], p["name"], p["nbytes"], p["extent"])
+            )
+            shard.ensure_entry(p["name"], p["entry"])
+            shard.ensure_resolved(txid, "create")
+            return "rolled-forward"
+        if "delete" in sides:
+            shard, rec = sides["delete"]
+            p = rec.payload
+            shard.ensure_no_entry(p["name"])
+            shard.ensure_no_extent(p["extent_id"])
+            shard.ensure_resolved(txid, "delete")
+            return "rolled-forward"
+        if "rename" in sides:
+            shard, rec = sides["rename"]
+            p = rec.payload
+            entry = p["entry"]
+            shard.ensure_entry(p["new"], entry)
+            entry.attrs.name = p["new"]
+            shard.ensure_no_entry(p["old"])
+            ext = shard.extents.get(p["extent_id"])
+            if ext is not None:
+                ext.owner = p["new"]
+            shard.ensure_resolved(txid, "rename")
+            return "rolled-forward"
+        if "extend" in sides:
+            shard, rec = sides["extend"]
+            p = rec.payload
+            ext = shard.extents.get(p["extent_id"])
+            if ext is not None:
+                ext.nbytes = p["new_nbytes"]
+            shard.ensure_entry_records(p["name"], p["new_records"])
+            shard.ensure_resolved(txid, "extend")
+            return "rolled-forward"
+        # cross-shard rename: roll forward iff the destination intent
+        # became durable; otherwise nothing was applied — abort
+        out = sides.get("rename-out")
+        inn = sides.get("rename-in")
+        if inn is None and out is not None:
+            src, rec = out
+            dst = self.shard(rec.payload["new"])
+            peer = dst.journal.intent_of(txid)
+            if peer is not None:
+                inn = (dst, peer)
+        if inn is None:
+            assert out is not None
+            src, rec = out
+            src.ensure_resolved(txid, "rename-out", kind=ABORT)
+            return "aborted"
+        dst, rec = inn
+        p = rec.payload
+        entry = p["entry"]
+        dst.ensure_entry(p["new"], entry)
+        entry.attrs.name = p["new"]
+        dst.ensure_extent(
+            ExtentRecord(p["extent_id"], p["new"], p["nbytes"], p["extent"])
+        )
+        src = self.shards[self.shard_of(p["old"])]
+        src.ensure_no_entry(p["old"])
+        src.ensure_no_extent(p["extent_id"])
+        dst.ensure_resolved(txid, "rename-in")
+        src.ensure_resolved(txid, "rename-out")
+        return "rolled-forward"
+
+    # -- shard failover (resilience wiring) --------------------------------------
+
+    def assign_homes(self, n_nodes: int) -> None:
+        """Home shard *i* on I/O node ``i % n_nodes`` (deterministic)."""
+        if n_nodes < 1:
+            raise ValueError("n_nodes must be >= 1")
+        for shard in self.shards:
+            shard.home_node = shard.index % n_nodes
+
+    def bind_failover(self, manager: "FailoverManager") -> None:
+        """Re-home shards when the resilience layer fails their node.
+
+        Registers with the :class:`~repro.resilience.FailoverManager`'s
+        node-failure hook: when a node dies (crash or circuit-breaker
+        quarantine), every shard homed there is re-homed on a survivor,
+        its journal is replayed (completing whatever the dead server had
+        in flight), and its lease epoch is bumped so clients revalidate.
+        """
+        if any(s.home_node is None for s in self.shards):
+            self.assign_homes(len(manager.cluster.nodes))
+        manager.on_node_failed.append(self._on_node_failed)
+
+    def _on_node_failed(self, index: int, survivors: list[int]) -> None:
+        moved = [s for s in self.shards if s.home_node == index]
+        if not moved:
+            return
+        for shard in moved:
+            shard.home_node = survivors[shard.index % len(survivors)]
+            shard.failovers += 1
+            shard.bump_epoch()
+            self.shard_failovers += 1
+        self.recover()
+
+    # -- verification -------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Canonical namespace state for before/after crash comparison."""
+        names = {}
+        for shard in self.shards:
+            for name, entry in shard.entries.items():
+                names[name] = {
+                    "shard": shard.index,
+                    "name_attr": entry.attrs.name,
+                    "n_records": entry.attrs.n_records,
+                }
+        extents = {
+            rec.extent_id: {
+                "shard": shard.index,
+                "owner": rec.owner,
+                "nbytes": rec.nbytes,
+            }
+            for shard in self.shards
+            for rec in shard.extents.values()
+        }
+        return {"names": names, "extents": extents}
+
+    def expected_namespace(self) -> dict[str, int]:
+        """``name -> extent_id`` implied by the committed journal prefix.
+
+        Replays the committed intents logically, in txid order, without
+        touching any durable state — the reference the invariant checks
+        diff the live directory against.
+        """
+        committed: dict[int, JournalRecord] = {}
+        for shard in self.shards:
+            for rec in shard.journal.committed():
+                # cross-shard renames commit on both sides; one wins
+                committed.setdefault(rec.txid, rec)
+        expected: dict[str, int] = {}
+        for txid in sorted(committed):
+            rec = committed[txid]
+            p = rec.payload
+            if rec.op == "create":
+                expected[p["name"]] = p["extent_id"]
+            elif rec.op == "delete":
+                expected.pop(p["name"], None)
+            elif rec.op in ("rename", "rename-in", "rename-out"):
+                expected.pop(p["old"], None)
+                expected[p["new"]] = p["extent_id"]
+        return expected
+
+    def check_invariants(self, time: float = 0.0) -> list["Finding"]:
+        """Namespace-race invariant findings (empty means healthy).
+
+        * ``namespace-lost-name`` — a committed name is missing from every
+          shard's directory;
+        * ``namespace-ghost-name`` — a directory name no committed
+          operation accounts for;
+        * ``namespace-double-owner`` — one name present on two shards, a
+          name routed to the wrong shard, or one extent claimed by two
+          names;
+        * ``namespace-orphan-extent`` — a registered extent no directory
+          record owns, or a directory record with no backing extent.
+        """
+        from ..sanitize.access import Finding
+
+        findings: list[Finding] = []
+
+        def note(kind: str, file: str, detail: str) -> None:
+            findings.append(
+                Finding(kind=kind, file=file, detail=detail, time=time,
+                        processes=())
+            )
+
+        seen: dict[str, int] = {}
+        for shard in self.shards:
+            for name in shard.entries:
+                if name in seen:
+                    note(
+                        "namespace-double-owner", name,
+                        f"present on shards {seen[name]} and {shard.index}",
+                    )
+                else:
+                    seen[name] = shard.index
+                if self.shard_of(name) != shard.index:
+                    note(
+                        "namespace-double-owner", name,
+                        f"found on shard {shard.index}, routes to "
+                        f"{self.shard_of(name)}",
+                    )
+        owners: dict[int, str] = {}
+        owned_by: dict[str, int] = {}
+        for shard in self.shards:
+            for rec in shard.extents.values():
+                if rec.extent_id in owners:
+                    note(
+                        "namespace-double-owner", rec.owner,
+                        f"extent {rec.extent_id} also claimed by "
+                        f"{owners[rec.extent_id]!r}",
+                    )
+                owners[rec.extent_id] = rec.owner
+                if rec.owner in owned_by:
+                    note(
+                        "namespace-double-owner", rec.owner,
+                        f"owns extents {owned_by[rec.owner]} and "
+                        f"{rec.extent_id}",
+                    )
+                owned_by[rec.owner] = rec.extent_id
+                if rec.owner not in seen:
+                    note(
+                        "namespace-orphan-extent", rec.owner,
+                        f"extent {rec.extent_id} ({rec.nbytes}B) has no "
+                        "directory record",
+                    )
+        for name in seen:
+            if name not in owned_by:
+                note(
+                    "namespace-orphan-extent", name,
+                    "directory record has no backing extent",
+                )
+        expected = self.expected_namespace()
+        for name in expected:
+            if name not in seen:
+                note(
+                    "namespace-lost-name", name,
+                    "committed by the journal but absent from every shard",
+                )
+        for name in seen:
+            if name not in expected:
+                note(
+                    "namespace-ghost-name", name,
+                    "present but no committed operation accounts for it",
+                )
+        return findings
+
+    def to_dict(self) -> dict[str, Any]:
+        """Summary form for reports and tests."""
+        return {
+            "n_shards": self.n_shards,
+            "entries": len(self),
+            "counters": {
+                "creates": self.creates,
+                "deletes": self.deletes,
+                "renames": self.renames,
+                "extends": self.extends,
+                "lookups": self.lookups,
+                "recoveries": self.recoveries,
+                "shard_failovers": self.shard_failovers,
+            },
+            "shards": [
+                {
+                    "index": s.index,
+                    "entries": len(s.entries),
+                    "extents": len(s.extents),
+                    "journal": len(s.journal),
+                    "epoch": s.epoch,
+                    "home_node": s.home_node,
+                    "failovers": s.failovers,
+                }
+                for s in self.shards
+            ],
+        }

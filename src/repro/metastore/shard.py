@@ -1,0 +1,159 @@
+"""One metadata shard: a journaled slice of the namespace.
+
+A shard owns three durable structures — the directory dict mapping file
+names to :class:`~repro.fs.catalog.CatalogEntry` objects, the extent
+registry mapping extent ids to :class:`ExtentRecord` allocation facts,
+and the shard's :class:`~repro.metastore.journal.IntentJournal` — plus a
+volatile epoch that client leases validate against.
+
+Every mutation of the durable structures goes through the shard's
+:class:`~repro.metastore.crash.CrashInjector` (``_step``), so the
+systematic harness can kill the shard between any two durable actions.
+The operations themselves live in
+:class:`~repro.metastore.service.MetadataService`, because renames can
+span two shards; the shard exposes only the individual journaled steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from .crash import CrashInjector
+from .journal import IntentJournal, JournalRecord
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..fs.catalog import CatalogEntry
+
+__all__ = ["ExtentRecord", "MetaShard"]
+
+
+@dataclass
+class ExtentRecord:
+    """The registry's view of one file's media allocation.
+
+    ``extent`` holds the live :class:`~repro.storage.volume.Extent` when
+    the shard fronts a real file system (the fsck cross-check compares it
+    against ``nbytes``); pure-namespace metastores leave it ``None`` and
+    the record is just an ownership token.
+    """
+
+    extent_id: int
+    owner: str          #: file name currently owning this allocation
+    nbytes: int
+    extent: Any = None
+
+
+class MetaShard:
+    """Durable state and journaled step primitives of one shard."""
+
+    def __init__(self, index: int, injector: CrashInjector | None = None):
+        self.index = index
+        self.injector = injector if injector is not None else CrashInjector()
+        #: durable directory slice: name -> CatalogEntry
+        self.entries: dict[str, "CatalogEntry"] = {}
+        #: durable extent registry: extent_id -> ExtentRecord
+        self.extents: dict[int, ExtentRecord] = {}
+        #: durable write-ahead log
+        self.journal = IntentJournal()
+        #: lease epoch — bumped on every mutation, recovery, and failover,
+        #: so cached lookups (repro.metastore.lease) revalidate
+        self.epoch = 0
+        #: which node serves this shard (resilience failover re-homes it)
+        self.home_node: int | None = None
+        #: times this shard was re-homed by a failover
+        self.failovers = 0
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def _step(self, tag: str) -> None:
+        self.injector.step(f"shard{self.index}:{tag}")
+
+    def bump_epoch(self) -> int:
+        """Invalidate every lease minted against this shard."""
+        self.epoch += 1
+        return self.epoch
+
+    # -- journaled durable actions (each is exactly one crash step) -----------
+
+    def log(self, kind: str, txid: int, op: str, **payload: Any) -> JournalRecord:
+        """Durably append one journal record."""
+        self._step(f"journal-{kind}-{op}")
+        return self.journal.append(kind, txid, op, **payload)
+
+    def put_entry(self, name: str, entry: "CatalogEntry") -> None:
+        """Durably insert ``name`` into the directory slice."""
+        self._step(f"dir-put:{name}")
+        self.entries[name] = entry
+        self.bump_epoch()
+
+    def drop_entry(self, name: str) -> None:
+        """Durably remove ``name`` from the directory slice."""
+        self._step(f"dir-drop:{name}")
+        del self.entries[name]
+        self.bump_epoch()
+
+    def put_extent(self, rec: ExtentRecord) -> None:
+        """Durably register an allocation in the extent registry."""
+        self._step(f"ext-put:{rec.extent_id}")
+        self.extents[rec.extent_id] = rec
+
+    def drop_extent(self, extent_id: int) -> None:
+        """Durably free an allocation from the extent registry."""
+        self._step(f"ext-drop:{extent_id}")
+        del self.extents[extent_id]
+
+    def set_extent_owner(self, extent_id: int, owner: str) -> None:
+        """Durably re-point an allocation at its new owning name."""
+        self._step(f"ext-owner:{extent_id}")
+        self.extents[extent_id].owner = owner
+
+    def grow_extent(self, extent_id: int, nbytes: int) -> None:
+        """Durably record an allocation's new size."""
+        self._step(f"ext-grow:{extent_id}")
+        self.extents[extent_id].nbytes = nbytes
+
+    def set_entry_records(self, name: str, n_records: int) -> None:
+        """Durably rewrite a directory record's record count."""
+        self._step(f"dir-size:{name}")
+        self.entries[name].attrs.n_records = n_records
+        self.bump_epoch()
+
+    # -- replay-time idempotent variants (no crash steps: recovery itself is
+    #    re-runnable, so its actions are plain idempotent writes) -------------
+
+    def ensure_entry(self, name: str, entry: "CatalogEntry") -> None:
+        """Make ``name`` map to ``entry``, bumping the epoch only on change."""
+        if self.entries.get(name) is not entry:
+            self.entries[name] = entry
+            self.bump_epoch()
+
+    def ensure_no_entry(self, name: str) -> None:
+        """Make ``name`` absent, bumping the epoch only on change."""
+        if name in self.entries:
+            del self.entries[name]
+            self.bump_epoch()
+
+    def ensure_extent(self, rec: ExtentRecord) -> None:
+        """Register ``rec``, overwriting any stale record for its id."""
+        self.extents[rec.extent_id] = rec
+
+    def ensure_no_extent(self, extent_id: int) -> None:
+        """Drop the extent record if present; silent if already gone."""
+        self.extents.pop(extent_id, None)
+
+    def ensure_entry_records(self, name: str, n_records: int) -> None:
+        """Set the entry's record count, bumping the epoch only on change."""
+        entry = self.entries.get(name)
+        if entry is not None and entry.attrs.n_records != n_records:
+            entry.attrs.n_records = n_records
+            self.bump_epoch()
+
+    def ensure_resolved(self, txid: int, op: str, kind: str = "commit") -> None:
+        """Append the commit/abort record unless one already landed."""
+        if not self.journal.resolved(txid):
+            self.journal.append(kind, txid, op)

@@ -109,6 +109,10 @@ class FailoverManager:
         self._breakers: dict[int, CircuitBreaker] = {}
         self._salvaged: list["NodeRequest"] = []
         self._replays: list[Process] = []
+        #: observers called as ``cb(failed_index, survivors)`` after a
+        #: node's devices are re-routed — the metadata service hooks in
+        #: here to re-home its shards (see MetadataService.bind_failover)
+        self.on_node_failed: list = []
 
     def breaker(self, node_index: int) -> CircuitBreaker:
         """The (lazily created) circuit breaker watching ``node_index``."""
@@ -151,6 +155,8 @@ class FailoverManager:
             self._replays.append(
                 self.env.process(self._replay(req), name="failover.replay")
             )
+        for cb in self.on_node_failed:
+            cb(index, survivors)
         return salvaged
 
     def _replay(self, req: "NodeRequest"):

@@ -12,6 +12,7 @@ from ..sim.engine import Environment
 if TYPE_CHECKING:  # pragma: no cover
     from ..container.verify import ContainerReport
     from ..ionode.routing import IONodeCluster
+    from ..metastore.service import MetadataService
     from ..qos.manager import QoSManager
     from ..resilience.volume import ResilientVolume
     from ..sanitize.access import AccessConflictDetector
@@ -28,6 +29,7 @@ __all__ = [
     "invariant_report",
     "resilience_report",
     "container_report",
+    "metastore_report",
 ]
 
 
@@ -273,3 +275,38 @@ def container_report(report: "ContainerReport") -> str:
         )
         rows.append(f"  scan resilience activity: {deltas}")
     return "\n".join(rows)
+
+
+def metastore_report(service: "MetadataService") -> list[str]:
+    """Render the sharded metadata service: per-shard directory/journal
+    occupancy, lease epochs, failover counts, then the lifetime
+    operation counters and any live invariant findings."""
+    d = service.to_dict()
+    rows = [
+        f"{'shard':>5s} {'entries':>8s} {'extents':>8s} {'journal':>8s} "
+        f"{'epoch':>6s} {'home':>5s} {'failovers':>9s}"
+    ]
+    for s in d["shards"]:
+        home = "-" if s["home_node"] is None else str(s["home_node"])
+        rows.append(
+            f"{s['index']:>5d} {s['entries']:>8d} {s['extents']:>8d} "
+            f"{s['journal']:>8d} {s['epoch']:>6d} {home:>5s} "
+            f"{s['failovers']:>9d}"
+        )
+    c = d["counters"]
+    rows.append(
+        f"ops: {c['creates']} created, {c['deletes']} deleted, "
+        f"{c['renames']} renamed, {c['extends']} extended, "
+        f"{c['lookups']} lookups"
+    )
+    rows.append(
+        f"repair: {c['recoveries']} transaction(s) replayed, "
+        f"{c['shard_failovers']} shard failover(s)"
+    )
+    findings = service.check_invariants()
+    if findings:
+        rows.append(f"{len(findings)} namespace invariant finding(s):")
+        rows.extend("  " + f.row() for f in findings)
+    else:
+        rows.append("namespace invariants: clean")
+    return rows

@@ -1,0 +1,161 @@
+"""Crash recovery for checkpoint files: uncommitted versions are GC'd.
+
+A save that crashes between the partition copies and the commit mark
+used to leak its data file into the catalog forever — nothing ever
+deleted it, and a later manager could not tell it from a good version.
+The durable ``.ok`` marker plus :meth:`CheckpointManager.recover` fix
+both: only marker-backed versions are adopted, debris is deleted.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fs.checkpoint import CheckpointManager
+
+from .conftest import build_pfs  # noqa: F401 (fixture dependency)
+
+
+def payload(n, seed):
+    return np.random.default_rng(seed).random((n, 2))
+
+
+def make_source(env, pfs, n=48, p=4):
+    f = pfs.create(
+        "state", "PS", n_records=n, record_size=16, dtype="float64",
+        records_per_block=4, n_processes=p,
+    )
+
+    def fill(data):
+        def proc():
+            v = f.global_view()
+            v.seek(0)
+            yield from v.write(data)
+
+        env.run(env.process(proc()))
+
+    return f, fill
+
+
+def run_save(env, mgr):
+    def proc():
+        version = yield from mgr.save()
+        return version
+
+    return env.run(env.process(proc()))
+
+
+def crash_before_commit(env, mgr, monkeypatch):
+    """Run a save whose commit mark never lands (crash simulation)."""
+
+    def boom(version):
+        raise RuntimeError("crash before commit mark")
+
+    monkeypatch.setattr(mgr, "_mark_committed", boom)
+
+    def proc():
+        yield from mgr.save()
+
+    with pytest.raises(RuntimeError, match="crash before commit"):
+        env.run(env.process(proc()))
+    monkeypatch.undo()
+
+
+class TestCommitMarker:
+    def test_committed_save_leaves_marker(self, env, pfs):
+        f, fill = make_source(env, pfs)
+        fill(payload(48, 0))
+        mgr = CheckpointManager(pfs, f)
+        run_save(env, mgr)
+        assert pfs.exists("state.ckpt.000000")
+        assert pfs.exists("state.ckpt.000000.ok")
+
+    def test_crashed_save_leaves_no_marker_and_is_not_restorable(
+        self, env, pfs, monkeypatch
+    ):
+        f, fill = make_source(env, pfs)
+        fill(payload(48, 0))
+        mgr = CheckpointManager(pfs, f)
+        crash_before_commit(env, mgr, monkeypatch)
+        # the data file leaked, but the version was never committed
+        assert pfs.exists("state.ckpt.000000")
+        assert not pfs.exists("state.ckpt.000000.ok")
+        assert mgr.versions == []
+        with pytest.raises(ValueError):
+            next(mgr.restore())
+
+
+class TestRecoveryGC:
+    def test_reopen_collects_uncommitted_version(self, env, pfs, monkeypatch):
+        f, fill = make_source(env, pfs)
+        fill(payload(48, 0))
+        mgr = CheckpointManager(pfs, f)
+        run_save(env, mgr)                       # version 0: committed
+        crash_before_commit(env, mgr, monkeypatch)  # version 1: debris
+        assert pfs.exists("state.ckpt.000001")
+
+        # a fresh manager (the post-crash reopen) adopts 0, deletes 1
+        mgr2 = CheckpointManager(pfs, f)
+        assert mgr2.versions == [0]
+        assert mgr2.recovered_garbage == ["state.ckpt.000001"]
+        assert not pfs.exists("state.ckpt.000001")
+        assert pfs.exists("state.ckpt.000000")
+
+    def test_recovered_version_is_restorable(self, env, pfs, monkeypatch):
+        f, fill = make_source(env, pfs)
+        good = payload(48, 1)
+        fill(good)
+        mgr = CheckpointManager(pfs, f)
+        run_save(env, mgr)
+        fill(payload(48, 2))
+        crash_before_commit(env, mgr, monkeypatch)
+
+        mgr2 = CheckpointManager(pfs, f)
+
+        def proc():
+            yield from mgr2.restore()
+
+        env.run(env.process(proc()))
+        from repro.fs import verify_file
+
+        assert verify_file(f, good)
+
+    def test_next_version_skips_past_debris(self, env, pfs, monkeypatch):
+        f, fill = make_source(env, pfs)
+        fill(payload(48, 0))
+        mgr = CheckpointManager(pfs, f)
+        run_save(env, mgr)
+        crash_before_commit(env, mgr, monkeypatch)
+        mgr2 = CheckpointManager(pfs, f)
+        # the crashed version's number is burned, not reused
+        assert run_save(env, mgr2) == 2
+        assert mgr2.versions == [0, 2]
+
+    def test_bare_marker_is_collected(self, env, pfs):
+        f, fill = make_source(env, pfs)
+        fill(payload(48, 0))
+        mgr = CheckpointManager(pfs, f)
+        run_save(env, mgr)
+        # simulate a crash mid-delete: data gone, marker left behind
+        pfs.delete("state.ckpt.000000")
+        mgr2 = CheckpointManager(pfs, f)
+        assert mgr2.versions == []
+        assert mgr2.recovered_garbage == ["state.ckpt.000000.ok"]
+        assert not pfs.exists("state.ckpt.000000.ok")
+
+    def test_recover_is_idempotent(self, env, pfs, monkeypatch):
+        f, fill = make_source(env, pfs)
+        fill(payload(48, 0))
+        mgr = CheckpointManager(pfs, f)
+        run_save(env, mgr)
+        crash_before_commit(env, mgr, monkeypatch)
+        mgr2 = CheckpointManager(pfs, f)
+        assert mgr2.recover() == []              # second pass finds nothing
+        assert mgr2.versions == [0]
+
+    def test_clean_namespace_recovers_nothing(self, env, pfs):
+        f, fill = make_source(env, pfs)
+        fill(payload(48, 0))
+        mgr = CheckpointManager(pfs, f)
+        assert mgr.recovered_garbage == []
+        run_save(env, mgr)
+        assert CheckpointManager(pfs, f).recovered_garbage == []

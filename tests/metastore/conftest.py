@@ -1,0 +1,17 @@
+"""Shared fixtures for metadata-service tests."""
+
+import pytest
+
+from repro.sim import Environment
+
+from ..fs.conftest import build_pfs
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def pfs(env):
+    return build_pfs(env)

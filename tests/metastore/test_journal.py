@@ -1,0 +1,93 @@
+"""Unit tests for the write-ahead intent journal and the crash injector."""
+
+import pytest
+
+from repro.metastore.crash import CrashInjector, InjectedCrash
+from repro.metastore.journal import ABORT, COMMIT, INTENT, IntentJournal
+from repro.metastore.harness import make_entry
+
+
+class TestIntentJournal:
+    def test_append_assigns_monotonic_lsns(self):
+        j = IntentJournal()
+        r1 = j.append(INTENT, 1, "create", name="a")
+        r2 = j.append(COMMIT, 1, "create")
+        r3 = j.append(INTENT, 2, "delete", name="a")
+        assert [r.lsn for r in (r1, r2, r3)] == [0, 1, 2]
+        assert len(j) == 3
+
+    def test_intent_of_and_resolved(self):
+        j = IntentJournal()
+        j.append(INTENT, 7, "create", name="x")
+        assert j.intent_of(7).op == "create"
+        assert j.intent_of(99) is None
+        assert not j.resolved(7)
+        j.append(COMMIT, 7, "create")
+        assert j.resolved(7)
+
+    def test_abort_also_resolves(self):
+        j = IntentJournal()
+        j.append(INTENT, 3, "rename-out", old="a", new="b")
+        j.append(ABORT, 3, "rename-out")
+        assert j.resolved(3)
+        assert j.uncommitted() == []
+
+    def test_uncommitted_returns_open_intents(self):
+        j = IntentJournal()
+        j.append(INTENT, 1, "create", name="a")
+        j.append(COMMIT, 1, "create")
+        j.append(INTENT, 2, "create", name="b")   # never resolved
+        open_recs = j.uncommitted()
+        assert [r.txid for r in open_recs] == [2]
+
+    def test_committed_returns_intents_of_committed_txids(self):
+        j = IntentJournal()
+        j.append(INTENT, 1, "create", name="a")
+        j.append(COMMIT, 1, "create")
+        j.append(INTENT, 2, "delete", name="a")   # open
+        j.append(INTENT, 3, "create", name="b")
+        j.append(ABORT, 3, "create")              # aborted, not committed
+        assert [r.txid for r in j.committed()] == [1]
+
+    def test_record_to_dict_reduces_entry_refs_to_names(self):
+        j = IntentJournal()
+        entry = make_entry("somefile")
+        rec = j.append(INTENT, 1, "create", name="somefile", entry=entry)
+        d = rec.to_dict()
+        assert d["payload"]["entry"] == "somefile"
+        assert d["kind"] == INTENT and d["txid"] == 1
+
+
+class TestCrashInjector:
+    def test_unarmed_run_traces_steps(self):
+        inj = CrashInjector()
+        inj.step("a")
+        inj.step("b")
+        assert inj.trace == ["a", "b"]
+
+    def test_armed_run_crashes_at_step_k(self):
+        inj = CrashInjector()
+        inj.arm(2)
+        inj.step("a")
+        with pytest.raises(InjectedCrash) as exc:
+            inj.step("b")
+        assert exc.value.step == 2 and exc.value.tag == "b"
+
+    def test_one_crash_per_arming(self):
+        inj = CrashInjector()
+        inj.arm(1)
+        with pytest.raises(InjectedCrash):
+            inj.step("a")
+        # disarmed after the crash: recovery's steps (if any) run through
+        inj.step("b")
+        inj.step("c")
+
+    def test_reset_clears_trace_and_counter(self):
+        inj = CrashInjector()
+        inj.step("a")
+        inj.reset()
+        assert inj.trace == []
+        inj.arm(1)
+        with pytest.raises(InjectedCrash) as exc:
+            inj.step("b")
+        assert exc.value.step == 1

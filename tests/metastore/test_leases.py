@@ -1,0 +1,89 @@
+"""Unit tests for client-side metadata leases (epoch invalidation)."""
+
+import pytest
+
+from repro.core.errors import FileNotFoundError_
+from repro.metastore import MetadataClient, MetadataService
+from repro.metastore.harness import make_entry, name_on_shard
+
+
+def service_with(names):
+    svc = MetadataService(n_shards=4)
+    for n in names:
+        svc.create(n, make_entry(n))
+    return svc
+
+
+class TestLeases:
+    def test_second_lookup_is_a_cache_hit(self):
+        svc = service_with(["a"])
+        cli = MetadataClient(svc)
+        assert cli.lookup("a") is cli.lookup("a")
+        assert (cli.hits, cli.misses) == (1, 1)
+        assert svc.lookups == 1       # only the miss hit the service
+
+    def test_mutation_on_the_shard_invalidates(self):
+        svc = MetadataService(n_shards=4)
+        a = name_on_shard(0, 4, "a")
+        b = name_on_shard(0, 4, "b")
+        svc.create(a, make_entry(a))
+        cli = MetadataClient(svc)
+        cli.lookup(a)
+        svc.create(b, make_entry(b))   # bumps shard 0's epoch
+        cli.lookup(a)
+        assert cli.invalidations == 1
+        assert cli.misses == 2
+
+    def test_mutation_on_another_shard_keeps_lease(self):
+        svc = MetadataService(n_shards=4)
+        a = name_on_shard(0, 4, "a")
+        c = name_on_shard(1, 4, "c")
+        svc.create(a, make_entry(a))
+        cli = MetadataClient(svc)
+        cli.lookup(a)
+        svc.create(c, make_entry(c))   # shard 1 only
+        cli.lookup(a)
+        assert cli.invalidations == 0
+        assert cli.hits == 1
+
+    def test_rename_invalidates_and_stale_name_raises(self):
+        svc = service_with(["a"])
+        cli = MetadataClient(svc)
+        cli.lookup("a")
+        svc.rename("a", "z")
+        with pytest.raises(FileNotFoundError_):
+            cli.lookup("a")            # lease dropped, service re-asked
+        assert cli.lookup("z").attrs.name == "z"
+
+    def test_recovery_invalidates_every_lease(self):
+        from repro.metastore.crash import InjectedCrash
+
+        svc = service_with(["a", "b", "c"])
+        cli = MetadataClient(svc)
+        for n in ("a", "b", "c"):
+            cli.lookup(n)
+        svc.injector.reset()
+        svc.injector.arm(2)
+        with pytest.raises(InjectedCrash):
+            svc.create("d", make_entry("d"))
+        svc.recover()                  # bumps every shard's epoch
+        for n in ("a", "b", "c"):
+            cli.lookup(n)
+        assert cli.invalidations == 3
+
+    def test_explicit_invalidate(self):
+        svc = service_with(["a", "b"])
+        cli = MetadataClient(svc)
+        cli.lookup("a")
+        cli.lookup("b")
+        cli.invalidate("a")
+        assert len(cli) == 1
+        cli.invalidate()
+        assert len(cli) == 0
+
+    def test_missing_name_is_not_cached(self):
+        svc = service_with([])
+        cli = MetadataClient(svc)
+        with pytest.raises(FileNotFoundError_):
+            cli.lookup("ghost")
+        assert len(cli) == 0

@@ -1,0 +1,201 @@
+"""Unit tests for the sharded metadata service's namespace operations."""
+
+import pytest
+
+from repro.core.errors import FileExistsError_, FileNotFoundError_
+from repro.metastore import MetadataService, shard_index
+from repro.metastore.harness import make_entry, name_on_shard
+
+
+def make_service(n_shards=4):
+    return MetadataService(n_shards=n_shards)
+
+
+class TestRouting:
+    def test_shard_index_is_deterministic(self):
+        assert shard_index("alpha", 4) == shard_index("alpha", 4)
+        for n in (1, 2, 4, 8):
+            assert 0 <= shard_index("alpha", n) < n
+
+    def test_names_spread_across_shards(self):
+        hit = {shard_index(f"file{i}", 4) for i in range(64)}
+        assert hit == {0, 1, 2, 3}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MetadataService(n_shards=0)
+
+
+class TestCreateDelete:
+    def test_create_then_lookup(self):
+        svc = make_service()
+        eid = svc.create("a", make_entry("a"))
+        assert "a" in svc and len(svc) == 1
+        assert svc.lookup("a").attrs.name == "a"
+        reg = svc.shard("a").extents[eid]
+        assert reg.owner == "a"
+
+    def test_duplicate_create_refused_without_journaling(self):
+        svc = make_service()
+        svc.create("a", make_entry("a"))
+        journal_len = len(svc.shard("a").journal)
+        with pytest.raises(FileExistsError_):
+            svc.create("a", make_entry("a"))
+        # the rejection happened before any intent was logged
+        assert len(svc.shard("a").journal) == journal_len
+
+    def test_delete_removes_entry_and_extent(self):
+        svc = make_service()
+        eid = svc.create("a", make_entry("a"))
+        svc.delete("a")
+        assert "a" not in svc
+        assert eid not in svc.shard("a").extents
+        with pytest.raises(FileNotFoundError_):
+            svc.delete("a")
+
+    def test_counters(self):
+        svc = make_service()
+        svc.create("a", make_entry("a"))
+        svc.create("b", make_entry("b"))
+        svc.delete("a")
+        svc.lookup("b")
+        assert (svc.creates, svc.deletes, svc.lookups) == (2, 1, 1)
+
+
+class TestRename:
+    def test_same_shard_rename(self):
+        svc = make_service()
+        old = name_on_shard(0, 4, "old")
+        new = name_on_shard(0, 4, "new")
+        eid = svc.create(old, make_entry(old))
+        svc.rename(old, new)
+        assert old not in svc and new in svc
+        assert svc.lookup(new).attrs.name == new
+        assert svc.shards[0].extents[eid].owner == new
+        assert svc.renames == 1
+
+    def test_cross_shard_rename_moves_entry_and_extent(self):
+        svc = make_service()
+        old = name_on_shard(0, 4, "old")
+        new = name_on_shard(1, 4, "new")
+        eid = svc.create(old, make_entry(old))
+        svc.rename(old, new)
+        assert svc.shard_of(new) == 1
+        assert new in svc.shards[1].entries
+        assert old not in svc.shards[0].entries
+        assert eid in svc.shards[1].extents
+        assert eid not in svc.shards[0].extents
+        assert svc.shards[1].extents[eid].owner == new
+
+    def test_rename_to_existing_refused(self):
+        svc = make_service()
+        svc.create("a", make_entry("a"))
+        svc.create("b", make_entry("b"))
+        with pytest.raises(FileExistsError_):
+            svc.rename("a", "b")
+        assert "a" in svc and "b" in svc
+
+    def test_rename_missing_source_refused(self):
+        svc = make_service()
+        with pytest.raises(FileNotFoundError_):
+            svc.rename("nope", "x")
+
+
+class TestExtend:
+    def test_extend_grows_records_and_extent(self):
+        svc = make_service()
+        eid = svc.create("a", make_entry("a", n_records=64, record_size=32))
+        svc.extend("a", 128)
+        assert svc.lookup("a").attrs.n_records == 128
+        assert svc.shard("a").extents[eid].nbytes == 128 * 32
+        assert svc.extends == 1
+
+    def test_extend_cannot_shrink(self):
+        svc = make_service()
+        svc.create("a", make_entry("a", n_records=64))
+        with pytest.raises(ValueError):
+            svc.extend("a", 8)
+
+    def test_extend_missing_file(self):
+        svc = make_service()
+        with pytest.raises(FileNotFoundError_):
+            svc.extend("nope", 128)
+
+
+class TestVerification:
+    def test_invariants_clean_after_op_mix(self):
+        svc = make_service()
+        for i in range(12):
+            svc.create(f"file{i}", make_entry(f"file{i}"))
+        svc.delete("file3")
+        svc.rename("file4", "renamed4")
+        svc.extend("file5", 256)
+        assert svc.check_invariants() == []
+
+    def test_expected_namespace_tracks_committed_ops(self):
+        svc = make_service()
+        e1 = svc.create("a", make_entry("a"))
+        svc.create("b", make_entry("b"))
+        svc.delete("b")
+        svc.rename("a", "c")
+        expected = svc.expected_namespace()
+        assert expected == {"c": e1}
+
+    def test_lost_name_detected(self):
+        svc = make_service()
+        svc.create("a", make_entry("a"))
+        # simulate namespace corruption behind the journal's back
+        shard = svc.shard("a")
+        del shard.entries["a"]
+        kinds = {f.kind for f in svc.check_invariants()}
+        assert "namespace-lost-name" in kinds
+        assert "namespace-orphan-extent" in kinds  # its extent is orphaned
+
+    def test_double_owner_detected(self):
+        svc = make_service()
+        svc.create("a", make_entry("a"))
+        entry = svc.lookup("a")
+        # plant the same name on a second shard
+        other = svc.shards[(svc.shard_of("a") + 1) % 4]
+        other.entries["a"] = entry
+        kinds = {f.kind for f in svc.check_invariants()}
+        assert "namespace-double-owner" in kinds
+
+    def test_ghost_name_detected(self):
+        svc = make_service()
+        name = name_on_shard(0, 4, "ghost")
+        svc.shards[0].entries[name] = make_entry(name)
+        kinds = {f.kind for f in svc.check_invariants()}
+        assert "namespace-ghost-name" in kinds
+
+    def test_to_dict_summary(self):
+        svc = make_service()
+        svc.create("a", make_entry("a"))
+        d = svc.to_dict()
+        assert d["n_shards"] == 4 and d["entries"] == 1
+        assert d["counters"]["creates"] == 1
+        assert len(d["shards"]) == 4
+
+
+class TestRecovery:
+    def test_recover_on_clean_service_is_a_no_op(self):
+        svc = make_service()
+        svc.create("a", make_entry("a"))
+        epochs = [s.epoch for s in svc.shards]
+        assert svc.recover() == []
+        assert [s.epoch for s in svc.shards] == epochs
+
+    def test_recover_reports_repaired_txids(self):
+        from repro.metastore.crash import InjectedCrash
+
+        svc = MetadataService(n_shards=4)
+        svc.create("a", make_entry("a"))
+        svc.injector.reset()
+        svc.injector.arm(3)   # die mid-create, after intent + extent
+        with pytest.raises(InjectedCrash):
+            svc.create("b", make_entry("b"))
+        repaired = svc.recover()
+        assert len(repaired) == 1
+        assert repaired[0]["action"] == "rolled-forward"
+        assert "b" in svc
+        assert svc.check_invariants() == []
