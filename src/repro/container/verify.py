@@ -79,6 +79,11 @@ KIND_CATALOG_SIZE = "catalog-size-mismatch"
 KIND_CATALOG_BOUNDS = "catalog-extent-bounds"
 KIND_CATALOG_OVERLAP = "catalog-extent-overlap"
 KIND_CATALOG_REGISTRY = "catalog-registry-mismatch"
+#: dataset self-description kinds (see :func:`_check_dataset_sections`)
+KIND_DATASET_SCHEMA = "dataset-bad-schema"
+KIND_DATASET_MISSING = "dataset-missing-variable"
+KIND_DATASET_SHAPE = "dataset-variable-shape"
+KIND_DATASET_ORPHAN = "dataset-orphan-variable"
 
 
 @dataclass(frozen=True)
@@ -214,7 +219,70 @@ def scan_bytes(buf: bytes, name: str = "<bytes>") -> ContainerReport:
     if off < len(buf):
         _note(report, KIND_TRAILING, "", off,
               f"{len(buf) - off} bytes past the last section")
+
+    _check_dataset_sections(report, buf)
     return report
+
+
+def _check_dataset_sections(report: ContainerReport, buf: bytes) -> None:
+    """Dataset self-description consistency (containers that carry a
+    ``repro/dataset`` schema section).
+
+    Cross-checks the parsed schema against the mapped sections: every
+    declared variable needs a ``var/<name>`` section whose element count
+    and size match the schema's dimensions and dtype
+    (``dataset-missing-variable`` / ``dataset-variable-shape``), every
+    ``var/*`` section must be declared (``dataset-orphan-variable``),
+    and an unparseable schema payload is ``dataset-bad-schema``. Only a
+    *verified* schema section is parsed: a corrupt payload already has a
+    checksum finding, and garbage JSON would just duplicate it.
+    """
+    # lazy import: repro.dataset imports this package back
+    from ..dataset.core import DATASET_SECTION_ID, VAR_PREFIX
+    from ..dataset.model import DatasetSchema
+
+    toc = {e.decl.section_id: e for e in report.sections}
+    ext = toc.get(DATASET_SECTION_ID)
+    var_sections = {
+        sid: e for sid, e in toc.items() if sid.startswith(VAR_PREFIX)
+    }
+    if ext is None:
+        if var_sections:
+            for sid, e in var_sections.items():
+                _note(report, KIND_DATASET_ORPHAN, sid, e.header_off,
+                      f"no {DATASET_SECTION_ID!r} schema declares this "
+                      "variable section")
+        return
+    if DATASET_SECTION_ID not in report.verified:
+        return  # payload already has a checksum finding
+    from ..core.errors import ReproError
+
+    payload = buf[ext.payload_off:ext.pad_off]
+    try:
+        schema = DatasetSchema.from_json(payload)
+    except ReproError as exc:
+        _note(report, KIND_DATASET_SCHEMA, DATASET_SECTION_ID,
+              ext.payload_off, str(exc))
+        return
+    for vname in schema.variables:
+        sid = VAR_PREFIX + vname
+        var_ext = var_sections.pop(sid, None)
+        if var_ext is None:
+            _note(report, KIND_DATASET_MISSING, sid, 0,
+                  f"schema declares variable {vname!r}; container has no "
+                  f"{sid!r} section")
+            continue
+        count = schema.size(vname)
+        elem = schema.variable(vname).itemsize
+        decl = var_ext.decl
+        if decl.count != count or decl.elem_size != elem:
+            _note(report, KIND_DATASET_SHAPE, sid, var_ext.header_off,
+                  f"schema declares {count} x {elem} bytes "
+                  f"(dims {list(schema.variable(vname).dims)}), section "
+                  f"holds {decl.count} x {decl.elem_size}")
+    for sid, e in var_sections.items():
+        _note(report, KIND_DATASET_ORPHAN, sid, e.header_off,
+              f"section not declared by the {DATASET_SECTION_ID!r} schema")
 
 
 def _media_bytes(file: "ParallelFile") -> bytes:

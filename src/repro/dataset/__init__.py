@@ -1,0 +1,41 @@
+"""Typed multidimensional datasets over the container format.
+
+The Parallel netCDF direction: named dimensions, typed variables with
+attributes, self-describing persistence (the PR 7 container), and
+hyperslab ``read_slab``/``write_slab`` operations compiled onto the
+datatype layer's views — list I/O, data sieving, and two-phase
+collective transfers all apply unchanged. Two executable backends share
+one model and one request planner:
+
+* :class:`Dataset` (``repro.dataset.sim``) — simulated time, generator
+  methods, collective ``read_slab_all``/``write_slab_all``;
+* :class:`LiveDataset` (``repro.dataset.live``) — real host files,
+  plain thread-safe methods, served over asyncio by
+  :class:`repro.live.server.DatasetServer`.
+"""
+
+from .core import (
+    DATASET_SECTION_ID,
+    VAR_PREFIX,
+    DatasetBase,
+    content_fingerprint,
+    dataset_decls,
+    var_section_id,
+)
+from .live import LiveDataset
+from .model import DatasetSchema, Variable, media_dtype
+from .sim import Dataset
+
+__all__ = [
+    "DATASET_SECTION_ID",
+    "VAR_PREFIX",
+    "DatasetBase",
+    "Dataset",
+    "DatasetSchema",
+    "LiveDataset",
+    "Variable",
+    "content_fingerprint",
+    "dataset_decls",
+    "media_dtype",
+    "var_section_id",
+]

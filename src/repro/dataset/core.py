@@ -1,0 +1,193 @@
+"""The backend-independent half of the dataset layer.
+
+A dataset is a PR 7 container whose sections are:
+
+* ``repro/attrs`` — the reserved self-description (written by the
+  container machinery);
+* ``repro/dataset`` — a block section holding the canonical schema JSON
+  (:meth:`~repro.dataset.model.DatasetSchema.to_json`);
+* one ``var/<name>`` array section per variable, ``count`` elements of
+  ``elem_size = dtype.itemsize`` bytes, row-major, little-endian.
+
+:func:`dataset_decls` derives the section declarations, so layout
+planning (and therefore every byte offset) is a pure function of the
+schema — identical for the simulated and live backends. ``DatasetBase``
+holds the arithmetic both backends share: slab validation, slab → byte
+view compilation (through :func:`~repro.datatype.slab.slab_to_view` with
+``base`` the variable's payload offset and ``scale`` its itemsize), and
+the typed encode/decode between user arrays and the container's 1-byte
+records.
+
+``content_fingerprint`` is the cross-backend identity check: sha256 of
+the container bytes with the self-description section masked. The attrs
+payload legitimately differs between backends (``layout: "host"`` vs a
+striped layout) while every data byte must not.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from ..container.codec import (
+    ATTRS_PAYLOAD_BYTES,
+    FILE_HEADER_BYTES,
+    SECTION_HEADER_BYTES,
+    SectionDecl,
+    array_section,
+    block_section,
+)
+from ..core.errors import OrganizationError
+from ..datatype.slab import slab_size, slab_to_view, validate_slab
+from .model import DatasetSchema
+
+__all__ = [
+    "DATASET_SECTION_ID",
+    "VAR_PREFIX",
+    "var_section_id",
+    "dataset_decls",
+    "DatasetBase",
+    "content_fingerprint",
+]
+
+#: block section holding the canonical schema JSON
+DATASET_SECTION_ID = "repro/dataset"
+#: every variable's array section is VAR_PREFIX + variable name
+VAR_PREFIX = "var/"
+
+
+def var_section_id(name: str) -> str:
+    """The container section id for variable ``name``."""
+    return VAR_PREFIX + name
+
+
+def dataset_decls(schema: DatasetSchema) -> list[SectionDecl]:
+    """The user-section declarations of a dataset container (the writer
+    prepends the reserved self-description itself)."""
+    decls = [
+        block_section(DATASET_SECTION_ID, len(schema.to_json().encode("utf-8")))
+    ]
+    for name, var in schema.variables.items():
+        decls.append(
+            array_section(var_section_id(name), schema.size(name), var.itemsize)
+        )
+    return decls
+
+
+def content_fingerprint(buf: bytes | bytearray | np.ndarray) -> str:
+    """sha256 of container bytes with the self-description masked.
+
+    Masks ``[128, 704)`` — the reserved attrs section's 64-byte header
+    plus its fixed 512-byte payload (the pad after it is deterministic
+    and identical everywhere). Two datasets with equal fingerprints hold
+    identical schema and data bytes regardless of which backend (or how
+    many writers) produced them.
+    """
+    arr = bytearray(
+        buf.tobytes() if isinstance(buf, np.ndarray) else bytes(buf)
+    )
+    lo = FILE_HEADER_BYTES
+    hi = min(len(arr), lo + SECTION_HEADER_BYTES + ATTRS_PAYLOAD_BYTES)
+    arr[lo:hi] = b"\0" * (hi - lo)
+    return hashlib.sha256(bytes(arr)).hexdigest()
+
+
+class DatasetBase:
+    """Shared slab arithmetic. Subclasses provide ``schema``, a ``toc``
+    mapping section ids to :class:`~repro.container.codec.SectionExtent`,
+    and the actual byte movement."""
+
+    schema: DatasetSchema
+    toc: dict
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def dimensions(self) -> dict[str, int]:
+        return dict(self.schema.dimensions)
+
+    @property
+    def variable_names(self) -> list[str]:
+        return list(self.schema.variables)
+
+    def describe(self) -> dict:
+        """The dataset at a glance (the server's ``describe`` payload)."""
+        return {
+            "dimensions": dict(self.schema.dimensions),
+            "variables": {
+                name: {
+                    "dtype": v.dtype,
+                    "dims": list(v.dims),
+                    "shape": list(self.schema.shape(name)),
+                    "attrs": dict(v.attrs),
+                }
+                for name, v in self.schema.variables.items()
+            },
+            "attrs": dict(self.schema.attrs),
+        }
+
+    # -- slab arithmetic ---------------------------------------------------
+
+    def _var_extent(self, name: str):
+        sid = var_section_id(self.schema.variable(name).name)
+        try:
+            return self.toc[sid]
+        except KeyError:
+            raise OrganizationError(
+                f"container is missing section {sid!r} for variable {name!r}"
+            ) from None
+
+    def _slab(self, name: str, start, count):
+        """``(byte_view, slab_shape, np_dtype)`` of a hyperslab.
+
+        The view addresses the container's 1-byte records: element ``e``
+        of the variable occupies ``itemsize`` records starting at
+        ``payload_off + e * itemsize``.
+        """
+        var = self.schema.variable(name)
+        shape = self.schema.shape(name)
+        start, count = validate_slab(shape, start, count)
+        ext = self._var_extent(name)
+        view = slab_to_view(
+            shape, start, count, base=ext.payload_off, scale=var.itemsize
+        )
+        return view, count, var.np_dtype
+
+    def _slab_byte_indices(self, name: str, start, count) -> np.ndarray:
+        """Absolute byte (1-byte-record) indices of a hyperslab, in slab
+        order — the collective paths' explicit ``indices=`` form."""
+        from ..datatype.slab import slab_indices
+
+        var = self.schema.variable(name)
+        shape = self.schema.shape(name)
+        ext = self._var_extent(name)
+        elems = slab_indices(shape, start, count)
+        if not elems.size:
+            return elems
+        byte0 = ext.payload_off + elems * var.itemsize
+        return (byte0[:, None] + np.arange(var.itemsize, dtype=np.int64)).reshape(-1)
+
+    # -- typed payload codec -----------------------------------------------
+
+    def _encode_slab(self, name: str, count, values) -> np.ndarray:
+        """User array → ``(nbytes, 1)`` uint8 record rows, media order."""
+        var = self.schema.variable(name)
+        arr = np.asarray(values)
+        n = slab_size(count)
+        if arr.size != n:
+            raise OrganizationError(
+                f"slab selects {n} elements of {name!r}, values hold {arr.size}"
+            )
+        arr = np.ascontiguousarray(arr.reshape(tuple(count)), dtype=var.np_dtype)
+        return np.frombuffer(arr.tobytes(), dtype=np.uint8).reshape(-1, 1)
+
+    def _decode_slab(self, name: str, count, rows: np.ndarray) -> np.ndarray:
+        """``(nbytes, 1)`` uint8 record rows → typed array of slab shape."""
+        var = self.schema.variable(name)
+        raw = np.ascontiguousarray(rows, dtype=np.uint8).tobytes()
+        return np.frombuffer(raw, dtype=var.np_dtype).reshape(tuple(count)).copy()
+
+    def _empty_slab(self, name: str, count) -> np.ndarray:
+        var = self.schema.variable(name)
+        return np.empty(tuple(count), dtype=var.np_dtype)

@@ -1,17 +1,35 @@
-"""Datatype layer: file views and data sieving for noncontiguous access.
+"""Datatype layer: file views, hyperslabs, and request planning.
 
 ``views`` describes a request as a pattern (strided, nested-strided,
-indexed) instead of a materialized extent list; ``sieve`` plans
-covering-extent reads and read-modify-write windows over those patterns.
-The executable halves live on :class:`~repro.fs.pfs.ParallelFile`
-(``set_view`` / ``read_view`` / ``write_view``).
+indexed) instead of a materialized extent list; ``slab`` compiles
+multidimensional hyperslab selections into those patterns; ``sieve``
+plans covering-extent reads and read-modify-write windows; ``planner``
+turns a flattened view into an executable access plan (empty /
+contiguous / list I/O / sieved) shared by the simulated and live
+backends. The executors are :class:`~repro.fs.pfs.ParallelFile`
+(``set_view`` / ``read_view`` / ``write_view``) and
+:class:`~repro.live.backend.LiveParallelFile`.
 """
 
+from .planner import (
+    ViewReadPlan,
+    ViewWritePlan,
+    check_view_runs,
+    plan_view_read,
+    plan_view_write,
+)
 from .sieve import (
     DEFAULT_SIEVE_FACTOR,
     DEFAULT_SIEVE_WINDOW,
     plan_sieved_reads,
     plan_sieved_writes,
+)
+from .slab import (
+    slab_indices,
+    slab_shape,
+    slab_size,
+    slab_to_view,
+    validate_slab,
 )
 from .views import (
     ContiguousView,
@@ -33,4 +51,14 @@ __all__ = [
     "DEFAULT_SIEVE_WINDOW",
     "plan_sieved_reads",
     "plan_sieved_writes",
+    "validate_slab",
+    "slab_shape",
+    "slab_size",
+    "slab_to_view",
+    "slab_indices",
+    "check_view_runs",
+    "ViewReadPlan",
+    "ViewWritePlan",
+    "plan_view_read",
+    "plan_view_write",
 ]

@@ -320,18 +320,14 @@ class ParallelFile:
         return self._view
 
     def _view_runs(self, view: "FileView | None"):
+        from ..datatype.planner import check_view_runs
+
         v = view if view is not None else self._view
         if v is None:
             raise ValueError(
                 "no view given: pass view=... or install one with set_view()"
             )
-        runs = v.flatten()
-        if runs and runs[-1].stop > self.n_records:
-            raise ValueError(
-                f"view extent [{runs[0].start}, {runs[-1].stop}) outside file "
-                f"of {self.n_records} records"
-            )
-        return runs
+        return check_view_runs(v, self.n_records)
 
     def read_view(
         self,
@@ -352,15 +348,20 @@ class ParallelFile:
         multiple of the wanted payload) and ``sieve_window`` (span at most
         that many bytes).
         """
+        from ..datatype.planner import plan_view_read
+
         runs = self._view_runs(view)
-        if not runs:
+        plan = plan_view_read(
+            runs, self.attrs.record_spec.record_size,
+            sieve=sieve, sieve_factor=sieve_factor, sieve_window=sieve_window,
+        )
+        if plan.mode == "empty":
             return self.env.process(self._empty_result(), name=f"{self.name}.view")
-        if sieve and len(runs) > 1:
+        if plan.mode == "sieved":
             return self.env.process(
-                self._read_sieved(runs, sieve_factor, sieve_window),
-                name=f"{self.name}.sieveread",
+                self._read_sieved(plan), name=f"{self.name}.sieveread"
             )
-        if len(runs) == 1:
+        if plan.mode == "contiguous":
             return self.read_records(runs[0].start, runs[0].count)
         return self.read_gather([(r.start, r.count) for r in runs])
 
@@ -384,26 +385,31 @@ class ParallelFile:
         window is an application conflict exactly like any overlapping
         write (the access sanitizer's territory).
         """
+        from ..datatype.planner import plan_view_write
+
         runs = self._view_runs(view)
         spec = self.attrs.record_spec
         raw = spec.encode(values)
         count = raw.size // spec.record_size
-        total = sum(r.count for r in runs)
+        plan = plan_view_write(
+            runs, spec.record_size,
+            sieve=sieve, sieve_factor=sieve_factor, sieve_window=sieve_window,
+        )
+        total = plan.n_view_records
         if count != total:
             raise ValueError(
                 f"view selects {total} records, values encode to {count}"
             )
-        if not runs:
+        if plan.mode == "empty":
             return self.env.process(
                 self._empty_result(0), name=f"{self.name}.view"
             )
         decoded = spec.decode(raw)
-        if sieve and len(runs) > 1:
+        if plan.mode == "sieved":
             return self.env.process(
-                self._write_sieved(runs, decoded, sieve_factor, sieve_window),
-                name=f"{self.name}.sievewrite",
+                self._write_sieved(plan, decoded), name=f"{self.name}.sievewrite"
             )
-        if len(runs) == 1:
+        if plan.mode == "contiguous":
             op = self.write_records(runs[0].start, decoded)
         else:
             op = self.write_gather([(r.start, r.count) for r in runs], decoded)
@@ -421,36 +427,16 @@ class ParallelFile:
         return value
         yield  # pragma: no cover - makes this a generator
 
-    def _read_sieved(self, runs, sieve_factor: float, sieve_window: int):
-        from ..datatype.sieve import plan_sieved_reads
-
-        spec = self.attrs.record_spec
-        plan = plan_sieved_reads(
-            runs, spec.record_size,
-            sieve_factor=sieve_factor, sieve_window=sieve_window,
-        )
-        covering = plan.reads  # record-unit runs
+    def _read_sieved(self, plan):
+        covering = plan.covering  # record-unit runs
         if len(covering) == 1:
             datas = [(yield self.read_records(covering[0].offset, covering[0].nbytes))]
         else:
             cat = yield self.read_gather(
                 [(c.offset, c.nbytes) for c in covering]
             )
-            datas, pos = [], 0
-            for c in covering:
-                datas.append(cat[pos : pos + c.nbytes])
-                pos += c.nbytes
-        out = np.empty(
-            (sum(r.count for r in runs), spec.items_per_record), dtype=spec.dtype
-        )
-        ci = pos = 0
-        for run in runs:
-            while run.start >= covering[ci].end:
-                ci += 1
-            rel = run.start - covering[ci].offset
-            out[pos : pos + run.count] = datas[ci][rel : rel + run.count]
-            pos += run.count
-        return out
+            datas = plan.split(cat)
+        return plan.scatter(datas)
 
     def _sieve_lock(self):
         # one lock per catalog entry, so every open of the file (and every
@@ -462,23 +448,11 @@ class ParallelFile:
             lock = self.entry.sieve_lock = SimLock(self.env)
         return lock
 
-    def _write_sieved(self, runs, decoded, sieve_factor: float, sieve_window: int):
-        from ..datatype.sieve import plan_sieved_writes
-
-        spec = self.attrs.record_spec
-        windows = plan_sieved_writes(
-            runs, spec.record_size,
-            sieve_factor=sieve_factor, sieve_window=sieve_window,
-        )
-        # row position of each run's records in the view-order payload
-        row_of = {}
-        pos = 0
-        for r in runs:
-            row_of[r.start] = pos
-            pos += r.count
+    def _write_sieved(self, plan, decoded):
+        row_of = plan.row_of
         lock = self._sieve_lock()
-        for window, pieces in windows:
-            if len(pieces) == 1 and pieces[0].nbytes == window.nbytes:
+        for window, pieces in plan.windows:
+            if plan.is_whole_window(window, pieces):
                 p0 = pieces[0]
                 start = row_of[p0.offset]
                 yield self.write_records(p0.offset, decoded[start : start + p0.nbytes])
@@ -487,15 +461,12 @@ class ParallelFile:
             yield lock.acquire()
             try:
                 buf = yield self.read_records(window.offset, window.nbytes)
-                buf = np.array(buf, copy=True)
-                for p in pieces:
-                    rel = p.offset - window.offset
-                    start = row_of[p.offset]
-                    buf[rel : rel + p.nbytes] = decoded[start : start + p.nbytes]
-                yield self.write_records(window.offset, buf)
+                yield self.write_records(
+                    window.offset, plan.overlay(window, pieces, buf, decoded)
+                )
             finally:
                 lock.release()
-        return sum(r.count for r in runs)
+        return plan.n_view_records
 
     def _check_span(self, start: int, count: int) -> None:
         if start < 0 or count < 0 or start + count > self.n_records:

@@ -1,4 +1,9 @@
-"""Live backend: the organizations on real files with real threads."""
+"""Live backend: the organizations on real files with real threads.
+
+``repro.live.server`` (imported lazily to keep this package cheap)
+adds the asyncio dataset-serving front-end: ``DatasetServer``,
+``DatasetClient``, ``WallClock``, ``TenantAccount``.
+"""
 
 from .backend import LiveParallelFile, LiveParallelFileSystem
 from .handles import (

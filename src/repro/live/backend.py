@@ -19,8 +19,12 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from pathlib import Path
 
+import numpy as np
+
+from ..core.errors import OrganizationError
 from ..core.mapping import OrganizationMap, make_map
 from ..core.organizations import FileCategory, FileOrganization
 from ..fs.metadata import FileAttributes
@@ -42,11 +46,30 @@ class LiveParallelFile:
     """An open parallel file backed by a host file."""
 
     def __init__(self, attrs: FileAttributes, org_map: OrganizationMap, path: Path):
+        # The fd is acquired *last*, after every validation that can
+        # raise, so a failed constructor never leaks a descriptor.
+        self._fd = None
         self.attrs = attrs
         self.map = org_map
         self.path = path
-        flags = os.O_RDWR
-        self._fd = os.open(path, flags)
+        self._sieve_lock = threading.Lock()
+        if org_map.n_records != attrs.n_records:
+            raise OrganizationError(
+                f"organization map covers {org_map.n_records} records; "
+                f"attributes declare {attrs.n_records}"
+            )
+        try:
+            size = os.stat(path).st_size
+        except OSError as exc:
+            raise OrganizationError(
+                f"data file {path} unreadable: {exc}"
+            ) from exc
+        if size < attrs.file_bytes:
+            raise OrganizationError(
+                f"data file {path} holds {size} bytes; attributes declare "
+                f"{attrs.file_bytes}"
+            )
+        self._fd = os.open(path, os.O_RDWR)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -120,6 +143,129 @@ class LiveParallelFile:
             )
         raise ValueError(f"no live handle for {org}")  # pragma: no cover
 
+    # -- positioned record I/O -------------------------------------------------
+
+    def _check_span(self, start: int, count: int) -> None:
+        if start < 0 or count < 0 or start + count > self.n_records:
+            raise ValueError(
+                f"records [{start}, {start + count}) outside file of "
+                f"{self.n_records}"
+            )
+
+    def read_records(self, start: int, count: int) -> np.ndarray:
+        """``count`` decoded records at ``start`` (thread-safe pread)."""
+        self._check_span(start, count)
+        spec = self.attrs.record_spec
+        offset, nbytes = spec.span(start, count)
+        raw = os.pread(self.fd, nbytes, offset)
+        if len(raw) != nbytes:
+            raise IOError(
+                f"short read: wanted {nbytes} bytes at {offset}, got {len(raw)}"
+            )
+        return spec.decode(raw)
+
+    def write_records(self, start: int, values: np.ndarray) -> int:
+        """Write records at ``start`` (thread-safe pwrite); record count."""
+        spec = self.attrs.record_spec
+        raw = spec.encode(values)
+        count = raw.size // spec.record_size
+        self._check_span(start, count)
+        written = os.pwrite(self.fd, raw.tobytes(), start * spec.record_size)
+        if written != raw.size:
+            raise IOError(f"short write: {written} of {raw.size} bytes")
+        return count
+
+    # -- file views (shared planner with the simulator) ------------------------
+
+    def read_view(
+        self,
+        view,
+        *,
+        sieve: bool = False,
+        sieve_factor: float = 4.0,
+        sieve_window: int = 1 << 22,
+    ) -> np.ndarray:
+        """Read the records a view selects; decoded rows in view order.
+
+        The access plan — list I/O vs covering-extent sieving — comes
+        from the same :mod:`repro.datatype.planner` the simulator's
+        :meth:`~repro.fs.pfs.ParallelFile.read_view` consumes; only the
+        byte movement differs (``os.pread`` here, device processes there).
+        """
+        from ..datatype.planner import check_view_runs, plan_view_read
+
+        runs = check_view_runs(view, self.n_records)
+        plan = plan_view_read(
+            runs, self.attrs.record_spec.record_size,
+            sieve=sieve, sieve_factor=sieve_factor, sieve_window=sieve_window,
+        )
+        if plan.mode == "empty":
+            return self.attrs.record_spec.decode(b"")
+        if plan.mode == "contiguous":
+            return self.read_records(runs[0].start, runs[0].count)
+        if plan.mode == "list":
+            pieces = [self.read_records(r.start, r.count) for r in runs]
+            return np.concatenate(pieces) if len(pieces) > 1 else pieces[0]
+        datas = [self.read_records(c.offset, c.nbytes) for c in plan.covering]
+        return plan.scatter(datas)
+
+    def write_view(
+        self,
+        values: np.ndarray,
+        view,
+        *,
+        sieve: bool = False,
+        sieve_factor: float = 4.0,
+        sieve_window: int = 1 << 22,
+    ) -> int:
+        """Write ``values`` (rows in view order) to the view's records.
+
+        Sieved read-modify-write windows serialize on this open file's
+        ``_sieve_lock``, so threads sharing one :class:`LiveParallelFile`
+        never tear each other's hole bytes (independent opens of the same
+        host file are independent lock domains — like separate client
+        processes in the paper's model).
+        """
+        from ..datatype.planner import check_view_runs, plan_view_write
+
+        runs = check_view_runs(view, self.n_records)
+        spec = self.attrs.record_spec
+        raw = spec.encode(values)
+        count = raw.size // spec.record_size
+        plan = plan_view_write(
+            runs, spec.record_size,
+            sieve=sieve, sieve_factor=sieve_factor, sieve_window=sieve_window,
+        )
+        if count != plan.n_view_records:
+            raise ValueError(
+                f"view selects {plan.n_view_records} records, values encode "
+                f"to {count}"
+            )
+        if plan.mode == "empty":
+            return 0
+        decoded = spec.decode(raw)
+        if plan.mode == "contiguous":
+            return self.write_records(runs[0].start, decoded)
+        if plan.mode == "list":
+            pos = 0
+            for r in runs:
+                self.write_records(r.start, decoded[pos : pos + r.count])
+                pos += r.count
+            return plan.n_view_records
+        row_of = plan.row_of
+        for window, pieces in plan.windows:
+            if plan.is_whole_window(window, pieces):
+                p0 = pieces[0]
+                start = row_of[p0.offset]
+                self.write_records(p0.offset, decoded[start : start + p0.nbytes])
+                continue
+            with self._sieve_lock:
+                buf = self.read_records(window.offset, window.nbytes)
+                self.write_records(
+                    window.offset, plan.overlay(window, pieces, buf, decoded)
+                )
+        return plan.n_view_records
+
 
 class LiveParallelFileSystem:
     """Create/open/delete parallel files in a host directory."""
@@ -180,12 +326,19 @@ class LiveParallelFileSystem:
         org_map = make_map(
             organization, attrs.block_spec, n_records, n_processes, **org_params
         )
-        # Preallocate the data file to its full logical size.
-        with open(data_path, "wb") as fh:
-            if attrs.file_bytes:
-                fh.truncate(attrs.file_bytes)
-        meta_path.write_text(json.dumps(attrs.to_dict(), indent=2))
-        return LiveParallelFile(attrs, org_map, data_path)
+        # Create-or-undo: a failure after the data file exists must not
+        # strand a half-created pair, or the name becomes unusable.
+        try:
+            # Preallocate the data file to its full logical size.
+            with open(data_path, "wb") as fh:
+                if attrs.file_bytes:
+                    fh.truncate(attrs.file_bytes)
+            meta_path.write_text(json.dumps(attrs.to_dict(), indent=2))
+            return LiveParallelFile(attrs, org_map, data_path)
+        except BaseException:
+            meta_path.unlink(missing_ok=True)
+            data_path.unlink(missing_ok=True)
+            raise
 
     def open(self, name: str, n_processes: int | None = None) -> LiveParallelFile:
         """Open an existing file, optionally remapping the process count."""

@@ -9,7 +9,6 @@ self-scheduled session hands out blocks under a real lock.
 
 from __future__ import annotations
 
-import os
 import threading
 from typing import TYPE_CHECKING
 
@@ -41,31 +40,13 @@ class _LiveBase:
         self.file = file
         self.process = process
 
-    # positioned raw I/O ---------------------------------------------------
+    # positioned raw I/O — one implementation, on the file itself ----------
 
     def _pread_records(self, start: int, count: int) -> np.ndarray:
-        spec = self.file.attrs.record_spec
-        offset, nbytes = spec.span(start, count)
-        raw = os.pread(self.file.fd, nbytes, offset)
-        if len(raw) != nbytes:
-            raise IOError(
-                f"short read: wanted {nbytes} bytes at {offset}, got {len(raw)}"
-            )
-        return spec.decode(raw)
+        return self.file.read_records(start, count)
 
     def _pwrite_records(self, start: int, values: np.ndarray) -> int:
-        spec = self.file.attrs.record_spec
-        raw = spec.encode(values)
-        count = raw.size // spec.record_size
-        if start < 0 or start + count > self.file.n_records:
-            raise ValueError(
-                f"records [{start}, {start + count}) outside file of "
-                f"{self.file.n_records}"
-            )
-        written = os.pwrite(self.file.fd, raw.tobytes(), start * spec.record_size)
-        if written != raw.size:
-            raise IOError(f"short write: {written} of {raw.size} bytes")
-        return count
+        return self.file.write_records(start, values)
 
 
 class LiveGlobalView(_LiveBase):

@@ -30,6 +30,7 @@ __all__ = [
     "resilience_report",
     "container_report",
     "metastore_report",
+    "dataset_server_report",
 ]
 
 
@@ -309,4 +310,35 @@ def metastore_report(service: "MetadataService") -> list[str]:
         rows.extend("  " + f.row() for f in findings)
     else:
         rows.append("namespace invariants: clean")
+    return rows
+
+
+def dataset_server_report(stats: dict) -> list[str]:
+    """Render a :meth:`~repro.live.server.DatasetServer.stats` dict:
+    the server totals, then one row per tenant with its admission state
+    (rate/burst, throttle count, total admission wait)."""
+    rows = [
+        f"uptime {stats['uptime_s']:.3f}s  "
+        f"{stats['connections_total']} connection(s), "
+        f"{stats['requests_total']} request(s), "
+        f"{stats['errors_total']} error(s), "
+        f"{stats['protocol_errors']} protocol error(s)"
+    ]
+    if stats.get("datasets_open"):
+        rows.append("open datasets: " + ", ".join(stats["datasets_open"]))
+    rows.append(
+        f"{'tenant':<12s} {'reqs':>6s} {'errs':>5s} {'read MB':>9s} "
+        f"{'write MB':>9s} {'rate MB/s':>10s} {'throttled':>9s} "
+        f"{'wait s':>8s}"
+    )
+    for name, t in stats.get("tenants", {}).items():
+        rate = (
+            f"{t['rate'] / 1e6:.2f}" if "rate" in t else "-"
+        )
+        throttled = str(t.get("throttled_grants", "-"))
+        rows.append(
+            f"{name:<12s} {t['requests']:>6d} {t['errors']:>5d} "
+            f"{t['bytes_read'] / 1e6:>9.3f} {t['bytes_written'] / 1e6:>9.3f} "
+            f"{rate:>10s} {throttled:>9s} {t['admission_wait_s']:>8.3f}"
+        )
     return rows

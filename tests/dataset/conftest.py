@@ -1,0 +1,59 @@
+"""Shared fixtures for dataset tests: a sim file system, a live root,
+and one canonical schema + data used across backend-identity tests."""
+
+import numpy as np
+import pytest
+
+from repro.dataset import DatasetSchema
+from repro.live import LiveParallelFileSystem
+from repro.sim import Environment
+from tests.container.conftest import build_pfs
+
+ORGS = ["S", "PS", "IS", "SS", "GDA", "PDA"]
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def pfs(env):
+    return build_pfs(env)
+
+
+@pytest.fixture
+def lfs(tmp_path):
+    return LiveParallelFileSystem(tmp_path / "pfs")
+
+
+@pytest.fixture
+def schema():
+    return DatasetSchema.build(
+        {"t": 4, "y": 6, "x": 8},
+        {
+            "temp": ("<f4", ("t", "y", "x"), {"units": "K"}),
+            "mask": ("u1", ("y", "x")),
+        },
+        {"title": "fixture dataset"},
+    )
+
+
+@pytest.fixture
+def data(schema):
+    rng = np.random.default_rng(42)
+    return {
+        "temp": rng.normal(size=(4, 6, 8)).astype("<f4"),
+        "mask": rng.integers(0, 2, size=(6, 8)).astype("u1"),
+    }
+
+
+def run(env, gen):
+    """Drive one sim generator to completion and return its value."""
+    box = {}
+
+    def driver():
+        box["out"] = yield from gen
+
+    env.run(env.process(driver()))
+    return box.get("out")

@@ -1,0 +1,81 @@
+"""Schema/variable model tests (repro.dataset.model)."""
+
+import numpy as np
+import pytest
+
+from repro.core import OrganizationError
+from repro.dataset import DatasetSchema, Variable, media_dtype
+
+
+class TestMediaDtype:
+    def test_pins_little_endian(self):
+        assert media_dtype(">f8").str == "<f8"
+        assert media_dtype(np.float32).str == "<f4"
+
+    def test_byteorder_free_types_pass_through(self):
+        assert media_dtype("u1").itemsize == 1
+
+    def test_rejects_object_and_zero_size(self):
+        with pytest.raises(OrganizationError):
+            media_dtype(object)
+        with pytest.raises(OrganizationError):
+            media_dtype("V0")
+
+
+class TestVariable:
+    def test_canonicalizes_dtype(self):
+        v = Variable("temp", ">f4", ("y", "x"))
+        assert v.dtype == "<f4"
+        assert v.np_dtype == np.dtype("<f4")
+        assert v.itemsize == 4
+
+    @pytest.mark.parametrize("name", ["", "a/b", "x" * 28])
+    def test_bad_names(self, name):
+        with pytest.raises(OrganizationError):
+            Variable(name, "<f4", ())
+
+    def test_attrs_must_be_json_scalars(self):
+        Variable("ok", "u1", (), {"units": "K", "n": 3, "f": 1.5, "b": True})
+        with pytest.raises(OrganizationError):
+            Variable("bad", "u1", (), {"arr": [1, 2]})
+
+
+class TestSchema:
+    def test_build_and_lookup(self, ):
+        s = DatasetSchema.build(
+            {"t": 3, "x": 5},
+            {"v": ("<i4", ("t", "x"))},
+        )
+        assert s.shape("v") == (3, 5)
+        assert s.size("v") == 15
+        assert s.nbytes("v") == 60
+        with pytest.raises(OrganizationError, match="no variable"):
+            s.variable("missing")
+
+    def test_undeclared_dim_rejected(self):
+        with pytest.raises(OrganizationError):
+            DatasetSchema.build({"t": 3}, {"v": ("<i4", ("t", "x"))})
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(OrganizationError):
+            DatasetSchema.build({"t": -1}, {})
+
+    def test_json_round_trip_is_canonical(self):
+        s = DatasetSchema.build(
+            {"t": 4, "x": 2},
+            {"v": (">f8", ("t", "x"), {"units": "m"}), "w": ("u1", ())},
+            {"title": "rt"},
+        )
+        doc = s.to_json()
+        s2 = DatasetSchema.from_json(doc)
+        assert s2 == s
+        assert s2.to_json() == doc  # byte-stable round trip
+        assert s2.variable("v").dtype == "<f8"
+
+    def test_from_json_rejects_garbage(self):
+        with pytest.raises(OrganizationError):
+            DatasetSchema.from_json(b"not json")
+        with pytest.raises(OrganizationError):
+            DatasetSchema.from_json(b"[1, 2]")
+        with pytest.raises(OrganizationError):
+            DatasetSchema.from_json(b'{"variables": {"v": {"dims": []}}}')

@@ -1,0 +1,104 @@
+"""Unit tests for the shared request planner (repro.datatype.planner)."""
+
+import numpy as np
+import pytest
+
+from repro.datatype import (
+    IndexedView,
+    StridedView,
+    check_view_runs,
+    plan_view_read,
+    plan_view_write,
+)
+
+
+def runs_of(view):
+    return view.flatten()
+
+
+class TestCheckViewRuns:
+    def test_in_bounds(self):
+        v = StridedView(0, 3, 2, 4)
+        assert len(check_view_runs(v, 12)) == 3
+
+    def test_out_of_bounds_raises(self):
+        v = StridedView(0, 3, 2, 4)
+        with pytest.raises(ValueError, match="outside file"):
+            check_view_runs(v, 9)
+
+    def test_empty_view(self):
+        assert check_view_runs(IndexedView(()), 4) == []
+
+
+class TestReadPlan:
+    def test_empty(self):
+        assert plan_view_read([]).mode == "empty"
+
+    def test_single_run_contiguous_even_with_sieve(self):
+        runs = runs_of(StridedView(0, 1, 8, 8))
+        assert plan_view_read(runs).mode == "contiguous"
+        assert plan_view_read(runs, sieve=True).mode == "contiguous"
+
+    def test_multi_run_list_without_sieve(self):
+        runs = runs_of(StridedView(0, 4, 2, 8))
+        assert plan_view_read(runs).mode == "list"
+
+    def test_multi_run_sieved(self):
+        runs = runs_of(StridedView(0, 4, 2, 4))
+        plan = plan_view_read(runs, 16, sieve=True)
+        assert plan.mode == "sieved"
+        assert plan.covering  # dense pattern coalesces
+        assert plan.n_view_records == 8
+
+    def test_split_and_scatter_reassemble_view_order(self):
+        runs = runs_of(StridedView(0, 3, 2, 4))  # records 0,1 4,5 8,9
+        plan = plan_view_read(runs, 1, sieve=True)
+        assert plan.mode == "sieved"
+        # fabricate the covering reads from a known media image
+        media = np.arange(12, dtype=np.int64).reshape(-1, 1) * 10
+        cat = np.concatenate(
+            [media[c.offset:c.offset + c.nbytes] for c in plan.covering]
+        )
+        out = plan.scatter(plan.split(cat))
+        want = media[[0, 1, 4, 5, 8, 9]]
+        assert np.array_equal(out, want)
+
+
+class TestWritePlan:
+    def test_modes(self):
+        assert plan_view_write([]).mode == "empty"
+        one = runs_of(StridedView(3, 1, 5, 5))
+        assert plan_view_write(one).mode == "contiguous"
+        assert plan_view_write(one, sieve=True).mode == "contiguous"
+        many = runs_of(StridedView(0, 4, 2, 8))
+        assert plan_view_write(many).mode == "list"
+        assert plan_view_write(many, 16, sieve=True).mode == "sieved"
+
+    def test_row_of_is_view_order(self):
+        runs = runs_of(StridedView(2, 3, 2, 5))  # 2,3 7,8 12,13
+        plan = plan_view_write(runs)
+        assert plan.row_of == {2: 0, 7: 2, 12: 4}
+
+    def test_overlay_patches_only_the_pieces(self):
+        runs = runs_of(StridedView(0, 2, 2, 4))  # records 0,1 4,5
+        plan = plan_view_write(runs, 1, sieve=True)
+        assert plan.mode == "sieved"
+        (window, pieces), = plan.windows
+        assert not plan.is_whole_window(window, pieces)
+        buf = np.full((window.nbytes, 1), -1, dtype=np.int64)
+        decoded = np.arange(4, dtype=np.int64).reshape(-1, 1) + 100
+        out = plan.overlay(window, pieces, buf, decoded)
+        # wanted rows replaced, hole rows (2,3) untouched
+        assert out[0, 0] == 100 and out[1, 0] == 101
+        assert out[2, 0] == -1 and out[3, 0] == -1
+        assert out[4, 0] == 102 and out[5, 0] == 103
+        # and the original buffer is not mutated
+        assert np.all(buf == -1)
+
+    def test_whole_window_fast_path(self):
+        # two adjacent runs coalesce into one fully-covered window
+        runs = runs_of(IndexedView(((0, 4), (4, 4))))
+        plan = plan_view_write(runs, 1, sieve=True)
+        if plan.mode == "sieved":
+            for window, pieces in plan.windows:
+                assert plan.is_whole_window(window, pieces)

@@ -1,0 +1,68 @@
+"""Regression tests: failed live-file opens and creates must not leak
+file descriptors or leave partial files behind."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import OrganizationError
+from repro.live import LiveParallelFileSystem
+
+
+@pytest.fixture
+def lfs(tmp_path):
+    return LiveParallelFileSystem(tmp_path / "pfs")
+
+
+def open_fds():
+    return len(os.listdir("/proc/self/fd"))
+
+
+class TestOpenFailure:
+    def test_truncated_file_raises_without_fd_leak(self, lfs):
+        lfs.create("t", "S", n_records=64, record_size=8,
+                   dtype="float64").close()
+        # corrupt: shrink the data file below what the attrs declare
+        data_path = lfs.root / "t"
+        data_path.write_bytes(b"\x00" * 16)
+        before = open_fds()
+        for _ in range(20):
+            with pytest.raises(OrganizationError, match="declare"):
+                lfs.open("t")
+        assert open_fds() == before
+
+    def test_missing_data_file_raises_without_fd_leak(self, lfs):
+        lfs.create("m", "S", n_records=4, record_size=8,
+                   dtype="float64").close()
+        (lfs.root / "m").unlink()
+        before = open_fds()
+        for _ in range(20):
+            with pytest.raises(OrganizationError, match="unreadable"):
+                lfs.open("m")
+        assert open_fds() == before
+
+    def test_successful_open_releases_fd_on_close(self, lfs):
+        lfs.create("ok", "S", n_records=4, record_size=8,
+                   dtype="float64").close()
+        before = open_fds()
+        f = lfs.open("ok")
+        assert open_fds() == before + 1
+        f.close()
+        f.close()  # idempotent
+        assert open_fds() == before
+
+
+class TestCreateFailure:
+    def test_failed_create_leaves_no_files(self, lfs):
+        before = open_fds()
+        with pytest.raises(Exception):
+            # invalid organization name fails after path setup
+            lfs.create("bad", "NOPE", n_records=4, record_size=8)
+        assert open_fds() == before
+        assert not list(lfs.root.glob("bad*"))
+        # the name is immediately reusable
+        f = lfs.create("bad", "S", n_records=4, record_size=8,
+                       dtype="float64")
+        f.write_records(0, np.zeros((4, 1), dtype=np.float64))
+        f.close()

@@ -1,0 +1,79 @@
+"""Lifecycle tests for live files and their handles: context-manager
+semantics, idempotent close, and fail-fast behaviour after close."""
+
+import numpy as np
+import pytest
+
+from repro.live import LiveParallelFileSystem
+
+
+@pytest.fixture
+def lfs(tmp_path):
+    return LiveParallelFileSystem(tmp_path / "pfs")
+
+
+def rows(*vals):
+    return np.asarray(vals, dtype=np.float64).reshape(-1, 1)
+
+
+class TestFileLifecycle:
+    def test_context_manager_closes(self, lfs):
+        with lfs.create("a", "S", n_records=4, record_size=8,
+                        dtype="float64") as f:
+            f.write_records(0, rows(1, 2, 3, 4))
+        with pytest.raises(ValueError, match="closed"):
+            f.read_records(0, 1)
+
+    def test_close_idempotent(self, lfs):
+        f = lfs.create("a", "S", n_records=1, record_size=8, dtype="float64")
+        for _ in range(3):
+            f.close()
+
+    def test_context_manager_closes_on_exception(self, lfs):
+        with pytest.raises(RuntimeError):
+            with lfs.create("a", "S", n_records=1, record_size=8,
+                            dtype="float64") as f:
+                raise RuntimeError("boom")
+        with pytest.raises(ValueError, match="closed"):
+            f.fd
+
+
+class TestHandlesAfterClose:
+    @pytest.mark.parametrize("org,p", [
+        ("S", 1), ("PS", 2), ("IS", 2), ("GDA", 1), ("PDA", 2),
+    ])
+    def test_internal_view_fails_cleanly(self, lfs, org, p):
+        f = lfs.create(f"h_{org}", org, n_records=8, record_size=8,
+                       dtype="float64", n_processes=p)
+        h = f.internal_view(0)
+        f.close()
+        with pytest.raises(ValueError, match="closed"):
+            h.read_next(1) if hasattr(h, "read_next") else h.read_record(0)
+
+    def test_ss_handle_fails_cleanly(self, lfs):
+        f = lfs.create("h_SS", "SS", n_records=8, record_size=8,
+                       dtype="float64", n_processes=2)
+        session = f.ss_session()
+        h = f.internal_view(0, session=session)
+        f.close()
+        with pytest.raises(ValueError, match="closed"):
+            h.read_next()
+
+    def test_global_view_fails_cleanly(self, lfs):
+        f = lfs.create("g", "S", n_records=4, record_size=8,
+                       dtype="float64")
+        gv = f.global_view()
+        gv.write_at(0, rows(9.0))
+        f.close()
+        with pytest.raises(ValueError, match="closed"):
+            gv.read_at(0)
+
+    def test_handles_keep_working_until_close(self, lfs):
+        with lfs.create("w", "PS", n_records=8, record_size=8,
+                        dtype="float64", n_processes=2) as f:
+            h0, h1 = f.internal_view(0), f.internal_view(1)
+            h0.write_next(rows(1, 2, 3, 4))
+            h1.write_next(rows(5, 6, 7, 8))
+            gv = f.global_view()
+            got = gv.read_at(0, 8).reshape(-1)
+            assert set(got) == set(range(1, 9))
