@@ -38,16 +38,19 @@ drop) against a previously committed baseline JSON. Quick mode
 import argparse
 import os
 import sys
+import time
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).parent))
 
 from repro import build_parallel_fs
+from repro.baselines import build_sharded_fs
 from repro.perf import (
     ORGS,
     WorkloadConfig,
     bench_record,
     digest,
+    fs_digest,
     load_bench_json,
     measure_run,
     regression_warnings,
@@ -55,6 +58,7 @@ from repro.perf import (
     speedup_rows,
     write_bench_json,
 )
+from repro.perf.workloads import _fill, seed_file
 from repro.qos import QoSConfig
 from repro.resilience import ResilienceConfig
 from repro.sim import Environment
@@ -184,10 +188,28 @@ def main(argv=None) -> int:
     ap.add_argument("--baseline", default=None, metavar="PATH",
                     help="baseline JSON for --check "
                          "(default: the committed results file)")
+    ap.add_argument("--scale", action="store_true",
+                    help="run only the client-count scaling curve "
+                         "(sharded vs single-heap) and write "
+                         "BENCH_engine_scale.json")
     args = ap.parse_args(argv)
 
     results = Path(__file__).parent / "results"
     results.mkdir(exist_ok=True)
+
+    if args.scale:
+        record, rows = run_scale_bench(args.quick)
+        title = "Engine scaling: sharded vs single-heap client sweeps"
+        text = "\n".join([title, "=" * len(title), *rows, ""])
+        (results / "engine_scale.txt").write_text(text)
+        print(text)
+        out_path = (
+            Path(args.json) if args.json else results / "BENCH_engine_scale.json"
+        )
+        write_bench_json(out_path, record)
+        print(f"wrote {out_path}")
+        return 0
+
     default_json = results / "BENCH_engine.json"
     out_path = Path(args.json) if args.json else default_json
     baseline_path = Path(args.baseline) if args.baseline else default_json
@@ -215,6 +237,152 @@ def main(argv=None) -> int:
     return 0
 
 
+# -- client-count scaling: sharded vs single-heap -------------------------
+#
+# The second half of the benchmark: how does the engine hold up as the
+# *client count* grows? Each client is a think-sleep loop around one
+# record's worth of read + write on a PS file — a light, timer-dominated
+# workload whose schedule population scales with the client count (the
+# shape the calendar queue and the sharded window loop exist for). Every
+# size runs twice: once as SCALE_SHARDS independent file systems under
+# ShardedSimulation's conservative windows, once with the identical
+# topology on a single heap environment — and the per-file-system
+# outcome digests must match exactly (sharding restructures scheduling,
+# never results).
+
+SCALE_SHARDS = 4
+SCALE_DEVICES = 2  # per shard
+SCALE_CLIENTS = (64, 512, 4096, 32768)
+SCALE_CLIENTS_QUICK = (64, 512)
+SCALE_ROUNDS = 2
+RECORD_SIZE = 32
+
+
+def _think(cid: int, r: int) -> float:
+    """Deterministic pseudo-random think time in [1ms, 51ms)."""
+    return 0.001 + ((cid * 2654435761 + r * 40503) & 0xFFFF) % 50000 * 1e-6
+
+
+def _scale_file(pfs, n_clients: int):
+    """One PS file with a single record per client."""
+    f = pfs.create(
+        "scale",
+        "PS",
+        n_records=n_clients,
+        record_size=RECORD_SIZE,
+        records_per_block=1,
+        n_processes=n_clients,
+    )
+    seed_file(f)
+    return f
+
+
+def _spawn_scale_clients(env, file, base_cid: int, n_clients: int):
+    """``n_clients`` think/read/write loops; global ids for determinism."""
+
+    def client(p, cid):
+        for r in range(SCALE_ROUNDS):
+            yield env.sleep(_think(cid, r))
+            h = file.internal_view(p)
+            while not h.eof:
+                yield from h.read_next(1)
+            yield env.sleep(_think(cid, r + 7))
+            w = file.internal_view(p)
+            yield from w.write_next(_fill(1, RECORD_SIZE, cid * 131 + r))
+
+    for p in range(n_clients):
+        env.process(client(p, base_cid + p))
+
+
+def _run_scale_single(n_clients: int):
+    """All shards' workloads on one heap environment."""
+    per_shard = n_clients // SCALE_SHARDS
+    env = Environment()
+    systems, files = [], []
+    for i in range(SCALE_SHARDS):
+        pfs = build_parallel_fs(env, SCALE_DEVICES, recorder=NullTraceRecorder())
+        f = _scale_file(pfs, per_shard)
+        _spawn_scale_clients(env, f, i * per_shard, per_shard)
+        systems.append(pfs)
+        files.append(f)
+    t0 = time.perf_counter()
+    env.run()
+    wall = time.perf_counter() - t0
+    digests = [fs_digest(systems[i], [files[i]]) for i in range(SCALE_SHARDS)]
+    return {
+        "wall_s": wall,
+        "events": env.steps,
+        "events_per_sec": env.steps / wall if wall > 0 else 0.0,
+    }, digests
+
+
+def _run_scale_sharded(n_clients: int):
+    """The same topology, one environment per shard, windowed sync."""
+    per_shard = n_clients // SCALE_SHARDS
+    spfs = build_sharded_fs(SCALE_SHARDS, SCALE_DEVICES, recorder=NullTraceRecorder())
+    files = []
+    for shard in spfs.shards:
+        f = _scale_file(spfs[shard.index], per_shard)
+        _spawn_scale_clients(
+            shard.env, f, shard.index * per_shard, per_shard
+        )
+        files.append(f)
+    t0 = time.perf_counter()
+    spfs.run()
+    wall = time.perf_counter() - t0
+    sim = spfs.sim
+    digests = [fs_digest(spfs[i], [files[i]]) for i in range(SCALE_SHARDS)]
+    return {
+        "wall_s": wall,
+        "events": sim.steps,
+        "events_per_sec": sim.steps / wall if wall > 0 else 0.0,
+        "windows": sim.windows,
+        "lookahead": sim.lookahead,
+    }, digests
+
+
+def run_scale_bench(quick: bool):
+    """The scaling curve: returns (record, table rows)."""
+    sizes = SCALE_CLIENTS_QUICK if quick else SCALE_CLIENTS
+    rows, out = [], []
+    for n_clients in sizes:
+        single, sd = _run_scale_single(n_clients)
+        sharded, hd = _run_scale_sharded(n_clients)
+        match = sd == hd
+        assert match, (
+            f"sharded run diverged from single-heap at {n_clients} clients"
+        )
+        out.append(
+            {
+                "clients": n_clients,
+                "shards": SCALE_SHARDS,
+                "single": single,
+                "sharded": sharded,
+                "digests_match": match,
+            }
+        )
+        rows.append(
+            f"clients={n_clients:>6d}  "
+            f"single {single['events_per_sec']:>10,.0f} ev/s  "
+            f"sharded {sharded['events_per_sec']:>10,.0f} ev/s "
+            f"({sharded['windows']} windows)  digests "
+            f"{'identical' if match else 'DIVERGED'}"
+        )
+    record = {
+        "bench": "engine_scale",
+        "quick": quick,
+        "config": {
+            "shards": SCALE_SHARDS,
+            "devices_per_shard": SCALE_DEVICES,
+            "rounds": SCALE_ROUNDS,
+            "record_size": RECORD_SIZE,
+            "client_counts": list(sizes),
+        },
+        "rows": out,
+    }
+    return record, rows
+
+
 # -- pytest entry (CI smoke: REPRO_BENCH_QUICK=1 pytest benchmarks/bench_engine_throughput.py)
 
 
@@ -226,6 +394,16 @@ def test_engine_throughput(results_dir):
     write_table(results_dir, "engine_throughput", title, rows)
     write_bench_json(results_dir / "BENCH_engine.json", record)
     assert record["speedup"]["full/fast_batch"] > 1.0
+
+
+def test_engine_scale(results_dir):
+    record, rows = run_scale_bench(quick=QUICK)
+    title = "Engine scaling: sharded vs single-heap client sweeps"
+    from conftest import write_table
+
+    write_table(results_dir, "engine_scale", title, rows)
+    write_bench_json(results_dir / "BENCH_engine_scale.json", record)
+    assert all(row["digests_match"] for row in record["rows"])
 
 
 if __name__ == "__main__":

@@ -55,15 +55,16 @@ class TransientIOError(Exception):
         self.device = device
 
 
-@dataclass
+@dataclass(slots=True)
 class IORequest:
     """One queued transfer. ``cylinder`` is what arm schedulers look at.
 
     ``tenant`` is the QoS principal the request is billed to (captured
     from the submitting process's ambient context; ``None`` for untagged
     work) and ``deadline`` its absolute completion target; tenant-aware
-    policies additionally stamp a ``qos_tag`` scheduling tag on it (see
-    :mod:`repro.qos`).
+    policies additionally stamp the ``qos_tag`` scheduling tag (see
+    :mod:`repro.qos`). Slotted: millions of these are allocated per
+    sweep, so any new per-request annotation must be declared here.
     """
 
     kind: Literal["read", "write"]
@@ -76,9 +77,10 @@ class IORequest:
     submit_time: float
     tenant: Any = None
     deadline: float | None = None
+    qos_tag: Any = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ServiceInterval:
     """One served request: the arm was busy on it for [start, end)."""
 
@@ -224,15 +226,17 @@ class DeviceController:
             )
 
     def _submit(self, kind: str, offset: int, nbytes: int, data) -> Event:
-        ev = Event(self.env)
+        env = self.env
+        ev = Event(env)
         if self._failed:
             ev.fail(DeviceFailedError(self.name))
             return ev
         self._check_range(offset, nbytes)
         geometry = self.disk.geometry
         start_block = min(offset // geometry.block_size, geometry.capacity_blocks - 1)
-        tenant = getattr(self.env.active_process, "qos_tenant", None)
+        tenant = getattr(env._active, "qos_tenant", None)
         rel_deadline = getattr(tenant, "deadline", None)
+        now = env._now
         req = IORequest(
             kind=kind,  # type: ignore[arg-type]
             offset=offset,
@@ -241,81 +245,102 @@ class DeviceController:
             event=ev,
             start_block=start_block,
             cylinder=geometry.cylinder_of(start_block),
-            submit_time=self.env.now,
+            submit_time=now,
             tenant=tenant,
-            deadline=(
-                self.env.now + rel_deadline if rel_deadline is not None else None
-            ),
+            deadline=(now + rel_deadline if rel_deadline is not None else None),
         )
-        self._pending.append(req)
-        self.queue_stat.record(self.env.now, len(self._pending))
-        if self._wakeup is not None and not self._wakeup.triggered:
-            self._wakeup.succeed()
+        pending = self._pending
+        pending.append(req)
+        self.queue_stat.record(now, len(pending))
+        wakeup = self._wakeup
+        if wakeup is not None and not wakeup.triggered:
+            wakeup.succeed()
         return ev
 
     def _serve(self):
+        # The per-request service loop, run once per device for the whole
+        # simulation. ``env._now`` replaces the ``now`` property and the
+        # stable collaborators are bound once — ``self.policy`` is NOT
+        # (attach_qos swaps it in after construction).
         env = self.env
+        pending = self._pending
+        disk = self.disk
+        utilization = self.utilization
+        queue_stat = self.queue_stat
+        wait_observe = self.wait_stat.observe
+        latency_observe = self.latency.observe
+        sleep = env.sleep
         while True:
-            while not self._pending:
-                self.utilization.idle(env.now)
+            while not pending:
+                utilization.idle(env._now)
                 self._wakeup = Event(env)
                 yield self._wakeup
                 self._wakeup = None
-            self.utilization.busy(env.now)
-            idx = self.policy.select(self._pending, self.disk.head_cylinder)
-            req = self._pending.pop(idx)
-            self.policy.on_dispatch(req)
-            self.queue_stat.record(env.now, len(self._pending))
-            if req.event.triggered:  # failed while queued
+            utilization.busy(env._now)
+            policy = self.policy
+            idx = policy.select(pending, disk.head_cylinder)
+            req = pending.pop(idx)
+            policy.on_dispatch(req)
+            now = env._now
+            queue_stat.record(now, len(pending))
+            event = req.event
+            if event.triggered:  # failed while queued
                 continue
-            wait = env.now - req.submit_time
-            self.wait_stat.observe(wait)
-            if req.tenant is not None and hasattr(req.tenant, "note_queued"):
-                req.tenant.note_queued(wait)
-            dispatched = env.now
+            wait = now - req.submit_time
+            wait_observe(wait)
+            tenant = req.tenant
+            if tenant is not None and hasattr(tenant, "note_queued"):
+                tenant.note_queued(wait)
+            dispatched = now
             if self.transient_error_budget > 0:
                 # the request is rejected before any media transfer: the
                 # contents are untouched, so a caller retry is exactly-once
                 self.transient_error_budget -= 1
                 self.transient_errors += 1
-                yield env.sleep(self.per_request_overhead)
-                if not req.event.triggered:
-                    req.event.defuse()
-                    req.event.fail(TransientIOError(self.name))
+                yield sleep(self.per_request_overhead)
+                if not event.triggered:
+                    event.defuse()
+                    event.fail(TransientIOError(self.name))
                 continue
-            service = self.disk.service(req.start_block, req.nbytes)
-            if env.now < self.slow_until and self.slow_factor > 1.0:
+            service = disk.service(req.start_block, req.nbytes)
+            if now < self.slow_until and self.slow_factor > 1.0:
                 service *= self.slow_factor
                 self.limped_requests += 1
-            service_start = env.now
-            yield env.sleep(self.per_request_overhead + service)
+            yield sleep(self.per_request_overhead + service)
+            now = env._now
             if self.service_log is not None:
                 self.service_log.append(
                     ServiceInterval(
-                        req.kind, req.offset, req.nbytes, service_start, env.now
+                        req.kind, req.offset, req.nbytes, dispatched, now
                     )
                 )
-            if req.event.triggered:  # device failed mid-service
+            if event.triggered:  # device failed mid-service
                 continue
             if self._failed:
-                req.event.defuse()
-                req.event.fail(DeviceFailedError(self.name))
+                event.defuse()
+                event.fail(DeviceFailedError(self.name))
                 continue
-            self.latency.observe(env.now - req.submit_time)
-            if req.tenant is not None and hasattr(req.tenant, "note_service"):
-                req.tenant.note_service(env.now - dispatched, req.nbytes)
-                if req.deadline is not None and env.now > req.deadline:
-                    req.tenant.note_deadline_miss()
+            latency_observe(now - req.submit_time)
+            if tenant is not None and hasattr(tenant, "note_service"):
+                tenant.note_service(now - dispatched, req.nbytes)
+                if req.deadline is not None and now > req.deadline:
+                    tenant.note_deadline_miss()
             if req.kind == "read":
                 if self._store_data:
-                    self._ensure_contents()
-                    value = self._contents[req.offset : req.offset + req.nbytes].copy()
+                    contents = self._contents
+                    if contents is None:
+                        self._ensure_contents()
+                        contents = self._contents
+                    value = contents[req.offset : req.offset + req.nbytes].copy()
                 else:
                     value = np.zeros(req.nbytes, dtype=np.uint8)
-                req.event.succeed(value)
+                event.succeed(value)
             else:
                 if self._store_data:
-                    self._ensure_contents()
-                    self._contents[req.offset : req.offset + req.nbytes] = req.data
+                    contents = self._contents
+                    if contents is None:
+                        self._ensure_contents()
+                        contents = self._contents
+                    contents[req.offset : req.offset + req.nbytes] = req.data
                 self.writes_applied += 1
-                req.event.succeed(req.nbytes)
+                event.succeed(req.nbytes)

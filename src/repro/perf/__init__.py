@@ -20,6 +20,7 @@ from .workloads import (
     ORGS,
     WorkloadConfig,
     digest,
+    fs_digest,
     make_file,
     run_org,
     seed_file,
@@ -39,6 +40,7 @@ __all__ = [
     "ORGS",
     "WorkloadConfig",
     "digest",
+    "fs_digest",
     "make_file",
     "run_org",
     "seed_file",

@@ -247,21 +247,12 @@ def _device_members(device) -> Iterable:
     return (device,)
 
 
-def digest(
-    env: Environment,
+def _fold_outcomes(
+    h,
     pfs: "ParallelFileSystem",
     files: "Iterable[ParallelFile]",
-) -> str:
-    """Hash of everything the simulation produced that users can observe.
-
-    Folds in the final clock, the event-id and step counters (so any
-    reordering or extra/missing event changes the hash), per-device
-    statistics, and the media bytes of every workload file. Two runs that
-    agree on this digest produced byte-identical simulated results —
-    the fast/normal and batched/per-block equivalence contract.
-    """
-    h = hashlib.sha256()
-    h.update(repr((float(env.now), env._eid, env.steps)).encode())
+) -> None:
+    """Fold per-device statistics and file media bytes into hash ``h``."""
     for device in pfs.volume.devices:
         for d in _device_members(device):
             lat = d.latency
@@ -280,4 +271,42 @@ def digest(
         raw = f.volume.peek(f.entry.extent, f.layout, 0, f.attrs.file_bytes)
         h.update(f.name.encode())
         h.update(np.ascontiguousarray(raw).tobytes())
+
+
+def digest(
+    env: Environment,
+    pfs: "ParallelFileSystem",
+    files: "Iterable[ParallelFile]",
+) -> str:
+    """Hash of everything the simulation produced that users can observe.
+
+    Folds in the final clock, the event-id and step counters (so any
+    reordering or extra/missing event changes the hash), per-device
+    statistics, and the media bytes of every workload file. Two runs that
+    agree on this digest produced byte-identical simulated results —
+    the fast/normal and batched/per-block equivalence contract.
+    """
+    h = hashlib.sha256()
+    h.update(repr((float(env.now), env._eid, env.steps)).encode())
+    _fold_outcomes(h, pfs, files)
+    return h.hexdigest()
+
+
+def fs_digest(
+    pfs: "ParallelFileSystem",
+    files: "Iterable[ParallelFile]",
+) -> str:
+    """Hash of simulated *outcomes* only — no environment counters.
+
+    The cross-topology cousin of :func:`digest`: per-device statistics
+    (writes applied, service counts/time, transient errors) and the
+    media bytes of every workload file, but not the clock, event-id, or
+    step counters. Sharded and single-heap runs of the same workload
+    necessarily differ in per-environment bookkeeping (N shard clocks
+    versus one), yet must produce identical simulated results — this is
+    the digest that equivalence is pinned with. For same-topology
+    comparisons prefer :func:`digest`, which is strictly stronger.
+    """
+    h = hashlib.sha256()
+    _fold_outcomes(h, pfs, files)
     return h.hexdigest()

@@ -47,7 +47,7 @@ from .tenant import Tenant
 __all__ = ["QoSTag", "WeightedFairQueue", "QoSDevicePolicy", "TenantStore"]
 
 
-@dataclass
+@dataclass(slots=True)
 class QoSTag:
     """One request's scheduling stamp (attached as ``request.qos_tag``)."""
 
@@ -212,26 +212,32 @@ class QoSDevicePolicy(SchedulingPolicy):
         self._resolve = resolve
 
     def select(self, pending: Sequence[Any], head: int) -> int:
-        """Index of the pending request with the smallest scheduler key."""
+        """Index of the pending request with the smallest scheduler key.
+
+        ``pending`` holds :class:`~repro.devices.controller.IORequest`
+        records, which carry a ``qos_tag`` slot (``None`` until stamped
+        here).
+        """
+        scheduler = self.scheduler
+        key = scheduler.key
         best = 0
         best_key = None
         for i, req in enumerate(pending):
-            tag = getattr(req, "qos_tag", None)
+            tag = req.qos_tag
             if tag is None:
-                tag = self.scheduler.tag(
-                    self._resolve(getattr(req, "tenant", None)),
-                    max(getattr(req, "nbytes", 1), 1),
-                    deadline=getattr(req, "deadline", None),
+                tag = req.qos_tag = scheduler.tag(
+                    self._resolve(req.tenant),
+                    max(req.nbytes, 1),
+                    deadline=req.deadline,
                 )
-                req.qos_tag = tag
-            k = self.scheduler.key(tag)
+            k = key(tag)
             if best_key is None or k < best_key:
                 best, best_key = i, k
         return best
 
     def on_dispatch(self, request: Any) -> None:
         """The controller took ``request`` into service."""
-        tag = getattr(request, "qos_tag", None)
+        tag = request.qos_tag
         if tag is not None:
             self.scheduler.dispatch(tag)
 

@@ -67,7 +67,7 @@ class RetryPolicy:
         return max(d, 0.0)
 
 
-@dataclass
+@dataclass(slots=True)
 class RetriedOp:
     """Accounting for one logical operation through the retry loop."""
 

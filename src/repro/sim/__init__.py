@@ -17,6 +17,7 @@ from .engine import (
 )
 from .resources import Container, PriorityResource, Resource, Store
 from .rng import RngStreams
+from .sharded import Shard, ShardChannel, ShardedSimulation
 from .stats import PercentileTally, Tally, TimeWeighted, UtilizationTracker
 from .sync import SimBarrier, SimLock, SimSemaphore, TicketCounter
 
@@ -34,6 +35,9 @@ __all__ = [
     "Resource",
     "Store",
     "RngStreams",
+    "Shard",
+    "ShardChannel",
+    "ShardedSimulation",
     "PercentileTally",
     "Tally",
     "TimeWeighted",

@@ -1,0 +1,320 @@
+"""Calendar (bucket) queue for the engine's future-event set.
+
+A classic Brown-style calendar queue specialized for the engine's
+schedule entries — ``(when, eid, event)`` tuples totally ordered by
+``(when, eid)``. The structure is a ring of ``nbuckets`` day-buckets of
+``width`` simulated seconds each; one lap of the ring is a *year*.
+Entries due inside the current year land in their day's bucket (each
+bucket a small min-heap, so same-day entries pop in exact ``(when,
+eid)`` order with no memmove even when thousands of entries tie on one
+instant); entries past the current year wait in an *overflow* min-heap
+and migrate into buckets as the year advances. Pop walks the ring from the current day —
+O(1) when the schedule is reasonably dense, which timer-heavy
+many-client workloads are.
+
+Contract: :meth:`pop` yields entries in exactly the order
+``heapq.heappop`` would — the same ``(when, eid)`` total order — so the
+engine can swap queue flavours without moving a single event (pinned by
+the golden-digest suite and the property tests in
+``tests/sim/test_calqueue.py``).
+
+The queue is *cooperatively hybrid*: :class:`~repro.sim.engine.
+Environment` keeps a plain ``heapq`` list while the schedule is small
+(C-implemented binary heaps are unbeatable below a few thousand
+entries), promotes to a ``CalendarQueue`` via :meth:`from_entries` when
+it grows past the promotion threshold, and demotes back to the heap when
+:attr:`demote` goes true — the queue shrank, or the entry distribution
+turned pathological (e.g. a huge dynamic range of inter-event gaps that
+keeps the ring walk long). :meth:`from_entries` itself returns ``None``
+for distributions with no usable bucket width (all entries at one
+instant), leaving the engine on the heap. Far-future entries are always
+heap-managed (the overflow), so a few outliers never poison the ring.
+"""
+
+from __future__ import annotations
+
+from heapq import heapify, heappop, heappush
+from typing import Any
+
+__all__ = ["CalendarQueue"]
+
+#: ring size bounds (powers of two)
+_MIN_BUCKETS = 64
+_MAX_BUCKETS = 1 << 17
+#: rebuild when the calendar population leaves [len/8, len*8] of the ring
+_GROW_FACTOR = 8
+#: below this population the engine's heap is faster: signal demotion
+DEMOTE_LEN = 768
+#: ring-walk steps per pop (averaged over a window) that flag pathology
+_MAX_WALK_PER_POP = 24.0
+#: pops per heuristics window
+_WINDOW = 4096
+
+
+def _pick_geometry(
+    times: list[float], n: int | None = None
+) -> tuple[float, int] | None:
+    """Bucket ``(width, nbuckets)`` for a sample of entry times.
+
+    ``times`` may be a subsample of the population; pass the true
+    population size as ``n`` (ring sizing needs it). Width is a robust
+    multiple of the typical inter-entry gap (inter-quartile span, so
+    far-future outliers do not stretch the ring); returns ``None`` when
+    there is no usable spread (pathological — caller stays on the heap).
+    """
+    if n is None:
+        n = len(times)
+    if n < 2 or len(times) < 2:
+        return None
+    sample = sorted(times if len(times) <= 4096 else times[:4096])
+    m = len(sample)
+    q1 = sample[m // 4]
+    q3 = sample[(3 * m) // 4]
+    span = q3 - q1
+    if span <= 0.0:
+        # No interquartile spread: fall back to the full span.
+        span = sample[-1] - sample[0]
+        if span <= 0.0:
+            return None
+    nbuckets = _MIN_BUCKETS
+    while nbuckets < n and nbuckets < _MAX_BUCKETS:
+        nbuckets <<= 1
+    # One lap of the ring must cover the whole live window or entries
+    # thrash through the overflow heap (strictly worse than a plain
+    # heap). The sample IQR holds the middle half of the population, so
+    # a lap of 4x IQR covers ~2x the bulk span; entries per bucket then
+    # degrade gracefully as n outgrows the ring cap.
+    width = 4.0 * span / nbuckets
+    if width <= 0.0 or width != width or width == float("inf"):
+        return None
+    return width, nbuckets
+
+
+class CalendarQueue:
+    """Bucket-ring future-event set with exact ``(when, eid)`` pop order."""
+
+    __slots__ = (
+        "_w",
+        "_mask",
+        "_buckets",
+        "_ncal",
+        "_overflow",
+        "_epoch",
+        "_horizon",
+        "_len",
+        "_walks",
+        "_pops",
+        "demote",
+        "owner",
+    )
+
+    def __init__(self, width: float, nbuckets: int):
+        if width <= 0.0:
+            raise ValueError(f"bucket width must be positive, got {width}")
+        if nbuckets < 1 or nbuckets & (nbuckets - 1):
+            raise ValueError(f"nbuckets must be a power of two, got {nbuckets}")
+        self._w = width
+        self._mask = nbuckets - 1
+        self._buckets: list[list[tuple]] = [[] for _ in range(nbuckets)]
+        #: entries resident in buckets (excludes overflow)
+        self._ncal = 0
+        #: far-future entries, a plain min-heap
+        self._overflow: list[tuple] = []
+        #: absolute day number of the current bucket (``int(time / width)``).
+        #: Every filing and eligibility decision goes through that same
+        #: day function — never a recomputed ``day * width`` product, whose
+        #: rounding can disagree with the division near a day boundary and
+        #: pop an entry a whole ring-lap late (time runs backwards).
+        self._epoch = 0
+        #: last day resident in the ring (``_epoch + _mask``); entries
+        #: with a later day go to overflow
+        self._horizon = nbuckets - 1
+        self._len = 0
+        #: ring-walk steps and pops since the last heuristics window
+        self._walks = 0
+        self._pops = 0
+        #: set true when the engine should fall back to its heap
+        self.demote = False
+        #: object notified via ``_on_queue_demote(self)`` when ``demote``
+        #: flips true (the owning Environment); None = polling only
+        self.owner: Any = None
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_entries(cls, entries: list[tuple]) -> "CalendarQueue | None":
+        """Build from existing schedule entries (any order, e.g. a heap).
+
+        Returns ``None`` when the entry times have no usable spread —
+        the caller should stay on (or return to) its binary heap. The
+        no-spread probe runs on a stride sample, so a refused promotion
+        costs O(sample), not O(n) — callers may re-probe cheaply while
+        an initialization storm (every process scheduled at one instant)
+        drains.
+        """
+        n = len(entries)
+        step = n // 4096 or 1
+        geometry = _pick_geometry([e[0] for e in entries[::step]], n)
+        if geometry is None:
+            return None
+        q = cls(*geometry)
+        w = q._w
+        q._epoch = epoch = int(min(e[0] for e in entries) / w)
+        q._horizon = horizon = epoch + q._mask
+        buckets, overflow, mask = q._buckets, q._overflow, q._mask
+        ncal = 0
+        for e in entries:
+            day = int(e[0] / w)
+            if day > horizon:
+                overflow.append(e)
+            else:
+                buckets[day & mask].append(e)
+                ncal += 1
+        for b in buckets:
+            if len(b) > 1:
+                heapify(b)
+        heapify(overflow)
+        q._ncal = ncal
+        q._len = len(entries)
+        return q
+
+    def entries(self) -> list[tuple]:
+        """Every entry, in no particular order (for demotion/rebuild)."""
+        out = list(self._overflow)
+        for b in self._buckets:
+            out.extend(b)
+        return out
+
+    # -- core ops ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __bool__(self) -> bool:
+        return self._len > 0
+
+    def push(self, entry: tuple) -> None:
+        """Insert ``entry = (when, eid, event)``."""
+        day = int(entry[0] / self._w)
+        if day > self._horizon:
+            heappush(self._overflow, entry)
+        else:
+            if day < self._epoch:
+                # A (re)build anchors the cursor at the earliest *entry*,
+                # which may sit a day ahead of the owner's clock; a push
+                # between the two would file behind the cursor and wait a
+                # full ring lap (time runs backwards). Clamp to the cursor
+                # bucket — eligibility is per-entry and day() is monotone,
+                # so exact (when, eid) pop order is preserved.
+                day = self._epoch
+            heappush(self._buckets[day & self._mask], entry)
+            self._ncal += 1
+        self._len += 1
+
+    def _head_bucket(self) -> list[tuple]:
+        """Advance the ring to the bucket holding the earliest entry.
+
+        Migrates overflow entries into the ring as the year boundary
+        sweeps past them. Caller guarantees the queue is non-empty.
+        """
+        w = self._w
+        mask = self._mask
+        buckets = self._buckets
+        overflow = self._overflow
+        epoch = self._epoch
+        if not self._ncal:
+            # Ring empty: jump the year straight to the overflow head.
+            epoch = int(overflow[0][0] / w)
+        horizon = epoch + mask
+        while overflow and int(overflow[0][0] / w) <= horizon:
+            entry = heappop(overflow)
+            heappush(buckets[int(entry[0] / w) & mask], entry)
+            self._ncal += 1
+        walks = 0
+        while True:
+            bucket = buckets[epoch & mask]
+            if bucket and int(bucket[0][0] / w) <= epoch:
+                self._epoch = epoch
+                self._horizon = horizon
+                self._walks += walks
+                return bucket
+            epoch += 1
+            walks += 1
+            horizon += 1
+            while overflow and int(overflow[0][0] / w) <= horizon:
+                entry = heappop(overflow)
+                heappush(buckets[int(entry[0] / w) & mask], entry)
+                self._ncal += 1
+
+    def pop(self) -> tuple:
+        """Remove and return the earliest entry (exact heap order)."""
+        if not self._len:
+            raise IndexError("pop from an empty CalendarQueue")
+        bucket = self._head_bucket()
+        entry = heappop(bucket)
+        self._ncal -= 1
+        self._len -= 1
+        self._pops += 1
+        if self._pops >= _WINDOW:
+            self._tune()
+        return entry
+
+    def peek(self) -> float:
+        """Time of the earliest entry (queue must be non-empty)."""
+        if not self._len:
+            raise IndexError("peek on an empty CalendarQueue")
+        return self._head_bucket()[0][0]
+
+    # -- self-tuning ---------------------------------------------------------
+
+    def _tune(self) -> None:
+        """Once per window: resize a mismatched ring, flag pathology."""
+        walks, pops = self._walks, self._pops
+        self._walks = 0
+        self._pops = 0
+        if self._len < DEMOTE_LEN:
+            self.demote = True
+        else:
+            nbuckets = self._mask + 1
+            if (
+                self._ncal > _GROW_FACTOR * nbuckets
+                or (self._ncal * _GROW_FACTOR < nbuckets and nbuckets > _MIN_BUCKETS)
+                or walks > _MAX_WALK_PER_POP * pops
+            ):
+                self._rebuild()  # may set ``demote`` (hopeless geometry)
+        if self.demote and self.owner is not None:
+            self.owner._on_queue_demote(self)
+
+    def _rebuild(self) -> None:
+        """Re-pick geometry from the live population; demote if hopeless."""
+        entries = self.entries()
+        geometry = _pick_geometry([e[0] for e in entries])
+        if geometry is None:
+            self.demote = True
+            return
+        width, nbuckets = geometry
+        self._w = width
+        self._mask = mask = nbuckets - 1
+        self._buckets = buckets = [[] for _ in range(nbuckets)]
+        self._overflow = overflow = []
+        self._epoch = epoch = int(min(e[0] for e in entries) / width)
+        self._horizon = horizon = epoch + mask
+        ncal = 0
+        for e in entries:
+            day = int(e[0] / width)
+            if day > horizon:
+                overflow.append(e)
+            else:
+                buckets[day & mask].append(e)
+                ncal += 1
+        for b in buckets:
+            if len(b) > 1:
+                heapify(b)
+        heapify(overflow)
+        self._ncal = ncal
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CalendarQueue len={self._len} ring={self._mask + 1}x{self._w:g}s "
+            f"cal={self._ncal} overflow={len(self._overflow)}>"
+        )

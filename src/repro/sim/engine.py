@@ -19,16 +19,30 @@ fast path whenever no sanitizer is attached (``fast=None``, the default,
 auto-detects; ``fast=False`` forces the legacy hooked loop). The fast loop
 is observationally identical to the legacy loop — same event order, same
 clock, same values — it only removes per-event hook checks, method-call
-overhead, and :class:`Timeout` allocations (via the :meth:`Environment.
-sleep` pool). Attaching a sanitizer (``repro.sanitize.attach`` or
-``strict=True``) always switches the environment to the hooked loop.
+overhead, and event allocations (via the :meth:`Environment.sleep`,
+:meth:`Environment.pooled_event`, and process-initialize pools). Attaching
+a sanitizer (``repro.sanitize.attach`` or ``strict=True``) always switches
+the environment to the hooked loop.
+
+Queue flavours: the future-event set is a plain ``heapq`` list while it is
+small and a :class:`~repro.sim.calqueue.CalendarQueue` once it grows past a
+promotion threshold (``queue="auto"``, the default). Promotion/demotion is
+invisible: both flavours pop entries in the identical ``(when, eid)`` total
+order, so simulated behaviour — including the golden digests in
+``tests/baselines/engine_digests.json`` — is byte-identical across
+``queue="heap"``, ``queue="calendar"``, and ``"auto"``. Both event-loop
+flavours (fast and hooked) run on both queue flavours.
 """
 
 from __future__ import annotations
 
 import heapq
+import math
 from collections.abc import Generator
+from functools import partial
 from typing import Any, Callable
+
+from .calqueue import DEMOTE_LEN, CalendarQueue
 
 __all__ = [
     "Environment",
@@ -66,7 +80,7 @@ class Event:
     wait for events by yielding them.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed", "_defused")
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_processed", "_defused", "_poolable")
 
     _PENDING = object()
 
@@ -78,6 +92,9 @@ class Event:
         self._ok: bool | None = None
         self._processed = False
         self._defused = False
+        #: recycled by the fast loop after processing (see the pool methods
+        #: on Environment for the do-not-retain contract)
+        self._poolable = False
 
     @property
     def triggered(self) -> bool:
@@ -105,7 +122,7 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not Event._PENDING:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
@@ -117,7 +134,7 @@ class Event:
 
         The exception is re-raised inside any process waiting on the event.
         """
-        if self.triggered:
+        if self._value is not Event._PENDING:
             raise SimulationError(f"{self!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
@@ -140,31 +157,47 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that fires after a fixed simulated delay."""
+    """An event that fires after a fixed simulated delay.
 
-    __slots__ = ("delay", "_poolable")
+    ``_tight`` is the trampoline-flattening fast path: when a process's
+    *only* wait target is this timeout (the common ``yield env.sleep(d)``
+    leaf-process shape), the process parks itself in the slot instead of
+    appending its resume callback — the event loop then resumes it with one
+    direct call, skipping bound-method allocation and callback-list
+    iteration. Timing-transparent: the tight wake runs exactly where the
+    callback would have (first, in append order).
+    """
+
+    __slots__ = ("delay", "_tight")
 
     def __init__(self, env: "Environment", delay: float, value: Any = None):
-        if delay < 0:
-            raise ValueError(f"negative delay {delay}")
-        super().__init__(env)
-        self.delay = delay
-        self._poolable = False
-        self._ok = True
+        if delay < 0 or delay != delay:  # rejects negatives and NaN
+            raise ValueError(f"negative or NaN delay {delay}")
+        self.env = env
+        self.callbacks = []
         self._value = value
+        self._ok = True
+        self._processed = False
+        self._defused = False
+        self._poolable = False
+        self._tight: Process | None = None
+        self.delay = delay
         env._schedule(self, delay)
 
 
 class Initialize(Event):
-    """Internal: first resumption of a new process."""
+    """Internal: first resumption of a new process (pooled in fast mode)."""
 
     __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process"):
-        super().__init__(env)
-        self.callbacks = [process._resume]
-        self._ok = True
+        self.env = env
+        self.callbacks = [process._resume_cb]
         self._value = None
+        self._ok = True
+        self._processed = False
+        self._defused = False
+        self._poolable = env._fast
         env._schedule(self)
 
 
@@ -176,7 +209,7 @@ class Process(Event):
     it by yielding it, which is how fork/join is expressed.
     """
 
-    __slots__ = ("_generator", "_target", "name", "qos_tenant")
+    __slots__ = ("_generator", "_target", "_resume_cb", "name", "qos_tenant")
 
     def __init__(
         self,
@@ -186,7 +219,13 @@ class Process(Event):
     ):
         if not hasattr(generator, "send"):
             raise TypeError(f"{generator!r} is not a generator")
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
+        self._value = Event._PENDING
+        self._ok = None
+        self._processed = False
+        self._defused = False
+        self._poolable = False
         self._generator = generator
         self.name = name or getattr(generator, "__name__", "process")
         # Ambient QoS context: child processes are always created from
@@ -194,8 +233,21 @@ class Process(Event):
         # active process propagates the tenant down the whole call chain
         # (see ``repro.qos``). None means "untagged" (system work).
         self.qos_tenant: Any = getattr(env._active, "qos_tenant", None)
+        #: the bound resume method, created once — every wait point used to
+        #: rebuild it (``callbacks.append(self._resume)`` allocates a fresh
+        #: bound method per append, ~1 per event on process-heavy runs)
+        self._resume_cb = self._resume
+        pool = env._init_pool
+        if pool and env._fast:
+            init = pool.pop()
+            init.callbacks.append(self._resume_cb)
+            init._processed = False
+            init._poolable = True
+            env._schedule(init)
+        else:
+            init = Initialize(env, self)
         #: the event this process is currently waiting on
-        self._target: Event | None = Initialize(env, self)
+        self._target: Event | None = init
 
     @property
     def is_alive(self) -> bool:
@@ -213,15 +265,18 @@ class Process(Event):
         if self.env._active is self:
             raise SimulationError("a process cannot interrupt itself")
         target = self._target
-        if target is not None and target.callbacks is not None:
+        if target is not None:
             # Stop waiting on the old target (it may already be triggered —
             # e.g. a Timeout is born triggered — but not yet processed).
-            try:
-                target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+            if type(target) is Timeout and target._tight is self:
+                target._tight = None
+            elif target.callbacks is not None:
+                try:
+                    target.callbacks.remove(self._resume_cb)
+                except ValueError:
+                    pass
         interrupt_event = Event(self.env)
-        interrupt_event.callbacks = [self._resume]
+        interrupt_event.callbacks = [self._resume_cb]
         interrupt_event._ok = False
         interrupt_event._value = Interrupt(cause)
         interrupt_event._defused = True
@@ -232,10 +287,11 @@ class Process(Event):
         """Advance the generator with the value (or exception) of ``event``."""
         env = self.env
         env._active = self
+        send = self._generator.send
         while True:
             try:
                 if event._ok:
-                    next_event = self._generator.send(event._value)
+                    next_event = send(event._value)
                 else:
                     event._defused = True
                     next_event = self._generator.throw(event._value)
@@ -272,9 +328,18 @@ class Process(Event):
                     "yielded event belongs to a different Environment"
                 )
 
-            if next_event.callbacks is not None:
-                # Not yet processed: wait for it.
-                next_event.callbacks.append(self._resume)
+            callbacks = next_event.callbacks
+            if callbacks is not None:
+                # Not yet processed: wait for it. A sole-waiter Timeout takes
+                # the tight slot (see Timeout docstring) — same wake order.
+                if (
+                    not callbacks
+                    and type(next_event) is Timeout
+                    and next_event._tight is None
+                ):
+                    next_event._tight = self
+                else:
+                    callbacks.append(self._resume_cb)
                 self._target = next_event
                 env._active = None
                 return
@@ -285,19 +350,20 @@ class Process(Event):
 class Condition(Event):
     """Base for AllOf / AnyOf composite events."""
 
-    __slots__ = ("events", "_n_done")
+    __slots__ = ("events", "_n_done", "_check_cb")
 
     def __init__(self, env: "Environment", events: list[Event]):
         super().__init__(env)
         self.events = list(events)
         self._n_done = 0
+        check = self._check_cb = self._check
         for ev in self.events:
             if ev.env is not env:
                 raise SimulationError("mixed environments in condition")
             if ev.callbacks is None:  # already processed
-                self._check(ev)
+                check(ev)
             else:
-                ev.callbacks.append(self._check)
+                ev.callbacks.append(check)
         if not self.events and not self.triggered:
             self.succeed({})
 
@@ -342,8 +408,19 @@ class AnyOf(Condition):
         return self._n_done >= 1
 
 
-#: upper bound on recycled Timeout objects kept per environment
+#: upper bound on recycled objects kept per environment, per pool
 _TIMEOUT_POOL_CAP = 256
+_EVENT_POOL_CAP = 256
+_INIT_POOL_CAP = 256
+
+#: heap→calendar promotion thresholds (schedule entries): "auto" promotes
+#: only once C heapq stops winning; "calendar" promotes almost immediately
+#: (test/bench knob); "heap" never does.
+_PROMOTE_LEN = 2048
+_PROMOTE_LEN_FORCED = 16
+_NEVER = 1 << 62
+
+_QUEUE_MODES = ("auto", "heap", "calendar")
 
 
 class Environment:
@@ -352,8 +429,17 @@ class Environment:
     ``fast`` selects the event-loop flavour: ``None`` (default) runs the
     inlined fast loop until a sanitizer is attached, ``False`` always runs
     the legacy hooked loop (the pre-optimization baseline, useful as the
-    reference side of perf comparisons — see ``docs/PERF.md``). Both
-    flavours produce byte-identical simulated results.
+    reference side of perf comparisons — see ``docs/PERF.md``).
+
+    ``queue`` selects the future-event-set flavour: ``"auto"`` (default)
+    starts on a binary heap and promotes to a
+    :class:`~repro.sim.calqueue.CalendarQueue` past ~2k pending entries
+    (demoting back when it shrinks or the distribution turns pathological);
+    ``"heap"``/``"calendar"`` force one flavour (the forced calendar still
+    starts on the heap until it has enough entries to pick a geometry, and
+    stays on the heap when the distribution admits none).
+
+    All four combinations produce byte-identical simulated results.
     """
 
     def __init__(
@@ -361,9 +447,25 @@ class Environment:
         initial_time: float = 0.0,
         strict: bool = False,
         fast: bool | None = None,
+        queue: str = "auto",
     ):
+        if queue not in _QUEUE_MODES:
+            raise ValueError(f"queue={queue!r} not one of {_QUEUE_MODES}")
         self._now = float(initial_time)
-        self._queue: list[tuple[float, int, Event]] = []
+        self._queue_mode = queue
+        #: schedule entries ``(when, eid, event)`` — a heapq list or a
+        #: CalendarQueue; ``_push``/``_pop`` are always bound to the live
+        #: flavour (C ``partial`` for the heap, methods for the calendar)
+        #: so the hot paths never dispatch on the flavour themselves
+        self._queue: list[tuple[float, int, Event]] | CalendarQueue = []
+        self._push: Callable[[tuple], None]
+        self._pop: Callable[[], tuple]
+        self._bind_queue(self._queue)
+        self._promote_at = (
+            _NEVER
+            if queue == "heap"
+            else _PROMOTE_LEN_FORCED if queue == "calendar" else _PROMOTE_LEN
+        )
         self._eid = 0
         self._active: Process | None = None
         #: events processed so far (events/sec denominator for perf runs)
@@ -372,6 +474,10 @@ class Environment:
         self._fast = fast is not False
         #: recycled poolable Timeouts (see :meth:`sleep`)
         self._timeout_pool: list[Timeout] = []
+        #: recycled poolable generic Events (see :meth:`pooled_event`)
+        self._event_pool: list[Event] = []
+        #: recycled process-Initialize events
+        self._init_pool: list[Initialize] = []
         #: attached EngineSanitizer, if any (see ``repro.sanitize``)
         self._sanitizer: Any = None
         if strict:
@@ -388,6 +494,11 @@ class Environment:
     def fast_mode(self) -> bool:
         """True when :meth:`run` will use the inlined fast loop."""
         return self._fast and self._sanitizer is None
+
+    @property
+    def queue_flavor(self) -> str:
+        """Current future-event-set flavour: ``"heap"`` or ``"calendar"``."""
+        return "heap" if type(self._queue) is list else "calendar"
 
     @property
     def steps(self) -> int:
@@ -418,6 +529,32 @@ class Environment:
         """A fresh untriggered event."""
         return Event(self)
 
+    def pooled_event(self) -> Event:
+        """A fresh-or-recycled untriggered :class:`Event` for hot paths.
+
+        Contract (same as :meth:`sleep`): the event must be triggered
+        exactly once, and no reference may be retained after it is
+        processed — in fast mode the object is recycled the moment its
+        callbacks finish, so later ``.value``/``.processed`` reads observe
+        a *different* event. Pooling is timing-transparent: a recycled
+        event consumes the same schedule slot (eid) as a fresh one.
+        Outside fast mode this is exactly :meth:`event`.
+        """
+        if self._fast:
+            pool = self._event_pool
+            if pool:
+                ev = pool.pop()
+                ev._value = Event._PENDING
+                ev._ok = None
+                ev._processed = False
+                ev._defused = False
+                ev._poolable = True
+                return ev
+            ev = Event(self)
+            ev._poolable = True
+            return ev
+        return Event(self)
+
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event that fires ``delay`` time units from now."""
         return Timeout(self, delay, value)
@@ -433,6 +570,12 @@ class Environment:
         schedule slot (eid) as a fresh one, so event order is unchanged.
         Outside fast mode this is exactly ``timeout(delay)``.
         """
+        # Validate here, above every branch, so a bad delay is rejected
+        # whether or not the pool is warm and whether or not the env is
+        # fast. NaN must be caught too: a NaN `when` is incomparable and
+        # corrupts both heap and calendar ordering invariants.
+        if delay < 0 or delay != delay:
+            raise ValueError(f"negative or NaN delay {delay}")
         if not self._fast:
             return Timeout(self, delay)
         pool = self._timeout_pool
@@ -440,15 +583,16 @@ class Environment:
             t = Timeout(self, delay)
             t._poolable = True
             return t
-        if delay < 0:
-            raise ValueError(f"negative delay {delay}")
         t = pool.pop()
         t.delay = delay
         t._value = None
         t._processed = False
         t._defused = False
         t._poolable = True
-        self._schedule(t, delay)
+        # _schedule, inlined: sleep is the single hottest schedule site
+        # (one per simulated wait) and the method call is measurable.
+        self._eid += 1
+        self._push((self._now + delay, self._eid, t))
         return t
 
     def process(
@@ -469,19 +613,74 @@ class Environment:
 
     # -- scheduling ---------------------------------------------------------
 
+    def _bind_queue(self, q: "list | CalendarQueue") -> None:
+        """Point ``_queue``/``_push``/``_pop`` at the given flavour."""
+        self._queue = q
+        if type(q) is list:
+            self._push = partial(heapq.heappush, q)
+            self._pop = partial(heapq.heappop, q)
+        else:
+            q.owner = self
+            self._push = q.push
+            self._pop = q.pop
+
     def _schedule(self, event: Event, delay: float = 0.0) -> None:
         self._eid += 1
-        heapq.heappush(self._queue, (self._now + delay, self._eid, event))
+        self._push((self._now + delay, self._eid, event))
+
+    def _maybe_promote(self) -> None:
+        """Called periodically by the loops: heap too big → try calendar."""
+        q = self._queue
+        if type(q) is list and len(q) > self._promote_at:
+            cal = CalendarQueue.from_entries(q)
+            if cal is not None:
+                self._bind_queue(cal)
+            elif self._queue_mode == "calendar":
+                # No usable bucket geometry yet (e.g. an initialization
+                # storm: every entry at one instant). Forced mode must
+                # still promote once spread appears, so retry as soon as
+                # the schedule changes shape — the refused probe was
+                # O(sample), not O(n), so this stays cheap.
+                self._promote_at = len(q)
+            else:
+                # Auto mode: stay on the heap, back off before retrying.
+                self._promote_at <<= 1
+
+    def _on_queue_demote(self, q: CalendarQueue) -> None:
+        """The calendar flagged itself unprofitable: act on it (or not).
+
+        A forced-calendar environment ignores the flag (it exists to pin
+        digests and benchmark the calendar specifically); auto mode drops
+        back to a heap, backing the promotion threshold off when the
+        demotion was for pathology rather than shrinkage.
+        """
+        if self._queue_mode == "calendar":
+            q.demote = False
+            return
+        entries = q.entries()
+        heapq.heapify(entries)
+        self._bind_queue(entries)
+        if len(entries) >= DEMOTE_LEN:
+            # Pathological distribution, not shrinkage: re-promoting at the
+            # same size would thrash, so require substantially more growth.
+            self._promote_at = max(self._promote_at * 2, len(entries) * 2)
+        else:
+            self._promote_at = _PROMOTE_LEN
 
     def peek(self) -> float:
         """Time of the next scheduled event, or +inf if none."""
-        return self._queue[0][0] if self._queue else float("inf")
+        q = self._queue
+        if type(q) is list:
+            return q[0][0] if q else float("inf")
+        return q.peek() if q._len else float("inf")
 
     def step(self) -> None:
-        """Process the single next event."""
-        if not self._queue:
-            raise SimulationError("step() on empty event queue")
-        when, _, event = heapq.heappop(self._queue)
+        """Process the single next event (the hooked/legacy path)."""
+        try:
+            when, _, event = self._pop()
+        except IndexError:
+            raise SimulationError("step() on empty event queue") from None
+        self._maybe_promote()
         self._now = when
         self._steps += 1
         if self._sanitizer is not None:
@@ -489,6 +688,10 @@ class Environment:
         callbacks = event.callbacks
         event.callbacks = None
         event._processed = True
+        if type(event) is Timeout and event._tight is not None:
+            proc = event._tight
+            event._tight = None
+            proc._resume(event)
         for cb in callbacks:
             cb(event)
         if event._ok is False and not event._defused:
@@ -524,7 +727,13 @@ class Environment:
                 raise ValueError(
                     f"until={horizon} is in the past (now={self._now})"
                 )
-            while self._queue and self._queue[0][0] <= horizon:
+            while True:
+                q = self._queue
+                if type(q) is list:
+                    if not q or q[0][0] > horizon:
+                        break
+                elif not q._len or q.peek() > horizon:
+                    break
                 self.step()
             self._now = horizon
             return None
@@ -532,87 +741,198 @@ class Environment:
             self.step()
         return None
 
+    def run_window(self, horizon: float) -> int:
+        """Process every event scheduled *strictly before* ``horizon``.
+
+        The conservative-synchronization primitive for sharded simulation
+        (see ``repro.sim.sharded``): a shard that knows no cross-shard
+        message can arrive before ``horizon`` may safely execute everything
+        earlier than it. Unlike ``run(until=h)`` this uses a strict bound
+        (events *at* ``horizon`` stay queued — they may tie with incoming
+        arrivals) and does NOT advance the clock to ``horizon``: the clock
+        rests at the last processed event so :meth:`peek` keeps reporting
+        true event times for the next window computation.
+
+        Returns the number of events processed.
+        """
+        before = self._steps
+        if self._fast and self._sanitizer is None:
+            self._run_fast_bounded(horizon, strict=True)
+        else:
+            while True:
+                q = self._queue
+                if type(q) is list:
+                    if not q or q[0][0] >= horizon:
+                        break
+                elif not q._len or q.peek() >= horizon:
+                    break
+                self.step()
+        return self._steps - before
+
+    # -- the fast loop ------------------------------------------------------
+
     def _run_fast(self, until: float | Event | None) -> Any:
         """The inlined fast event loop (no per-event hook checks).
 
         Observationally identical to the legacy ``step()`` loop: it pops
-        the same heap in the same order, runs the same callbacks, and
+        the same entries in the same order, runs the same callbacks, and
         raises the same errors. It exists so the hot path pays no method
-        call, no sanitizer test, and no Timeout allocation per event.
+        call, no sanitizer test, and no Event/Timeout/Initialize
+        allocation per event (see the pools).
         """
-        queue = self._queue
-        pool = self._timeout_pool
-        pop = heapq.heappop
+        if isinstance(until, Event):
+            return self._run_fast_until_event(until)
+        if until is None:
+            self._run_fast_bounded(float("inf"), strict=False)
+            return None
+        horizon = float(until)
+        if horizon < self._now:
+            raise ValueError(
+                f"until={horizon} is in the past (now={self._now})"
+            )
+        self._run_fast_bounded(horizon, strict=False)
+        self._now = horizon
+        return None
+
+    def _run_fast_bounded(self, bound: float, strict: bool) -> None:
+        """Fast loop until the queue drains or its head reaches ``bound``.
+
+        ``strict=False`` processes events *at* ``bound`` too (the
+        ``run(until=...)`` contract); ``strict=True`` stops before them
+        (the :meth:`run_window` contract). ``bound=inf`` drains.
+
+        ``_pop``/``_push`` are re-read from ``self`` every iteration
+        because a callback's ``_schedule`` may promote the heap to a
+        calendar queue (and a calendar pop may demote it back) mid-run.
+        """
+        # One effective *exclusive* bound: an inclusive bound is the strict
+        # bound one ulp up, so the loop pays a single float compare per
+        # event. inf stays inf (drain mode: times are finite, never >= inf).
+        if not strict:
+            bound = math.nextafter(bound, math.inf)
+        t_pool = self._timeout_pool
+        e_pool = self._event_pool
+        i_pool = self._init_pool
+        Timeout_, Event_, Initialize_ = Timeout, Event, Initialize
         steps = self._steps
+        check = 512
         try:
-            if isinstance(until, Event):
-                stop = until
-                while not stop._processed:
-                    if not queue:
-                        raise SimulationError(
-                            "event queue drained before target event triggered"
-                        )
-                    when, _, event = pop(queue)
-                    self._now = when
-                    steps += 1
-                    callbacks = event.callbacks
-                    event.callbacks = None
-                    event._processed = True
-                    for cb in callbacks:
-                        cb(event)
-                    if event._ok is False and not event._defused:
-                        raise event._value
-                    if type(event) is Timeout and event._poolable:
-                        event._poolable = False
-                        if len(pool) < _TIMEOUT_POOL_CAP:
-                            callbacks.clear()
-                            event.callbacks = callbacks
-                            pool.append(event)
-                if stop._ok:
-                    return stop._value
-                raise stop._value
-            if until is not None:
-                horizon = float(until)
-                if horizon < self._now:
-                    raise ValueError(
-                        f"until={horizon} is in the past (now={self._now})"
-                    )
-                while queue and queue[0][0] <= horizon:
-                    when, _, event = pop(queue)
-                    self._now = when
-                    steps += 1
-                    callbacks = event.callbacks
-                    event.callbacks = None
-                    event._processed = True
-                    for cb in callbacks:
-                        cb(event)
-                    if event._ok is False and not event._defused:
-                        raise event._value
-                    if type(event) is Timeout and event._poolable:
-                        event._poolable = False
-                        if len(pool) < _TIMEOUT_POOL_CAP:
-                            callbacks.clear()
-                            event.callbacks = callbacks
-                            pool.append(event)
-                self._now = horizon
-                return None
-            while queue:
-                when, _, event = pop(queue)
+            while True:
+                try:
+                    entry = self._pop()
+                except IndexError:
+                    return  # drained
+                when = entry[0]
+                if when >= bound:
+                    self._push(entry)  # out of window: back it goes
+                    return
+                event = entry[2]
                 self._now = when
                 steps += 1
+                check -= 1
+                if not check:
+                    check = 512
+                    self._maybe_promote()
                 callbacks = event.callbacks
                 event.callbacks = None
                 event._processed = True
-                for cb in callbacks:
-                    cb(event)
-                if event._ok is False and not event._defused:
-                    raise event._value
-                if type(event) is Timeout and event._poolable:
-                    event._poolable = False
-                    if len(pool) < _TIMEOUT_POOL_CAP:
-                        callbacks.clear()
-                        event.callbacks = callbacks
-                        pool.append(event)
-            return None
+                if type(event) is Timeout_:
+                    # Timeouts are born triggered-ok, so they can never
+                    # fail: skip the failure check on this branch.
+                    proc = event._tight
+                    if proc is not None:
+                        event._tight = None
+                        proc._resume(event)
+                    if callbacks:
+                        for cb in callbacks:
+                            cb(event)
+                    if event._poolable:
+                        event._poolable = False
+                        if len(t_pool) < _TIMEOUT_POOL_CAP:
+                            callbacks.clear()
+                            event.callbacks = callbacks
+                            t_pool.append(event)
+                else:
+                    for cb in callbacks:
+                        cb(event)
+                    if event._ok is False and not event._defused:
+                        raise event._value
+                    if event._poolable:
+                        event._poolable = False
+                        cls = type(event)
+                        if cls is Event_:
+                            if len(e_pool) < _EVENT_POOL_CAP:
+                                callbacks.clear()
+                                event.callbacks = callbacks
+                                e_pool.append(event)
+                        elif cls is Initialize_:
+                            if len(i_pool) < _INIT_POOL_CAP:
+                                callbacks.clear()
+                                event.callbacks = callbacks
+                                i_pool.append(event)
         finally:
             self._steps = steps
+
+    def _run_fast_until_event(self, stop: Event) -> Any:
+        """Fast loop until ``stop`` is processed; returns its value."""
+        t_pool = self._timeout_pool
+        e_pool = self._event_pool
+        i_pool = self._init_pool
+        Timeout_, Event_, Initialize_ = Timeout, Event, Initialize
+        steps = self._steps
+        check = 512
+        try:
+            while not stop._processed:
+                try:
+                    entry = self._pop()
+                except IndexError:
+                    raise SimulationError(
+                        "event queue drained before target event triggered"
+                    ) from None
+                self._now = entry[0]
+                event = entry[2]
+                steps += 1
+                check -= 1
+                if not check:
+                    check = 512
+                    self._maybe_promote()
+                callbacks = event.callbacks
+                event.callbacks = None
+                event._processed = True
+                if type(event) is Timeout_:
+                    proc = event._tight
+                    if proc is not None:
+                        event._tight = None
+                        proc._resume(event)
+                    if callbacks:
+                        for cb in callbacks:
+                            cb(event)
+                    if event._poolable:
+                        event._poolable = False
+                        if len(t_pool) < _TIMEOUT_POOL_CAP:
+                            callbacks.clear()
+                            event.callbacks = callbacks
+                            t_pool.append(event)
+                else:
+                    for cb in callbacks:
+                        cb(event)
+                    if event._ok is False and not event._defused:
+                        raise event._value
+                    if event._poolable:
+                        event._poolable = False
+                        cls = type(event)
+                        if cls is Event_:
+                            if len(e_pool) < _EVENT_POOL_CAP:
+                                callbacks.clear()
+                                event.callbacks = callbacks
+                                e_pool.append(event)
+                        elif cls is Initialize_:
+                            if len(i_pool) < _INIT_POOL_CAP:
+                                callbacks.clear()
+                                event.callbacks = callbacks
+                                i_pool.append(event)
+        finally:
+            self._steps = steps
+        if stop._ok:
+            return stop._value
+        raise stop._value

@@ -1,0 +1,329 @@
+"""Sharded simulation: one :class:`Environment` per I/O-node shard.
+
+A single discrete-event heap serializes every event in the machine
+through one Python loop — fine for dozens of clients, hopeless for the
+10k–1M-client sweeps the 1989 paper's "thousands of cooperating
+processes" setting implies. This module splits the machine into
+*shards* (one shard per I/O-node group, each with its own
+:class:`Environment`, file system, devices, and clients) and advances
+them with classic **conservative time-window synchronization**
+(Chandy/Misra-style lookahead):
+
+1. Every cross-shard interaction carries a minimum delay — the
+   *lookahead* ``L``, derived from the minimum interconnect latency
+   (no message between I/O nodes can arrive faster than the wire).
+2. Each round, the coordinator reads ``m = min(shard.peek())`` — the
+   globally earliest pending event — and grants every shard the window
+   ``[m, m + L)``.
+3. Each shard runs :meth:`Environment.run_window` to the horizon.
+   A message sent at local time ``t >= m`` with delay ``d >= L``
+   arrives at ``t + d >= m + L`` — at or past the horizon — so no
+   event inside the current window can be affected by a message
+   generated in the same window, and shards may execute the window in
+   any order (we run them sequentially, in shard order, for
+   determinism).
+
+Cross-shard messages travel over :class:`ShardChannel`, which enforces
+``delay >= lookahead`` and schedules the arrival directly into the
+destination shard's queue — safe because, by the invariant above, the
+arrival is always at/after the destination's horizon and therefore
+strictly in its future.
+
+Within a shard everything is ordinary engine code: the calendar/heap
+hybrid queue, event pooling, and the fast loop all apply per shard.
+Results are compared across topologies with
+:func:`repro.perf.workloads.fs_digest`, which hashes only simulated
+*outcomes* (device stats, media bytes) — per-environment event counters
+necessarily differ between one global heap and N shard heaps.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Iterable, Iterator
+
+from .engine import Environment, Event, Process
+from .resources import Store
+
+__all__ = ["Shard", "ShardChannel", "ShardedParallelFS", "ShardedSimulation"]
+
+
+class Shard:
+    """One partition of the machine: an :class:`Environment` plus its gear.
+
+    ``fs`` is attached by ``build_parallel_fs(..., shards=...)``; plain
+    engine users can ignore it and use ``env`` directly.
+    """
+
+    __slots__ = ("index", "env", "fs")
+
+    def __init__(self, index: int, env: Environment):
+        self.index = index
+        self.env = env
+        #: the shard-local ParallelFileSystem (set by build_parallel_fs)
+        self.fs: Any = None
+
+    def process(self, generator) -> Process:
+        """Spawn a process on this shard's environment."""
+        return self.env.process(generator)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Shard {self.index} now={self.env.now:g} pending={len(self.env._queue)}>"
+
+
+class ShardChannel:
+    """A one-way message pipe between two shards with enforced lookahead.
+
+    ``send(payload)`` on the source shard schedules delivery into the
+    destination shard's *inbox* (a :class:`Store`) after ``delay``
+    simulated seconds; receivers ``yield channel.recv()``. The channel
+    refuses any delay below the simulation lookahead — that bound is
+    what makes window-parallel execution safe, so it is a hard error,
+    not a warning.
+    """
+
+    __slots__ = ("sim", "src", "dst", "latency", "inbox", "sent", "received")
+
+    def __init__(
+        self,
+        sim: "ShardedSimulation",
+        src: Shard,
+        dst: Shard,
+        latency: float,
+    ):
+        if src is dst:
+            raise ValueError("a ShardChannel must connect two distinct shards")
+        if latency < sim.lookahead:
+            raise ValueError(
+                f"channel latency {latency} below simulation lookahead "
+                f"{sim.lookahead}: cross-shard messages this fast would "
+                f"break conservative-window synchronization"
+            )
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.latency = latency
+        self.inbox: Store = Store(dst.env)
+        self.sent = 0
+        self.received = 0
+
+    def send(self, payload: Any, delay: float | None = None) -> None:
+        """Deliver ``payload`` to the destination after ``delay`` seconds.
+
+        ``delay`` defaults to the channel latency and must be at least
+        the simulation lookahead. Delivery is scheduled *directly* into
+        the destination environment: the arrival time
+        ``src.now + delay`` is at/after the destination's current
+        window horizon (the conservative-sync invariant), hence always
+        in its future.
+        """
+        d = self.latency if delay is None else delay
+        if d < self.sim.lookahead:
+            raise ValueError(
+                f"send delay {d} below lookahead {self.sim.lookahead}"
+            )
+        src_env = self.src.env
+        dst_env = self.dst.env
+        arrival = src_env._now + d
+        ev = Event(dst_env)
+        ev._ok = True
+        ev._value = payload
+        ev.callbacks.append(self._deliver)
+        dst_env._schedule(ev, arrival - dst_env._now)
+        self.sent += 1
+        self.sim.messages += 1
+
+    def _deliver(self, event: Event) -> None:
+        self.received += 1
+        self.inbox.put(event._value)
+
+    def recv(self) -> Event:
+        """Event triggering with the oldest delivered payload (blocking)."""
+        return self.inbox.get()
+
+    def __len__(self) -> int:
+        """Payloads delivered but not yet received."""
+        return len(self.inbox)
+
+
+class ShardedSimulation:
+    """A fleet of shard :class:`Environment`\\ s under one windowed clock.
+
+    Parameters
+    ----------
+    n_shards:
+        Number of shards (>= 1). One-shard mode is valid and equivalent
+        to a plain environment — useful for digest comparisons.
+    lookahead:
+        The minimum cross-shard delay, in simulated seconds. Use the
+        minimum interconnect latency of the modelled machine; larger
+        lookahead means wider windows and fewer synchronization rounds.
+    queue, fast:
+        Forwarded to every shard :class:`Environment`.
+    """
+
+    def __init__(
+        self,
+        n_shards: int,
+        lookahead: float,
+        initial_time: float = 0.0,
+        queue: str = "auto",
+        fast: bool | None = None,
+    ):
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if not (lookahead > 0.0) or math.isinf(lookahead):
+            raise ValueError(
+                f"lookahead must be positive and finite, got {lookahead}"
+            )
+        self.lookahead = lookahead
+        self.shards: list[Shard] = [
+            Shard(i, Environment(initial_time, queue=queue, fast=fast))
+            for i in range(n_shards)
+        ]
+        #: synchronization rounds executed so far
+        self.windows = 0
+        #: cross-shard messages sent over all channels
+        self.messages = 0
+
+    # -- topology ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __iter__(self) -> Iterator[Shard]:
+        return iter(self.shards)
+
+    def __getitem__(self, index: int) -> Shard:
+        return self.shards[index]
+
+    @property
+    def environments(self) -> list[Environment]:
+        return [s.env for s in self.shards]
+
+    def channel(
+        self,
+        src: Shard | int,
+        dst: Shard | int,
+        latency: float | None = None,
+    ) -> ShardChannel:
+        """A new one-way channel ``src -> dst`` (default latency = lookahead)."""
+        if isinstance(src, int):
+            src = self.shards[src]
+        if isinstance(dst, int):
+            dst = self.shards[dst]
+        return ShardChannel(
+            self, src, dst, self.lookahead if latency is None else latency
+        )
+
+    # -- execution -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """The window floor: no shard has unprocessed work earlier."""
+        m = self.peek()
+        if m == math.inf:
+            return max(s.env._now for s in self.shards)
+        return m
+
+    @property
+    def steps(self) -> int:
+        """Total events processed across every shard."""
+        return sum(s.env._steps for s in self.shards)
+
+    def peek(self) -> float:
+        """Time of the globally earliest pending event (+inf when drained)."""
+        return min(s.env.peek() for s in self.shards)
+
+    def run(self, until: float | None = None) -> int:
+        """Advance all shards with conservative windows; return events run.
+
+        ``until=None`` drains every shard. With a numeric ``until``, all
+        events *strictly before* it are processed and every shard clock
+        is then advanced to ``until`` (matching ``Environment.run``'s
+        bounded form closely enough for steady-state workloads; an event
+        scheduled exactly at ``until`` stays queued).
+        """
+        shards = self.shards
+        lookahead = self.lookahead
+        before = self.steps
+        while True:
+            m = self.peek()
+            if m == math.inf or (until is not None and m >= until):
+                break
+            horizon = m + lookahead
+            if until is not None and horizon > until:
+                horizon = until
+            for shard in shards:
+                shard.env.run_window(horizon)
+            self.windows += 1
+        if until is not None:
+            for shard in shards:
+                if shard.env._now < until:
+                    shard.env._now = until
+        return self.steps - before
+
+    def run_all(
+        self, programs: Iterable[Callable[[Shard], Any]] | None = None
+    ) -> int:
+        """Convenience: optionally spawn one program per shard, then drain.
+
+        ``programs`` is an iterable of callables ``shard -> generator``;
+        callable *i* runs on shard ``i % n_shards``.
+        """
+        if programs is not None:
+            for i, make in enumerate(programs):
+                shard = self.shards[i % len(self.shards)]
+                shard.env.process(make(shard))
+        return self.run()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ShardedSimulation shards={len(self.shards)} "
+            f"lookahead={self.lookahead:g} windows={self.windows} "
+            f"messages={self.messages}>"
+        )
+
+
+class ShardedParallelFS:
+    """N shard-local file systems under one :class:`ShardedSimulation`.
+
+    Built by ``build_parallel_fs(..., shards=...)``: shard *i* owns
+    ``file_systems[i]``, a complete ParallelFileSystem (devices,
+    optional I/O nodes, resilience, QoS) living on shard *i*'s
+    environment. The machine model is one I/O-node group per shard:
+    clients of a shard talk to their local file system in simulated
+    time, and only explicitly-channelled traffic crosses shards.
+    """
+
+    __slots__ = ("sim", "file_systems")
+
+    def __init__(self, sim: ShardedSimulation, file_systems: list):
+        if len(file_systems) != len(sim.shards):
+            raise ValueError(
+                f"{len(file_systems)} file systems for {len(sim.shards)} shards"
+            )
+        self.sim = sim
+        self.file_systems = file_systems
+        for shard, fs in zip(sim.shards, file_systems):
+            shard.fs = fs
+
+    @property
+    def shards(self) -> list[Shard]:
+        return self.sim.shards
+
+    def __len__(self) -> int:
+        return len(self.file_systems)
+
+    def __iter__(self) -> Iterator:
+        return iter(self.file_systems)
+
+    def __getitem__(self, index: int):
+        return self.file_systems[index]
+
+    def run(self, until: float | None = None) -> int:
+        """Advance the whole fleet (see :meth:`ShardedSimulation.run`)."""
+        return self.sim.run(until)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ShardedParallelFS shards={len(self.file_systems)}>"

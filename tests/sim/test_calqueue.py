@@ -1,0 +1,259 @@
+"""CalendarQueue: exact heap-order contract, geometry, hybrid switching.
+
+The load-bearing property is at the top: :meth:`CalendarQueue.pop` must
+yield entries in exactly the ``(when, eid)`` order ``heapq.heappop``
+would, for any entry distribution — random, tie-heavy (few distinct
+times, the pathological shape for sorted buckets), init-storm (everything
+at one instant), and bimodal with far-future outliers (exercising the
+overflow heap). The engine swaps queue flavours mid-run on the strength
+of this property, so it is tested on the raw structure *and* end-to-end
+through ``Environment(queue=...)``.
+"""
+
+import heapq
+import math
+import random
+
+import pytest
+
+from repro.sim import Environment
+from repro.sim.calqueue import DEMOTE_LEN, CalendarQueue, _pick_geometry
+
+
+def _shape_entries(shape: str, n: int, seed: int) -> list[tuple]:
+    rng = random.Random(seed)
+    entries = []
+    for i in range(n):
+        if shape == "random":
+            t = rng.random() * 100.0
+        elif shape == "tie_heavy":
+            # only 40 distinct instants: hundreds of ties per bucket
+            t = 0.001 * rng.randrange(40)
+        elif shape == "clustered":
+            t = rng.randrange(10) * 10.0 + rng.random() * 0.01
+        else:  # far_future: 5% of entries a year out (overflow heap)
+            t = rng.random() + (1e6 if rng.random() < 0.05 else 0.0)
+        entries.append((t, i, None))
+    return entries
+
+
+class TestPopOrderProperty:
+    @pytest.mark.parametrize(
+        "shape", ["random", "tie_heavy", "clustered", "far_future"]
+    )
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_pop_order_equals_heapq(self, shape, seed):
+        entries = _shape_entries(shape, 20000, seed)
+        q = CalendarQueue.from_entries(list(entries))
+        assert q is not None
+        h = list(entries)
+        heapq.heapify(h)
+        while q:
+            assert q.pop() == heapq.heappop(h)
+        assert not h
+
+    def test_pop_order_with_interleaved_pushes(self):
+        rng = random.Random(99)
+        entries = _shape_entries("random", 8000, 7)
+        q = CalendarQueue.from_entries(list(entries))
+        h = list(entries)
+        heapq.heapify(h)
+        next_id = len(entries)
+        popped = 0
+        while q:
+            if popped % 3 == 0 and next_id < 20000:
+                # push relative to the current head, like a live schedule
+                e = (h[0][0] + rng.random() * 5.0, next_id, None)
+                next_id += 1
+                q.push(e)
+                heapq.heappush(h, e)
+            assert q.pop() == heapq.heappop(h)
+            popped += 1
+        assert not h
+
+    def test_day_boundary_rounding(self):
+        # regression: filing used int(when / w) but eligibility used the
+        # recomputed product (epoch + 1) * w; near a day boundary the two
+        # can disagree and an entry pops a whole ring-lap late (simulated
+        # time runs backwards). Times that are exact multiples of a small
+        # step make boundary collisions dense.
+        entries = [(0.001 * (1 + k % 997), k, None) for k in range(30000)]
+        q = CalendarQueue.from_entries(list(entries))
+        assert q is not None
+        h = list(entries)
+        heapq.heapify(h)
+        last = -math.inf
+        while q:
+            e = q.pop()
+            assert e == heapq.heappop(h)
+            assert e[0] >= last, "time went backwards"
+            last = e[0]
+
+    def test_push_just_behind_cursor_day(self):
+        # regression: a (re)build anchors the cursor at the earliest
+        # *entry*, but the owning engine's clock may sit a day earlier —
+        # a push between the two (day(when) == epoch - 1) must not wait
+        # a full ring lap before popping
+        entries = [(10.0 + i * 0.01, i, None) for i in range(3000)]
+        q = CalendarQueue.from_entries(list(entries))
+        assert q is not None
+        h = list(entries)
+        heapq.heapify(h)
+        e = (10.0 - q._w * 0.9, 100000, None)
+        assert int(e[0] / q._w) < q._epoch  # really behind the cursor day
+        q.push(e)
+        heapq.heappush(h, e)
+        while q:
+            assert q.pop() == heapq.heappop(h)
+
+    def test_len_and_bool(self):
+        entries = _shape_entries("random", 100, 5)
+        q = CalendarQueue.from_entries(list(entries))
+        assert len(q) == 100 and bool(q)
+        for _ in range(100):
+            q.pop()
+        assert len(q) == 0 and not q
+        with pytest.raises(IndexError):
+            q.pop()
+        with pytest.raises(IndexError):
+            q.peek()
+
+    def test_peek_matches_next_pop(self):
+        q = CalendarQueue.from_entries(_shape_entries("clustered", 500, 11))
+        while q:
+            t = q.peek()
+            assert q.pop()[0] == t
+
+
+class TestGeometry:
+    def test_refuses_single_instant(self):
+        entries = [(5.0, i, None) for i in range(1000)]
+        assert CalendarQueue.from_entries(entries) is None
+
+    def test_refuses_tiny_population(self):
+        assert CalendarQueue.from_entries([(1.0, 0, None)]) is None
+        assert CalendarQueue.from_entries([]) is None
+
+    def test_pick_geometry_uses_population_size(self):
+        # a 4096-entry sample of a million-entry population must still
+        # size the ring for the population
+        times = [i * 0.001 for i in range(4096)]
+        small = _pick_geometry(times, n=4096)
+        large = _pick_geometry(times, n=1 << 20)
+        assert small is not None and large is not None
+        assert large[1] > small[1]  # bigger ring for the bigger population
+
+    def test_pick_geometry_ring_covers_bulk_span(self):
+        rng = random.Random(3)
+        times = [rng.random() * 50.0 for _ in range(4096)]
+        got = _pick_geometry(times)
+        assert got is not None
+        width, nbuckets = got
+        s = sorted(times)
+        iqr = s[3 * len(s) // 4] - s[len(s) // 4]
+        assert math.isclose(width * nbuckets, 4.0 * iqr)
+
+    def test_nan_times_refused(self):
+        entries = [(float("nan"), i, None) for i in range(100)]
+        assert _pick_geometry([e[0] for e in entries]) is None
+
+
+class TestHybridEngine:
+    @staticmethod
+    def _timer_swarm(env, n, rounds=4, seed=42):
+        rng = random.Random(seed)
+
+        def client(delays):
+            def proc():
+                for d in delays:
+                    yield env.sleep(d)
+            return proc
+
+        for _ in range(n):
+            env.process(
+                client([0.001 * (1 + rng.randrange(50)) for _ in range(rounds)])()
+            )
+
+    def test_forced_calendar_promotes_after_init_storm(self):
+        # every process starts at t=0 (no spread: promotion refused), but
+        # once the storm drains into spread-out timers the forced mode
+        # must retry and promote
+        env = Environment(queue="calendar")
+        if not env.fast_mode:
+            pytest.skip("promotion lives in the fast loop; suite is --sanitize")
+        self._timer_swarm(env, 4000)
+        assert env.queue_flavor == "heap"
+        env.run()
+        assert env.queue_flavor == "calendar"
+
+    def test_heap_mode_never_promotes(self):
+        env = Environment(queue="heap")
+        self._timer_swarm(env, 4000)
+        env.run()
+        assert env.queue_flavor == "heap"
+
+    def test_tuner_flags_demotion_below_threshold(self):
+        # a tuning window that closes with fewer than DEMOTE_LEN live
+        # entries sets the demote flag and notifies the owner
+        entries = _shape_entries("random", 4800, 13)
+        q = CalendarQueue.from_entries(entries)
+
+        class Owner:
+            flagged = None
+
+            def _on_queue_demote(self, queue):
+                self.flagged = queue
+
+        q.owner = owner = Owner()
+        for _ in range(4200):  # first window closes at len = 704 < DEMOTE_LEN
+            q.pop()
+        assert q.demote
+        assert owner.flagged is q
+
+    def test_auto_engine_demotes_on_flag(self):
+        env = Environment()  # auto mode
+        self._timer_swarm(env, 3000)
+        env.run(until=0.0005)  # past the t=0 init storm
+        if env.queue_flavor == "heap":  # not yet promoted on its own
+            cal = CalendarQueue.from_entries(list(env._queue))
+            assert cal is not None
+            env._bind_queue(cal)
+        assert env.queue_flavor == "calendar"
+        cal = env._queue
+        cal.owner = env
+        cal.demote = True
+        env._on_queue_demote(cal)
+        assert env.queue_flavor == "heap"
+        env.run()  # and the run completes correctly on the heap
+        assert len(env._queue) == 0
+
+    def test_forced_calendar_ignores_demotion(self):
+        env = Environment(queue="calendar")
+        self._timer_swarm(env, 3000)
+        env.run(until=0.0005)
+        if env.queue_flavor != "calendar":
+            env._maybe_promote()
+        assert env.queue_flavor == "calendar"
+        q = env._queue
+        q.demote = True
+        env._on_queue_demote(q)
+        assert env.queue_flavor == "calendar"
+        assert q.demote is False  # flag cleared, not acted on
+
+    def test_queue_mode_validation(self):
+        with pytest.raises(ValueError):
+            Environment(queue="btree")
+
+    def test_flavors_agree_on_final_state(self):
+        # identical schedule -> identical clock and step count regardless
+        # of flavour (the digest suite pins the full-stack version)
+        results = {}
+        for queue in ("heap", "calendar", "auto"):
+            env = Environment(queue=queue)
+            self._timer_swarm(env, 3000, seed=7)
+            env.run()
+            results[queue] = (env.now, env.steps, env._eid)
+        assert results["heap"] == results["calendar"] == results["auto"]
+
+    def test_demote_len_constant_sane(self):
+        assert 0 < DEMOTE_LEN < 100_000

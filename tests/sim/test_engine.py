@@ -28,6 +28,35 @@ def test_timeout_rejects_negative_delay():
         env.timeout(-1.0)
 
 
+def test_sleep_rejects_negative_and_nan_delay():
+    # regression: the check must sit above every branch of the pooled
+    # fast path — a bad delay is rejected with a warm pool, a cold pool,
+    # and outside fast mode alike (it used to slip through the
+    # warm-pool branch straight into the schedule)
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.sleep(-0.5)
+    with pytest.raises(ValueError):
+        env.sleep(float("nan"))
+
+    def proc():  # warm the pool: sleep once, recycle on processing
+        yield env.sleep(0.1)
+
+    env.run(env.process(proc()))
+    if env.fast_mode:  # under --sanitize the hooked loop never pools
+        assert env._timeout_pool, "pool should be warm"
+    with pytest.raises(ValueError):
+        env.sleep(-0.5)
+    with pytest.raises(ValueError):
+        env.sleep(float("nan"))
+
+    slow = Environment(fast=False)
+    with pytest.raises(ValueError):
+        slow.sleep(-1e-9)
+    with pytest.raises(ValueError):
+        slow.sleep(float("nan"))
+
+
 def test_sequential_timeouts_accumulate():
     env = Environment()
     times = []

@@ -1,0 +1,173 @@
+"""Sharded simulation: conservative windows, channels, digest identity.
+
+The load-bearing claim (pinned end-to-end in
+``tests/perf/test_determinism.py``'s sharded cell and spot-checked here):
+running N independent file systems under :class:`ShardedSimulation`'s
+window loop produces *identical per-file-system outcomes* to running the
+same N file systems on one single-heap environment — sharding changes
+scheduling structure, never simulation results.
+"""
+
+import math
+
+import pytest
+
+from repro.baselines import build_parallel_fs, build_sharded_fs
+from repro.perf import WorkloadConfig, fs_digest, run_org
+from repro.sim import Environment, Shard, ShardChannel, ShardedSimulation
+from repro.trace import NullTraceRecorder
+
+LOOKAHEAD = 1e-4
+
+
+class TestShardedSimulation:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardedSimulation(0, LOOKAHEAD)
+        with pytest.raises(ValueError):
+            ShardedSimulation(2, 0.0)
+        with pytest.raises(ValueError):
+            ShardedSimulation(2, -1.0)
+        with pytest.raises(ValueError):
+            ShardedSimulation(2, math.inf)
+
+    def test_shard_clocks_advance_in_windows(self):
+        sim = ShardedSimulation(3, LOOKAHEAD)
+
+        def ticker(shard, period, n):
+            def proc():
+                for _ in range(n):
+                    yield shard.env.sleep(period)
+            return proc()
+
+        for i, shard in enumerate(sim):
+            shard.process(ticker(shard, 0.001 * (i + 1), 10))
+        events = sim.run()
+        assert events > 0
+        assert sim.windows > 0
+        assert sim[0].env.now == pytest.approx(0.010)
+        assert sim[2].env.now == pytest.approx(0.030)
+
+    def test_run_until_bounds_and_aligns_clocks(self):
+        sim = ShardedSimulation(2, LOOKAHEAD)
+
+        def ticker(shard):
+            def proc():
+                for _ in range(100):
+                    yield shard.env.sleep(0.001)
+            return proc()
+
+        for shard in sim:
+            shard.process(ticker(shard))
+        sim.run(until=0.05)
+        for shard in sim:
+            assert shard.env.now == pytest.approx(0.05)
+        # events at/after `until` stay queued
+        assert sim.peek() >= 0.05
+
+    def test_peek_empty_is_inf(self):
+        sim = ShardedSimulation(2, LOOKAHEAD)
+        assert sim.peek() == math.inf
+        assert sim.run() == 0
+
+
+class TestShardChannel:
+    def test_channel_rejects_sub_lookahead_latency(self):
+        sim = ShardedSimulation(2, LOOKAHEAD)
+        with pytest.raises(ValueError):
+            sim.channel(0, 1, latency=LOOKAHEAD / 2)
+
+    def test_channel_rejects_self_loop(self):
+        sim = ShardedSimulation(2, LOOKAHEAD)
+        with pytest.raises(ValueError):
+            ShardChannel(sim, sim[0], sim[0], LOOKAHEAD)
+
+    def test_send_rejects_sub_lookahead_delay(self):
+        sim = ShardedSimulation(2, LOOKAHEAD)
+        ch = sim.channel(0, 1)
+        with pytest.raises(ValueError):
+            ch.send("x", delay=LOOKAHEAD / 10)
+
+    def test_cross_shard_ping_pong_timing(self):
+        sim = ShardedSimulation(2, lookahead=LOOKAHEAD)
+        fwd = sim.channel(0, 1, latency=5e-4)
+        back = sim.channel(1, 0, latency=LOOKAHEAD)
+        log = []
+
+        def pinger(shard):
+            fwd.send("ping")  # arrives at 5e-4 on shard 1
+            got = yield back.recv()
+            log.append(("pong", got, shard.env.now))
+
+        def ponger(shard):
+            got = yield fwd.recv()
+            log.append(("ping", got, shard.env.now))
+            back.send(got + "/pong")
+
+        sim[0].process(pinger(sim[0]))
+        sim[1].process(ponger(sim[1]))
+        sim.run()
+        assert log == [
+            ("ping", "ping", pytest.approx(5e-4)),
+            ("pong", "ping/pong", pytest.approx(6e-4)),
+        ]
+        assert fwd.sent == fwd.received == 1
+        assert back.sent == back.received == 1
+        assert sim.messages == 2
+
+    def test_undelivered_payloads_counted(self):
+        sim = ShardedSimulation(2, LOOKAHEAD)
+        ch = sim.channel(0, 1)
+        ch.send("a")
+        ch.send("b")
+        sim.run()
+        assert len(ch) == 2  # delivered, nobody recv'd
+
+
+class TestDigestIdentity:
+    """Sharded vs single-heap: identical file-system outcomes."""
+
+    ORGS = ("PS", "IS", "GDA", "PDA")
+
+    def _config(self):
+        return WorkloadConfig(n_records=96)
+
+    def test_sharded_matches_single_heap(self):
+        n = len(self.ORGS)
+        # sharded: one env + fs per shard
+        spfs = build_sharded_fs(
+            n, 2, recorder=NullTraceRecorder(), io_nodes=1, batch_io=True
+        )
+        files = []
+        for shard, org in zip(spfs.shards, self.ORGS):
+            files.append(run_org(shard.env, spfs[shard.index], org, self._config()))
+        spfs.run()
+        sharded = [
+            fs_digest(spfs[i], [files[i]]) for i in range(n)
+        ]
+        # single heap: the same n file systems on one environment
+        env = Environment()
+        singles = []
+        sfiles = []
+        for org in self.ORGS:
+            pfs = build_parallel_fs(
+                env, 2, recorder=NullTraceRecorder(), io_nodes=1, batch_io=True
+            )
+            singles.append(pfs)
+            sfiles.append(run_org(env, pfs, org, self._config()))
+        env.run()
+        single = [
+            fs_digest(singles[i], [sfiles[i]]) for i in range(n)
+        ]
+        assert sharded == single
+
+    def test_build_sharded_fs_rejects_env(self):
+        with pytest.raises(ValueError):
+            build_sharded_fs(2, 2, env=Environment())
+
+    def test_build_sharded_fs_accepts_prebuilt_sim(self):
+        sim = ShardedSimulation(2, lookahead=5e-4)
+        spfs = build_sharded_fs(sim, 2, recorder=NullTraceRecorder())
+        assert spfs.sim is sim
+        assert len(spfs) == 2
+        assert all(isinstance(s, Shard) for s in spfs.shards)
